@@ -1,0 +1,63 @@
+// Command vtrain-chinchilla runs case study 3 (Section V-C / Table IV):
+// naive versus effective-utilization compute-optimal model sizing under a
+// fixed compute budget.
+//
+// Usage:
+//
+//	vtrain-chinchilla [-gpus 3360] [-days 30] [-batch 3360]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"vtrain/internal/chinchilla"
+	"vtrain/internal/core"
+	"vtrain/internal/hw"
+	"vtrain/internal/taskgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vtrain-chinchilla: ")
+
+	gpus := flag.Int("gpus", 3360, "GPU budget (the paper uses 420 DGX A100 nodes)")
+	days := flag.Float64("days", 30, "wall-clock budget in days")
+	batch := flag.Int("batch", 3360, "global batch in sequences")
+	flag.Parse()
+
+	if *gpus%8 != 0 {
+		log.Fatalf("gpus must be a multiple of 8, got %d", *gpus)
+	}
+	sim, err := core.New(hw.PaperCluster(*gpus/8), core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := chinchilla.Budget(*gpus, *days, sim.Cluster().Node.GPU.PeakTensorFLOPS)
+	fmt.Printf("compute budget: %d GPUs x %.0f days = %.3g FLOPs (at 100%% utility)\n", *gpus, *days, c)
+	n, tok := chinchilla.NaivePoint(c)
+	fmt.Printf("naive Chinchilla point: N = %.2fB params, T = %.0fB tokens\n\n", n/1e9, tok/1e9)
+
+	start := time.Now()
+	res, err := chinchilla.Search(sim, *gpus, *batch, *days)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Table IV — compute-optimal Chinchilla points under effective utilization:")
+	fmt.Printf("%7s %5s %10s %10s %-22s %7s %12s\n",
+		"h", "L", "params(B)", "tokens(B)", "optimal (t,d,p,m)", "util%", "days")
+	for _, p := range res.Points {
+		fmt.Printf("%7d %5d %10.2f %10.0f %-22s %7.2f %12.1f\n",
+			p.Model.Hidden, p.Model.Layers, p.Params/1e9, p.Tokens/1e9,
+			fmt.Sprintf("(%d,%d,%d,%d)", p.Plan.Tensor, p.Plan.Data, p.Plan.Pipeline, p.Plan.MicroBatch),
+			100*p.Utilization, p.Days)
+	}
+	fmt.Printf("\nrealistic compute-optimal model: %.2fB params (%.0f%% smaller than the naive %.2fB), trains %.0fB tokens in %.1f days\n",
+		res.Optimal.Params/1e9, 100*(1-res.Optimal.Params/res.NaiveParams),
+		res.NaiveParams/1e9, res.Optimal.Tokens/1e9, res.Optimal.Days)
+	fmt.Printf("search took %v\n", time.Since(start).Round(time.Millisecond))
+}

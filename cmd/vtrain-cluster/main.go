@@ -1,0 +1,122 @@
+// Command vtrain-cluster runs the case-study-2 multi-tenant scheduling
+// experiments (Section V-B): ElasticFlow-style deadline-aware elastic
+// scheduling on a 1,024-GPU cluster, with baseline (data-parallel-only)
+// profiles versus vTrain-informed optimal-plan profiles.
+//
+//	-deadlines   Fig. 12 — deadline satisfactory ratio over traces
+//	-jct         Fig. 13 — average JCT on deadline-free 32-job traces
+//	-makespan    Fig. 14 — makespan with simultaneous submissions
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"vtrain/internal/cluster"
+	"vtrain/internal/core"
+	"vtrain/internal/hw"
+	"vtrain/internal/taskgraph"
+	"vtrain/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vtrain-cluster: ")
+
+	deadlines := flag.Bool("deadlines", false, "run the Fig. 12 deadline experiments")
+	jct := flag.Bool("jct", false, "run the Fig. 13 JCT experiments")
+	makespan := flag.Bool("makespan", false, "run the Fig. 14 makespan experiments")
+	traces := flag.Int("traces", 9, "number of synthetic traces per experiment")
+	gpus := flag.Int("gpus", 1024, "total cluster GPUs")
+	flag.Parse()
+
+	if !*deadlines && !*jct && !*makespan {
+		*deadlines, *jct, *makespan = true, true, true
+	}
+
+	start := time.Now()
+	sim, err := core.New(hw.PaperCluster(*gpus/8), core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := cluster.BuildProfiles(sim, cluster.Baseline, *gpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vt, err := cluster.BuildProfiles(sim, cluster.VTrainEnabled, *gpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline profiles built in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	run := func(jobs []trace.Job) (b, v cluster.Outcome) {
+		ob, err := cluster.NewScheduler(*gpus, base).Run(jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ov, err := cluster.NewScheduler(*gpus, vt).Run(jobs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return ob, ov
+	}
+
+	if *deadlines {
+		for _, n := range []int{64, 128} {
+			fmt.Printf("Fig. 12 — deadline satisfactory ratio, %d jobs:\n", n)
+			fmt.Printf("%8s %12s %10s %8s\n", "trace", "ElasticFlow", "vTrain", "gain")
+			var sb, sv float64
+			for id := 1; id <= *traces; id++ {
+				jobs, err := trace.Generate(id, trace.DefaultOptions(n))
+				if err != nil {
+					log.Fatal(err)
+				}
+				ob, ov := run(jobs)
+				fmt.Printf("%8d %12.3f %10.3f %7.2fx\n", id,
+					ob.DeadlineSatisfactoryRatio, ov.DeadlineSatisfactoryRatio,
+					ov.DeadlineSatisfactoryRatio/ob.DeadlineSatisfactoryRatio)
+				sb += ob.DeadlineSatisfactoryRatio
+				sv += ov.DeadlineSatisfactoryRatio
+			}
+			fmt.Printf("%8s %12.3f %10.3f %7.2fx\n\n", "avg",
+				sb/float64(*traces), sv/float64(*traces), sv/sb)
+		}
+	}
+
+	if *jct {
+		fmt.Println("Fig. 13 — average JCT, deadline-free 32-job traces (normalized to ElasticFlow):")
+		fmt.Printf("%8s %12s %10s %12s\n", "trace", "base (h)", "vTrain (h)", "normalized")
+		opts := trace.DefaultOptions(32)
+		opts.WithDeadlines = false
+		var sum float64
+		for id := 1; id <= *traces; id++ {
+			jobs, err := trace.Generate(id, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			ob, ov := run(jobs)
+			norm := ov.AvgJCT / ob.AvgJCT
+			sum += norm
+			fmt.Printf("%8d %12.2f %10.2f %12.3f\n", id, ob.AvgJCT/3600, ov.AvgJCT/3600, norm)
+		}
+		fmt.Printf("%8s %35.3f\n\n", "avg", sum/float64(*traces))
+	}
+
+	if *makespan {
+		fmt.Println("Fig. 14 — makespan, simultaneous submission (normalized to ElasticFlow):")
+		fmt.Printf("%8s %12s %10s %12s\n", "jobs", "base (h)", "vTrain (h)", "normalized")
+		for _, n := range []int{16, 32, 48, 64, 72} {
+			jobs, err := trace.Generate(100+n, trace.Options{Jobs: n, MinIterations: 500, MaxIterations: 5000})
+			if err != nil {
+				log.Fatal(err)
+			}
+			ob, ov := run(jobs)
+			fmt.Printf("%8d %12.2f %10.2f %12.3f\n", n,
+				ob.Makespan/3600, ov.Makespan/3600, ov.Makespan/ob.Makespan)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,116 @@
+// Command vtrain-dse runs the case-study-1 design-space exploration
+// (Section V-A): it sweeps the (t, d, p, m) space for a model, prints the
+// fastest and most cost-effective plans, and can dump every design point
+// for Fig. 10 / Fig. 11 style plots.
+//
+// Usage:
+//
+//	vtrain-dse -model mt-nlg-530b -batch 1920 -nodes 6720 -tokens 270e9 [-top 10] [-csv points.csv]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"time"
+
+	"vtrain/internal/core"
+	"vtrain/internal/cost"
+	"vtrain/internal/descfile"
+	"vtrain/internal/dse"
+	"vtrain/internal/hw"
+	"vtrain/internal/taskgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vtrain-dse: ")
+
+	preset := flag.String("model", "mt-nlg-530b", "model preset (see descfile presets)")
+	batch := flag.Int("batch", 1920, "global batch size in sequences")
+	nodes := flag.Int("nodes", 6720, "cluster nodes (8 GPUs each); bounds the sweep")
+	tokens := flag.Float64("tokens", 270e9, "total training tokens for cost projection")
+	top := flag.Int("top", 10, "how many fastest plans to print")
+	maxGPUs := flag.Int("max-gpus", 0, "optional cap on t*d*p")
+	csvPath := flag.String("csv", "", "write every design point to this CSV file")
+	flag.Parse()
+
+	m, err := descfile.LookupModel(*preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sim, err := core.New(hw.PaperCluster(*nodes), core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	space := dse.DefaultSpace(m, *batch)
+	space.MaxGPUs = *maxGPUs
+	space.MaxMicroBatches = 512
+
+	start := time.Now()
+	points, err := dse.Explore(sim, m, space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("explored %d design points in %v\n\n", len(points), elapsed.Round(time.Millisecond))
+
+	fmt.Printf("%-28s %8s %8s %7s %8s %10s %9s\n",
+		"plan", "GPUs", "iter(s)", "util%", "days", "$/hour", "$total(M)")
+	n := *top
+	if n > len(points) {
+		n = len(points)
+	}
+	for _, p := range points[:n] {
+		tr := cost.Train(m, *batch, p.Report.IterTime, p.Plan.GPUs(), uint64(*tokens), sim.Cluster())
+		fmt.Printf("%-28s %8d %8.2f %7.2f %8.2f %10.0f %9.2f\n",
+			p.Plan, p.Plan.GPUs(), p.Report.IterTime, 100*p.Report.Utilization,
+			tr.Days, tr.DollarsPerHour, tr.TotalDollars/1e6)
+	}
+
+	if best, tr, ok := dse.Cheapest(sim, points, uint64(*tokens)); ok {
+		fmt.Printf("\ncheapest plan: %s — %.2f days, $%.2fM, %.2f%% utilization\n",
+			best.Plan, tr.Days, tr.TotalDollars/1e6, 100*tr.Utilization)
+	}
+
+	if *csvPath != "" {
+		if err := dumpCSV(*csvPath, sim, points, m.Name, *batch, uint64(*tokens)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d points to %s\n", len(points), *csvPath)
+	}
+}
+
+func dumpCSV(path string, sim *core.Simulator, points []dse.Point, name string, batch int, tokens uint64) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	defer w.Flush()
+	if err := w.Write([]string{"model", "t", "d", "p", "m", "gpus", "iter_s", "util", "days", "dollars"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		tr := cost.Train(p.Report.Model, batch, p.Report.IterTime, p.Plan.GPUs(), tokens, sim.Cluster())
+		rec := []string{
+			name,
+			strconv.Itoa(p.Plan.Tensor), strconv.Itoa(p.Plan.Data),
+			strconv.Itoa(p.Plan.Pipeline), strconv.Itoa(p.Plan.MicroBatch),
+			strconv.Itoa(p.Plan.GPUs()),
+			strconv.FormatFloat(p.Report.IterTime, 'f', 4, 64),
+			strconv.FormatFloat(p.Report.Utilization, 'f', 4, 64),
+			strconv.FormatFloat(tr.Days, 'f', 2, 64),
+			strconv.FormatFloat(tr.TotalDollars, 'f', 0, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	return nil
+}

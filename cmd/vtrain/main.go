@@ -1,0 +1,128 @@
+// Command vtrain simulates one LLM training configuration described by an
+// input description file (Fig. 4) and reports the predicted single-iteration
+// training time, utilization, memory, and end-to-end cost projection.
+//
+// Usage:
+//
+//	vtrain -f description.json [-json] [-fidelity task|operator]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"vtrain/internal/core"
+	"vtrain/internal/cost"
+	"vtrain/internal/descfile"
+	"vtrain/internal/taskgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vtrain: ")
+
+	file := flag.String("f", "", "path to the input description file (JSON)")
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	fidelity := flag.String("fidelity", "task", "simulation granularity: task or operator")
+	tracePath := flag.String("trace", "", "write the execution timeline as a Chrome trace to this file")
+	flag.Parse()
+
+	if *file == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	desc, err := descfile.Load(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, plan, cluster, err := desc.Resolve()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fid := taskgraph.TaskLevel
+	switch *fidelity {
+	case "task":
+	case "operator":
+		fid = taskgraph.OperatorLevel
+	default:
+		log.Fatalf("unknown fidelity %q (want task or operator)", *fidelity)
+	}
+
+	sim, err := core.New(cluster, core.WithFidelity(fid))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rep core.Report
+	if *tracePath != "" {
+		var spans []taskgraph.Span
+		rep, spans, err = sim.SimulateTrace(m, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := taskgraph.WriteChromeTrace(f, spans); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", len(spans), *tracePath)
+	} else {
+		rep, err = sim.Simulate(m, plan)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	var train *cost.Training
+	if desc.TotalTokens > 0 {
+		tr := cost.Train(m, plan.GlobalBatch, rep.IterTime, plan.GPUs(), desc.TotalTokens, cluster)
+		train = &tr
+	}
+
+	if *asJSON {
+		out := struct {
+			Model         string         `json:"model"`
+			Plan          string         `json:"plan"`
+			GPUs          int            `json:"gpus"`
+			IterTime      float64        `json:"iteration_time_s"`
+			Utilization   float64        `json:"gpu_utilization"`
+			PeakMemoryGiB float64        `json:"peak_memory_gib"`
+			FitsMemory    bool           `json:"fits_memory"`
+			Tasks         int            `json:"tasks"`
+			Training      *cost.Training `json:"training,omitempty"`
+		}{
+			Model: m.String(), Plan: plan.String(), GPUs: plan.GPUs(),
+			IterTime: rep.IterTime, Utilization: rep.Utilization,
+			PeakMemoryGiB: float64(rep.PeakMemoryBytes) / (1 << 30),
+			FitsMemory:    rep.FitsMemory, Tasks: rep.Tasks, Training: train,
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	fmt.Printf("model:           %s\n", m)
+	fmt.Printf("plan:            %s  (%d GPUs)\n", plan, plan.GPUs())
+	fmt.Printf("iteration time:  %.3f s  (%d tasks)\n", rep.IterTime, rep.Tasks)
+	fmt.Printf("GPU utilization: %.2f %%\n", 100*rep.Utilization)
+	fmt.Printf("compute / comm:  %.3f s / %.3f s per stage, bubble %.1f %%\n",
+		rep.ComputeSeconds, rep.CommSeconds, 100*rep.BubbleFraction)
+	fmt.Printf("peak memory:     %.1f GiB per GPU (fits: %v)\n",
+		float64(rep.PeakMemoryBytes)/(1<<30), rep.FitsMemory)
+	if train != nil {
+		fmt.Printf("end-to-end:      %d iterations, %.2f days, $%.2fM ($%.0f/hour)\n",
+			train.Iterations, train.Days, train.TotalDollars/1e6, train.DollarsPerHour)
+	}
+}

@@ -1,0 +1,65 @@
+// Command chinchilla reproduces case study 3 (Section V-C) as an example of
+// the compute-optimal sizing API, at a reduced scale that runs in seconds:
+// given a 512-GPU budget for 30 days, how large an LLM can actually be
+// trained once effective (not peak) GPU throughput is accounted for?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vtrain/internal/chinchilla"
+	"vtrain/internal/core"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/taskgraph"
+)
+
+func main() {
+	const (
+		gpus  = 512
+		days  = 30.0
+		batch = 512
+	)
+	sim, err := core.New(hw.PaperCluster(gpus/8), core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	c := chinchilla.Budget(gpus, days, sim.Cluster().Node.GPU.PeakTensorFLOPS)
+	naiveN, naiveT := chinchilla.NaivePoint(c)
+	fmt.Printf("budget: %d A100s for %.0f days = %.3g FLOPs at face value\n", gpus, days, c)
+	fmt.Printf("naive Chinchilla point: %.1fB params, %.0fB tokens\n\n", naiveN/1e9, naiveT/1e9)
+
+	// Sweep candidate architectures below the naive point and find the
+	// largest one that realistically finishes in the budget.
+	shapes := []struct{ h, l int }{
+		{7168, 48}, {6144, 48}, {6144, 40}, {5120, 40}, {4096, 36}, {3072, 30},
+	}
+	fmt.Printf("%7s %4s %10s %-20s %7s %8s %8s\n", "h", "L", "params(B)", "best plan", "util%", "days", "fits?")
+	var best *chinchilla.Point
+	for _, s := range shapes {
+		m := model.Custom(s.h, s.l, 2048, s.h/128)
+		m.Name = fmt.Sprintf("candidate-h%d-L%d", s.h, s.l)
+		pt, err := chinchilla.Evaluate(sim, m, gpus, batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fits := pt.Days <= days
+		fmt.Printf("%7d %4d %10.2f %-20s %7.1f %8.1f %8v\n",
+			s.h, s.l, pt.Params/1e9,
+			fmt.Sprintf("(%d,%d,%d,%d)", pt.Plan.Tensor, pt.Plan.Data, pt.Plan.Pipeline, pt.Plan.MicroBatch),
+			100*pt.Utilization, pt.Days, fits)
+		if fits && best == nil {
+			p := pt
+			best = &p
+		}
+	}
+	if best == nil {
+		log.Fatal("no candidate fits the budget — widen the sweep")
+	}
+	fmt.Printf("\nrealistic compute-optimal model: %.2fB params (naive estimate was %.1fB, %.0f%% larger than achievable)\n",
+		best.Params/1e9, naiveN/1e9, 100*(naiveN/best.Params-1))
+	fmt.Printf("it trains %.0fB tokens in %.1f days at %.1f%% utilization with plan %s\n",
+		best.Tokens/1e9, best.Days, 100*best.Utilization, best.Plan)
+}

@@ -1,0 +1,95 @@
+// Command mtnlg_plan reproduces case study 1 (Section V-A / Table I) as an
+// example of the library's plan-search workflow: it evaluates the three
+// heuristic MT-NLG training plans, runs a design-space exploration around
+// the same GPU budgets, and prints the cost-effective alternatives vTrain
+// uncovers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vtrain/internal/core"
+	"vtrain/internal/cost"
+	"vtrain/internal/dse"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+	"vtrain/internal/taskgraph"
+)
+
+const (
+	globalBatch = 1920
+	totalTokens = 270e9
+)
+
+func main() {
+	cluster := hw.PaperCluster(420) // up to 3,360 GPUs
+	sim, err := core.New(cluster, core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := model.MTNLG530B()
+
+	// The three heuristic plans the MT-NLG authors used (Table I left).
+	baselines := []parallel.Plan{
+		{Tensor: 8, Data: 8, Pipeline: 35, MicroBatch: 1, GlobalBatch: globalBatch, GradientBuckets: 2, Recompute: true},
+		{Tensor: 8, Data: 10, Pipeline: 35, MicroBatch: 1, GlobalBatch: globalBatch, GradientBuckets: 2, Recompute: true},
+		{Tensor: 8, Data: 12, Pipeline: 35, MicroBatch: 1, GlobalBatch: globalBatch, GradientBuckets: 2, Recompute: true},
+	}
+	// The cost-effective alternatives vTrain's sweep uncovers (right).
+	findings := []parallel.Plan{
+		{Tensor: 8, Data: 12, Pipeline: 21, MicroBatch: 1, GlobalBatch: globalBatch, GradientBuckets: 2, Recompute: true},
+		{Tensor: 8, Data: 16, Pipeline: 21, MicroBatch: 1, GlobalBatch: globalBatch, GradientBuckets: 2, Recompute: true},
+		{Tensor: 8, Data: 20, Pipeline: 21, MicroBatch: 1, GlobalBatch: globalBatch, GradientBuckets: 2, Recompute: true},
+	}
+
+	fmt.Println("Table I — MT-NLG heuristic plans vs. vTrain-uncovered plans")
+	fmt.Printf("%-14s %-16s %8s %8s %7s %7s %9s %10s\n",
+		"", "(t,d,p)", "GPUs", "iter(s)", "days", "util%", "$/hour", "$total(M)")
+	for i := range baselines {
+		b := row(sim, m, baselines[i])
+		f := row(sim, m, findings[i])
+		fmt.Printf("%-14s %-16s %8d %8.2f %7.2f %7.2f %9.0f %10.2f\n",
+			"MT-NLG", tdp(baselines[i]), baselines[i].GPUs(), b.IterTime, b.Days, 100*b.Utilization, b.DollarsPerHour, b.TotalDollars/1e6)
+		fmt.Printf("%-14s %-16s %8d %8.2f %7.2f %7.2f %9.0f %10.2f\n",
+			"  our finding", tdp(findings[i]), findings[i].GPUs(), f.IterTime, f.Days, 100*f.Utilization, f.DollarsPerHour, f.TotalDollars/1e6)
+		fmt.Printf("%-14s savings: $%.2fM (%.1f%%), %+.1f utilization points, %+.1f days\n\n", "",
+			(b.TotalDollars-f.TotalDollars)/1e6, 100*(1-f.TotalDollars/b.TotalDollars),
+			100*(f.Utilization-b.Utilization), f.Days-b.Days)
+	}
+
+	// A fresh search over a reduced space demonstrates how the findings
+	// were obtained (the full Fig. 10 sweep lives in cmd/vtrain-dse).
+	space := dse.Space{
+		TensorWidths:    []int{8},
+		DataWidths:      []int{8, 10, 12, 16, 20},
+		PipelineDepths:  []int{15, 21, 35},
+		MicroBatches:    []int{1},
+		GlobalBatch:     globalBatch,
+		GradientBuckets: 2,
+		MaxGPUs:         3360,
+	}
+	points, err := dse.Explore(sim, m, space)
+	if err != nil {
+		log.Fatal(err)
+	}
+	best, tr, ok := dse.Cheapest(sim, points, totalTokens)
+	if !ok {
+		log.Fatal("no feasible plan found")
+	}
+	fmt.Printf("cheapest plan in the sweep: %s — $%.2fM over %.1f days at %.1f%% utilization\n",
+		best.Plan, tr.TotalDollars/1e6, tr.Days, 100*tr.Utilization)
+}
+
+func tdp(p parallel.Plan) string {
+	return fmt.Sprintf("(%d, %d, %d)", p.Tensor, p.Data, p.Pipeline)
+}
+
+func row(sim *core.Simulator, m model.Config, p parallel.Plan) cost.Training {
+	rep, err := sim.Simulate(m, p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return cost.Train(m, p.GlobalBatch, rep.IterTime, p.GPUs(), totalTokens, sim.Cluster())
+}

@@ -1,0 +1,158 @@
+// Package chinchilla implements case study 3 (Section V-C): determining a
+// compute-optimal LLM model size under a fixed compute budget, first
+// naively (assuming 100 % GPU utility, as a practitioner without vTrain
+// would) and then realistically, using vTrain's effective-utilization
+// estimates to find the largest model whose 20-tokens-per-parameter
+// training run actually finishes within the wall-clock budget (Table IV).
+package chinchilla
+
+import (
+	"fmt"
+	"math"
+
+	"vtrain/internal/core"
+	"vtrain/internal/cost"
+	"vtrain/internal/dse"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+)
+
+// Alpha is the Chinchilla coefficient in N = alpha * C^0.5 (params from
+// FLOPs), from Hoffmann et al. as quoted in Section V-C.
+const Alpha = 0.089
+
+// TokensPerParam is the compute-optimal token multiplier: T = 20·N
+// (equivalently beta = 1.875 ~ 20·alpha in T = beta * C^0.5).
+const TokensPerParam = 20.0
+
+// Budget returns the compute budget C in FLOPs of running gpus devices at
+// their full peak for days of wall-clock time.
+func Budget(gpus int, days, peakFLOPS float64) float64 {
+	return float64(gpus) * peakFLOPS * days * cost.SecondsPerDay
+}
+
+// NaivePoint applies the scaling law at face value: the compute-optimal
+// parameter count and token count for budget C assuming every FLOP of C is
+// realized.
+func NaivePoint(c float64) (params, tokens float64) {
+	params = Alpha * math.Sqrt(c)
+	return params, TokensPerParam * params
+}
+
+// NaiveDays inverts the budget: the days needed to push 6·N·T FLOPs through
+// gpus devices at 100 % utility — what the naive practitioner believes.
+func NaiveDays(params, tokens float64, gpus int, peakFLOPS float64) float64 {
+	return 6 * params * tokens / (float64(gpus) * peakFLOPS) / cost.SecondsPerDay
+}
+
+// Point is one evaluated Chinchilla candidate: a model, its best
+// parallelization on the full cluster, and the realistic end-to-end days to
+// train its 20·N tokens.
+type Point struct {
+	Model model.Config
+	// Params and Tokens are the candidate's scaling-law quantities.
+	Params float64
+	Tokens float64
+	// Plan is the fastest feasible (t,d,p,m) plan using every GPU.
+	Plan parallel.Plan
+	// IterTime is the plan's simulated iteration time.
+	IterTime float64
+	// Utilization is the plan's GPU compute utilization.
+	Utilization float64
+	// Days is the realistic wall-clock training time for Tokens.
+	Days float64
+}
+
+// Candidates returns Table IV's (h, L) sweep, largest first.
+func Candidates() []model.Config {
+	shapes := []struct{ h, l int }{
+		{12288, 80}, {12288, 70}, {12288, 60},
+		{10240, 70}, {10240, 60},
+		{9216, 80}, {9216, 70},
+	}
+	out := make([]model.Config, len(shapes))
+	for i, s := range shapes {
+		c := model.Custom(s.h, s.l, 2048, s.h/128)
+		c.Name = fmt.Sprintf("chinchilla-h%d-L%d", s.h, s.l)
+		out[i] = c
+	}
+	return out
+}
+
+// Evaluate finds the fastest plan for m that uses exactly gpus devices and
+// projects the wall-clock days to train m's compute-optimal token count.
+func Evaluate(sim *core.Simulator, m model.Config, gpus, globalBatch int) (Point, error) {
+	space := dse.DefaultSpace(m, globalBatch)
+	space.TensorWidths = []int{4, 8, 16}
+	space.ExactGPUs = gpus
+	// Exact-GPU searches need wider data-parallel widths (Table IV's
+	// optima use d up to 84) and non-divisor pipeline depths.
+	space.DataWidths = nil
+	for d := 1; d <= 128; d++ {
+		if globalBatch%d == 0 {
+			space.DataWidths = append(space.DataWidths, d)
+		}
+	}
+	space.PipelineDepths = nil
+	for p := 1; p <= m.Layers; p++ {
+		space.PipelineDepths = append(space.PipelineDepths, p)
+	}
+	space.MaxMicroBatches = 128
+	points, err := dse.Explore(sim, m, space)
+	if err != nil {
+		return Point{}, err
+	}
+	best, ok := dse.Fastest(points)
+	if !ok {
+		return Point{}, fmt.Errorf("chinchilla: no feasible plan for %s on %d GPUs", m.Name, gpus)
+	}
+	params := float64(m.Params())
+	tokens := TokensPerParam * params
+	iters := m.Iterations(uint64(tokens), globalBatch)
+	return Point{
+		Model:       m,
+		Params:      params,
+		Tokens:      tokens,
+		Plan:        best.Plan,
+		IterTime:    best.Report.IterTime,
+		Utilization: best.Report.Utilization,
+		Days:        float64(iters) * best.Report.IterTime / cost.SecondsPerDay,
+	}, nil
+}
+
+// Result is the outcome of the compute-optimal search.
+type Result struct {
+	// Naive is the face-value scaling-law point (100 % utility).
+	NaiveParams float64
+	NaiveTokens float64
+	// Points are all evaluated candidates, in Candidates() order.
+	Points []Point
+	// Optimal is the largest candidate whose realistic training time
+	// fits the wall-clock budget.
+	Optimal Point
+}
+
+// Search reproduces Table IV: evaluate every candidate on the full cluster
+// and pick the largest model that trains its 20·N tokens within budgetDays.
+func Search(sim *core.Simulator, gpus, globalBatch int, budgetDays float64) (Result, error) {
+	c := Budget(gpus, budgetDays, sim.Cluster().Node.GPU.PeakTensorFLOPS)
+	res := Result{}
+	res.NaiveParams, res.NaiveTokens = NaivePoint(c)
+
+	found := false
+	for _, m := range Candidates() {
+		pt, err := Evaluate(sim, m, gpus, globalBatch)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Points = append(res.Points, pt)
+		if !found && pt.Days <= budgetDays {
+			res.Optimal = pt
+			found = true
+		}
+	}
+	if !found {
+		return res, fmt.Errorf("chinchilla: no candidate fits %v days on %d GPUs", budgetDays, gpus)
+	}
+	return res, nil
+}

@@ -1,0 +1,143 @@
+package chinchilla
+
+import (
+	"math"
+	"testing"
+
+	"vtrain/internal/core"
+	"vtrain/internal/hw"
+	"vtrain/internal/taskgraph"
+)
+
+func TestBudgetMatchesPaper(t *testing.T) {
+	// Section V-C: 3,360 A100s for 30 days at 100 % utility is a budget
+	// of C = 2.72e24 FLOPs.
+	c := Budget(3360, 30, 312e12)
+	if math.Abs(c-2.72e24)/2.72e24 > 0.01 {
+		t.Fatalf("Budget = %.3g, want ~2.72e24", c)
+	}
+}
+
+func TestNaivePointMatchesPaper(t *testing.T) {
+	// Paper: N = 145.61B parameters, T = 2,912B tokens at C = 2.72e24.
+	n, tok := NaivePoint(Budget(3360, 30, 312e12))
+	if math.Abs(n-145.61e9)/145.61e9 > 0.02 {
+		t.Fatalf("naive N = %.4g, want ~145.61e9", n)
+	}
+	if math.Abs(tok-2912e9)/2912e9 > 0.02 {
+		t.Fatalf("naive T = %.4g, want ~2912e9", tok)
+	}
+	if math.Abs(tok/n-TokensPerParam) > 1e-9 {
+		t.Fatal("T must equal 20·N")
+	}
+}
+
+func TestNaiveDaysRoundTrips(t *testing.T) {
+	c := Budget(3360, 30, 312e12)
+	n, tok := NaivePoint(c)
+	// Chinchilla uses C = 6·N·T, and alpha·beta ~ 1/6, so training the
+	// naive point at 100 % utility takes approximately the full budget.
+	days := NaiveDays(n, tok, 3360, 312e12)
+	if math.Abs(days-30)/30 > 0.05 {
+		t.Fatalf("naive round trip = %.2f days, want ~30", days)
+	}
+}
+
+func TestCandidatesMatchTableIV(t *testing.T) {
+	cands := Candidates()
+	if len(cands) != 7 {
+		t.Fatalf("candidates = %d, want 7 (Table IV rows)", len(cands))
+	}
+	// Parameter counts must match the table's Parameters column.
+	wantB := []float64{145.61, 127.49, 109.37, 88.62, 76.04, 82.03, 71.83}
+	for i, c := range cands {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("candidate %d: %v", i, err)
+		}
+		got := c.ParamsBillions()
+		if math.Abs(got-wantB[i])/wantB[i] > 0.01 {
+			t.Errorf("candidate %d: %.2fB params, want %.2fB", i, got, wantB[i])
+		}
+	}
+	// Largest first, so Search picks the biggest feasible model.
+	if cands[0].ParamsBillions() < cands[1].ParamsBillions() {
+		t.Fatal("candidates must be ordered largest first")
+	}
+}
+
+func TestEvaluateSmallScale(t *testing.T) {
+	// A scaled-down evaluation exercises the full path quickly.
+	sim, err := core.New(hw.PaperCluster(8), core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Candidates()[6] // 71.83B, the smallest
+	pt, err := Evaluate(sim, m, 64, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pt.Plan.GPUs() != 64 {
+		t.Fatalf("plan %s does not use exactly 64 GPUs", pt.Plan)
+	}
+	if pt.IterTime <= 0 || pt.Days <= 0 {
+		t.Fatal("degenerate evaluation")
+	}
+	if math.Abs(pt.Tokens-TokensPerParam*pt.Params) > 1 {
+		t.Fatal("tokens must be 20x params")
+	}
+	if pt.Utilization <= 0.05 || pt.Utilization >= 1 {
+		t.Fatalf("utilization %.3f implausible", pt.Utilization)
+	}
+}
+
+func TestSearchTableIV(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Table IV search is slow")
+	}
+	sim, err := core.New(hw.PaperCluster(420), core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(sim, 3360, 3360, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The realistic optimum must be substantially smaller than the
+	// naive point (paper: 76B vs 146B, i.e. ~48 % smaller; our device
+	// model is somewhat more optimistic — accept 30-60 % smaller).
+	shrink := 1 - res.Optimal.Params/res.NaiveParams
+	if shrink < 0.3 || shrink > 0.65 {
+		t.Errorf("realistic optimum %.1fB is %.0f%% below naive %.1fB, want 30-65%%",
+			res.Optimal.Params/1e9, 100*shrink, res.NaiveParams/1e9)
+	}
+	if res.Optimal.Days > 30 {
+		t.Errorf("optimal point takes %.1f days, budget 30", res.Optimal.Days)
+	}
+	// The naive point must blow the budget badly when evaluated
+	// realistically (paper: 85 days vs the expected 30).
+	naive := res.Points[0]
+	if naive.Days < 40 {
+		t.Errorf("naive 146B model trains in %.1f days — should far exceed the 30-day budget", naive.Days)
+	}
+	// Training time decreases with model size within a hidden width.
+	if res.Points[1].Days >= res.Points[0].Days {
+		t.Error("smaller model at same width should train faster")
+	}
+	// Effective utilization is far from the naive 100 % assumption.
+	for _, p := range res.Points {
+		if p.Utilization > 0.7 {
+			t.Errorf("%s: utilization %.2f implausibly close to the naive assumption", p.Model.Name, p.Utilization)
+		}
+	}
+}
+
+func TestSearchImpossibleBudget(t *testing.T) {
+	sim, err := core.New(hw.PaperCluster(8), core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 64 GPUs cannot train any Table IV candidate in a day.
+	if _, err := Search(sim, 64, 64, 1); err == nil {
+		t.Fatal("impossible budget must error")
+	}
+}

@@ -1,0 +1,290 @@
+package cluster
+
+import (
+	"sync"
+	"testing"
+
+	"vtrain/internal/core"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/taskgraph"
+	"vtrain/internal/trace"
+)
+
+// Profiles are expensive to build; share them across tests.
+var (
+	profOnce sync.Once
+	profSim  *core.Simulator
+	profBase *ProfileSet
+	profVT   *ProfileSet
+	profErr  error
+)
+
+func profiles(t *testing.T) (*core.Simulator, *ProfileSet, *ProfileSet) {
+	t.Helper()
+	profOnce.Do(func() {
+		profSim, profErr = core.New(hw.PaperCluster(128), core.WithFidelity(taskgraph.OperatorLevel))
+		if profErr != nil {
+			return
+		}
+		profBase, profErr = BuildProfiles(profSim, Baseline, 1024)
+		if profErr != nil {
+			return
+		}
+		profVT, profErr = BuildProfiles(profSim, VTrainEnabled, 1024)
+	})
+	if profErr != nil {
+		t.Fatal(profErr)
+	}
+	return profSim, profBase, profVT
+}
+
+func TestAllocations(t *testing.T) {
+	got := Allocations(1024)
+	want := []int{8, 16, 32, 64, 128, 256, 512, 1024}
+	if len(got) != len(want) {
+		t.Fatalf("Allocations = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Allocations = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMinimalTPMatchesPaper(t *testing.T) {
+	sim, _, _ := profiles(t)
+	// The paper states the baseline parallelizes the 39.1B model with
+	// 8-way tensor and 2-way pipeline parallelism.
+	tp, pp, err := minimalTP(model.Megatron39_1B(), sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tp != 8 || pp != 2 {
+		t.Fatalf("39.1B minimal footprint = (%d, %d), want (8, 2)", tp, pp)
+	}
+}
+
+func TestProfilesMonotoneInGPUs(t *testing.T) {
+	_, base, vt := profiles(t)
+	for _, set := range []*ProfileSet{base, vt} {
+		for _, row := range model.TableIII() {
+			p, err := set.For(row.Config)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sizes := p.Sizes()
+			if len(sizes) == 0 {
+				t.Fatalf("%v %s: empty profile", set.System, row.Config.Name)
+			}
+			for i := 1; i < len(sizes); i++ {
+				if p.IterTime[sizes[i]] >= p.IterTime[sizes[i-1]] {
+					t.Errorf("%v %s: more GPUs slower (%d: %.3f vs %d: %.3f)",
+						set.System, row.Config.Name,
+						sizes[i], p.IterTime[sizes[i]], sizes[i-1], p.IterTime[sizes[i-1]])
+				}
+			}
+		}
+	}
+}
+
+func TestVTrainProfileDominatesBaseline(t *testing.T) {
+	// vTrain's per-size plan search can never be slower than the
+	// DP-only baseline at any allocation both can use — the mechanism
+	// behind every Fig. 12-14 improvement.
+	_, base, vt := profiles(t)
+	for _, row := range model.TableIII() {
+		pb, err := base.For(row.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pv, err := vt.For(row.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g, tb := range pb.IterTime {
+			tv, ok := pv.IterTime[g]
+			if !ok {
+				t.Errorf("%s: vTrain misses allocation %d the baseline supports", row.Config.Name, g)
+				continue
+			}
+			if tv > tb*1.0001 {
+				t.Errorf("%s at %d GPUs: vTrain %.3f slower than baseline %.3f", row.Config.Name, g, tv, tb)
+			}
+		}
+		// And vTrain can use small allocations the baseline cannot
+		// (the 81.2B model needs 32 baseline GPUs minimum).
+		if pv.MinSize() > pb.MinSize() {
+			t.Errorf("%s: vTrain min %d above baseline min %d", row.Config.Name, pv.MinSize(), pb.MinSize())
+		}
+	}
+}
+
+func TestProfileSetUnknownModel(t *testing.T) {
+	_, base, _ := profiles(t)
+	if _, err := base.For(model.GPT3175B()); err == nil {
+		t.Fatal("unknown model must error")
+	}
+}
+
+func TestSchedulerDeadlineRatios(t *testing.T) {
+	// Fig. 12: the vTrain-enabled scheduler satisfies at least as many
+	// deadlines as ElasticFlow on every trace, and the 128-job traces
+	// violate more deadlines than the 64-job traces.
+	_, base, vt := profiles(t)
+	for traceID := 1; traceID <= 3; traceID++ {
+		ratios := map[string]map[int]float64{"base": {}, "vt": {}}
+		for _, n := range []int{64, 128} {
+			jobs, err := trace.Generate(traceID, trace.DefaultOptions(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ob, err := NewScheduler(1024, base).Run(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ov, err := NewScheduler(1024, vt).Run(jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ov.DeadlineSatisfactoryRatio < ob.DeadlineSatisfactoryRatio {
+				t.Errorf("trace %d (%d jobs): vTrain ratio %.3f below baseline %.3f",
+					traceID, n, ov.DeadlineSatisfactoryRatio, ob.DeadlineSatisfactoryRatio)
+			}
+			ratios["base"][n] = ob.DeadlineSatisfactoryRatio
+			ratios["vt"][n] = ov.DeadlineSatisfactoryRatio
+		}
+		if ratios["base"][128] > ratios["base"][64] {
+			t.Errorf("trace %d: baseline handled 128 jobs better than 64 — load model broken", traceID)
+		}
+	}
+}
+
+func TestSchedulerJCT(t *testing.T) {
+	// Fig. 13: deadline-free 32-job traces; vTrain reduces average JCT.
+	_, base, vt := profiles(t)
+	opts := trace.DefaultOptions(32)
+	opts.WithDeadlines = false
+	for traceID := 1; traceID <= 3; traceID++ {
+		jobs, err := trace.Generate(traceID, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := NewScheduler(1024, base).Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov, err := NewScheduler(1024, vt).Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ov.AvgJCT > ob.AvgJCT {
+			t.Errorf("trace %d: vTrain JCT %.0f above baseline %.0f", traceID, ov.AvgJCT, ob.AvgJCT)
+		}
+		// All jobs complete in the lenient deadline-free setting.
+		for _, r := range ov.Jobs {
+			if !r.Completed {
+				t.Errorf("trace %d: job %d never completed", traceID, r.Job.ID)
+			}
+		}
+	}
+}
+
+func TestSchedulerMakespan(t *testing.T) {
+	// Fig. 14: simultaneous submissions; vTrain shortens the makespan
+	// and the gap tends to grow with the job count.
+	_, base, vt := profiles(t)
+	for _, n := range []int{16, 48} {
+		jobs, err := trace.Generate(5, trace.Options{Jobs: n, MinIterations: 500, MaxIterations: 5000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := NewScheduler(1024, base).Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov, err := NewScheduler(1024, vt).Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ov.Makespan > ob.Makespan {
+			t.Errorf("%d jobs: vTrain makespan %.0f above baseline %.0f", n, ov.Makespan, ob.Makespan)
+		}
+	}
+}
+
+func TestSchedulerNeverOversubscribes(t *testing.T) {
+	// GPU-seconds must not exceed cluster capacity times the horizon.
+	_, _, vt := profiles(t)
+	jobs, err := trace.Generate(2, trace.DefaultOptions(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := NewScheduler(1024, vt).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var horizon float64
+	for _, r := range out.Jobs {
+		if r.Completed && r.CompletionTime > horizon {
+			horizon = r.CompletionTime
+		}
+	}
+	if out.GPUSeconds > 1024*horizon*1.0001 {
+		t.Fatalf("GPU-seconds %.0f exceed capacity %.0f", out.GPUSeconds, 1024*horizon)
+	}
+}
+
+func TestSchedulerDeterministic(t *testing.T) {
+	_, base, _ := profiles(t)
+	jobs, _ := trace.Generate(4, trace.DefaultOptions(64))
+	a, err := NewScheduler(1024, base).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewScheduler(1024, base).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.DeadlineSatisfactoryRatio != b.DeadlineSatisfactoryRatio || a.AvgJCT != b.AvgJCT || a.Makespan != b.Makespan {
+		t.Fatal("scheduler is not deterministic")
+	}
+}
+
+func TestSchedulerValidate(t *testing.T) {
+	if err := (&Scheduler{TotalGPUs: 4}).Validate(); err == nil {
+		t.Fatal("sub-node cluster must be rejected")
+	}
+	if err := (&Scheduler{TotalGPUs: 1024}).Validate(); err == nil {
+		t.Fatal("missing profiles must be rejected")
+	}
+	_, base, _ := profiles(t)
+	if err := NewScheduler(1024, base).Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if Baseline.String() != "ElasticFlow" || VTrainEnabled.String() != "vTrain" {
+		t.Fatal("system names changed")
+	}
+}
+
+func TestInfeasibleDeadlineRejectedAtAdmission(t *testing.T) {
+	// A job whose deadline is impossible even with the whole cluster
+	// must be rejected by admission control and counted as a violation.
+	_, base, _ := profiles(t)
+	jobs, _ := trace.Generate(6, trace.DefaultOptions(4))
+	jobs[0].SlackFactor = 1e-9 // hopeless deadline
+	out, err := NewScheduler(1024, base).Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Jobs[jobs[0].ID]
+	if r.Admitted {
+		t.Fatal("hopeless job should be rejected at admission")
+	}
+	if out.DeadlineSatisfactoryRatio >= 1 {
+		t.Fatal("rejected job must count as a deadline violation")
+	}
+}

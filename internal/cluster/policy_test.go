@@ -1,0 +1,77 @@
+package cluster
+
+import (
+	"testing"
+
+	"vtrain/internal/trace"
+)
+
+func TestPolicyString(t *testing.T) {
+	if EDF.String() != "EDF" || FIFO.String() != "FIFO" || SRTF.String() != "SRTF" {
+		t.Fatal("policy names changed")
+	}
+	if Policy(9).String() != "Policy(9)" {
+		t.Fatal("unknown policy formatting changed")
+	}
+}
+
+func runPolicy(t *testing.T, pol Policy, jobs []trace.Job, set *ProfileSet) Outcome {
+	t.Helper()
+	sched := NewScheduler(1024, set)
+	sched.Policy = pol
+	out, err := sched.Run(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEDFMeetsMostDeadlines(t *testing.T) {
+	// Under deadline pressure, the deadline-aware policy must satisfy at
+	// least as many deadlines as FIFO — the reason ElasticFlow uses it.
+	_, _, vt := profiles(t)
+	jobs, err := trace.Generate(2, trace.DefaultOptions(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	edf := runPolicy(t, EDF, jobs, vt)
+	fifo := runPolicy(t, FIFO, jobs, vt)
+	if edf.DeadlineSatisfactoryRatio < fifo.DeadlineSatisfactoryRatio {
+		t.Fatalf("EDF ratio %.3f below FIFO %.3f", edf.DeadlineSatisfactoryRatio, fifo.DeadlineSatisfactoryRatio)
+	}
+}
+
+func TestSRTFImprovesJCTOverFIFO(t *testing.T) {
+	// Classic scheduling result: shortest-remaining-first minimizes mean
+	// completion time relative to FIFO under contention.
+	_, _, vt := profiles(t)
+	opts := trace.DefaultOptions(48)
+	opts.WithDeadlines = false
+	jobs, err := trace.Generate(3, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srtf := runPolicy(t, SRTF, jobs, vt)
+	fifo := runPolicy(t, FIFO, jobs, vt)
+	if srtf.AvgJCT > fifo.AvgJCT*1.001 {
+		t.Fatalf("SRTF JCT %.0f above FIFO %.0f", srtf.AvgJCT, fifo.AvgJCT)
+	}
+}
+
+func TestAllPoliciesCompleteAllJobsWhenLenient(t *testing.T) {
+	_, _, vt := profiles(t)
+	opts := trace.DefaultOptions(16)
+	opts.WithDeadlines = false
+	jobs, err := trace.Generate(4, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pol := range []Policy{EDF, FIFO, SRTF} {
+		out := runPolicy(t, pol, jobs, vt)
+		for _, r := range out.Jobs {
+			if !r.Completed {
+				t.Fatalf("%v: job %d never completed", pol, r.Job.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vtrain/internal/trace"
+)
+
+// JobResult records one job's fate.
+type JobResult struct {
+	Job trace.Job
+	// Admitted is false when admission control rejected the job because
+	// its deadline was already infeasible.
+	Admitted bool
+	// Completed reports whether the job ran to completion.
+	Completed bool
+	// CompletionTime is the absolute finish time (valid if Completed).
+	CompletionTime float64
+	// Deadline is the absolute deadline (0 = none).
+	Deadline float64
+	// DeadlineMet reports deadline satisfaction (only meaningful for
+	// jobs with deadlines).
+	DeadlineMet bool
+}
+
+// Outcome aggregates one simulated trace.
+type Outcome struct {
+	Jobs []JobResult
+	// DeadlineSatisfactoryRatio is the fraction of deadline-carrying
+	// jobs that met their deadlines (Fig. 12's metric).
+	DeadlineSatisfactoryRatio float64
+	// AvgJCT is the mean completion-minus-arrival over completed jobs
+	// (Fig. 13's metric).
+	AvgJCT float64
+	// Makespan is the time until every admitted job finished (Fig. 14's
+	// metric).
+	Makespan float64
+	// GPUSeconds is the integral of allocated GPUs over time, for
+	// utilization accounting.
+	GPUSeconds float64
+}
+
+// Policy orders jobs for the minimum-grant phase of each scheduling
+// instant. ElasticFlow's deadline-aware policy is EDF; FIFO and SRTF are
+// the classic baselines from the multi-tenant scheduling literature the
+// paper surveys.
+type Policy int
+
+const (
+	// EDF grants earliest-deadline-first (deadline-free jobs last).
+	EDF Policy = iota
+	// FIFO grants in arrival order.
+	FIFO
+	// SRTF grants shortest-remaining-work-first (by remaining seconds
+	// at the job's largest feasible allocation).
+	SRTF
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case EDF:
+		return "EDF"
+	case FIFO:
+		return "FIFO"
+	case SRTF:
+		return "SRTF"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Scheduler is the ElasticFlow-style deadline-aware elastic scheduler. The
+// identical algorithm serves both systems; only the profiles differ.
+type Scheduler struct {
+	TotalGPUs int
+	Profiles  *ProfileSet
+	// Policy orders the minimum-grant phase (EDF by default).
+	Policy Policy
+	// ReferenceAllocation sizes each job's "duration" for converting
+	// slack factors into absolute deadlines (a mid-size grant).
+	ReferenceAllocation int
+}
+
+// NewScheduler builds a scheduler over a profile set.
+func NewScheduler(totalGPUs int, profiles *ProfileSet) *Scheduler {
+	return &Scheduler{TotalGPUs: totalGPUs, Profiles: profiles, ReferenceAllocation: 128}
+}
+
+// jobState tracks a running job.
+type jobState struct {
+	job       trace.Job
+	profile   *Profile
+	remaining float64 // iterations left
+	deadline  float64 // absolute; 0 = none
+	alloc     int     // current GPU grant
+	result    *JobResult
+}
+
+// referenceDuration is the job's exclusive-run duration at the reference
+// allocation (clamped to the profile's feasible sizes), used for deadlines.
+func (s *Scheduler) referenceDuration(p *Profile, iters uint64) float64 {
+	sizes := p.Sizes()
+	g := sizes[0]
+	for _, c := range sizes {
+		if c <= s.ReferenceAllocation {
+			g = c
+		}
+	}
+	return float64(iters) * p.IterTime[g]
+}
+
+// minAllocFor returns the smallest allocation that finishes work iterations
+// within slack seconds, or 0 if even the largest feasible grant cannot.
+func minAllocFor(p *Profile, work, slack float64) int {
+	for _, g := range p.Sizes() {
+		if slack <= 0 {
+			return 0
+		}
+		if work/p.Rate(g) <= slack {
+			return g
+		}
+	}
+	return 0
+}
+
+// Run simulates the full lifetime of a trace and reports the outcome.
+func (s *Scheduler) Run(jobs []trace.Job) (Outcome, error) {
+	results := make([]JobResult, len(jobs))
+	states := make([]*jobState, 0, len(jobs))
+
+	pending := make([]trace.Job, len(jobs))
+	copy(pending, jobs)
+	sort.SliceStable(pending, func(i, j int) bool { return pending[i].Arrival < pending[j].Arrival })
+
+	now := 0.0
+	next := 0
+	out := Outcome{}
+	var firstArrival float64
+	if len(pending) > 0 {
+		firstArrival = pending[0].Arrival
+	}
+
+	active := func() []*jobState {
+		var a []*jobState
+		for _, st := range states {
+			if st.remaining > 0 {
+				a = append(a, st)
+			}
+		}
+		return a
+	}
+
+	for {
+		// Admit arrivals at the current time.
+		for next < len(pending) && pending[next].Arrival <= now+1e-9 {
+			j := pending[next]
+			next++
+			prof, err := s.Profiles.For(j.Model)
+			if err != nil {
+				return Outcome{}, err
+			}
+			res := &results[j.ID]
+			*res = JobResult{Job: j}
+			st := &jobState{job: j, profile: prof, remaining: float64(j.Iterations), result: res}
+			if j.SlackFactor > 0 {
+				st.deadline = j.Arrival + j.SlackFactor*s.referenceDuration(prof, j.Iterations)
+				res.Deadline = st.deadline
+			}
+			// ElasticFlow admission control: reject jobs whose
+			// deadline cannot be met even with the largest grant on
+			// an empty cluster.
+			if st.deadline > 0 && minAllocFor(prof, st.remaining, st.deadline-now) == 0 {
+				res.Admitted = false
+				continue
+			}
+			res.Admitted = true
+			states = append(states, st)
+		}
+
+		// Reallocate: EDF minimum grants, then spare GPUs by marginal
+		// throughput gain.
+		s.reallocate(active(), now)
+
+		// Advance to the next event: arrival or earliest completion.
+		tArrival := math.Inf(1)
+		if next < len(pending) {
+			tArrival = pending[next].Arrival
+		}
+		tComplete := math.Inf(1)
+		for _, st := range active() {
+			if st.alloc == 0 {
+				continue
+			}
+			eta := now + st.remaining/st.profile.Rate(st.alloc)
+			if eta < tComplete {
+				tComplete = eta
+			}
+		}
+		tNext := math.Min(tArrival, tComplete)
+		if math.IsInf(tNext, 1) {
+			break // no arrivals left, nothing allocatable
+		}
+		dt := tNext - now
+		if dt < 0 {
+			dt = 0
+		}
+		// Progress every allocated job by dt.
+		for _, st := range active() {
+			if st.alloc == 0 {
+				continue
+			}
+			out.GPUSeconds += float64(st.alloc) * dt
+			st.remaining -= dt * st.profile.Rate(st.alloc)
+			if st.remaining <= 1e-6 {
+				st.remaining = 0
+				st.result.Completed = true
+				st.result.CompletionTime = tNext
+				if st.deadline > 0 {
+					st.result.DeadlineMet = tNext <= st.deadline+1e-6
+				}
+				st.alloc = 0
+			}
+		}
+		now = tNext
+	}
+
+	// Unfinished jobs (starved of GPUs) remain incomplete.
+	out.Jobs = results
+	s.aggregate(&out, firstArrival)
+	return out, nil
+}
+
+// remainingSeconds estimates a job's remaining run time at its largest
+// feasible allocation (the SRTF key).
+func remainingSeconds(st *jobState) float64 {
+	sizes := st.profile.Sizes()
+	best := sizes[len(sizes)-1]
+	return st.remaining / st.profile.Rate(best)
+}
+
+// reallocate implements the elastic policy at one scheduling instant.
+func (s *Scheduler) reallocate(active []*jobState, now float64) {
+	switch s.Policy {
+	case FIFO:
+		sort.SliceStable(active, func(i, j int) bool {
+			return active[i].job.Arrival < active[j].job.Arrival
+		})
+	case SRTF:
+		sort.SliceStable(active, func(i, j int) bool {
+			return remainingSeconds(active[i]) < remainingSeconds(active[j])
+		})
+	default:
+		// EDF: earliest deadline first; deadline-free jobs last in
+		// arrival order.
+		sort.SliceStable(active, func(i, j int) bool {
+			di, dj := active[i].deadline, active[j].deadline
+			switch {
+			case di > 0 && dj > 0:
+				return di < dj
+			case di > 0:
+				return true
+			case dj > 0:
+				return false
+			default:
+				return active[i].job.Arrival < active[j].job.Arrival
+			}
+		})
+	}
+
+	free := s.TotalGPUs
+	for _, st := range active {
+		st.alloc = 0
+	}
+	// Phase 1: minimum grants.
+	for _, st := range active {
+		var want int
+		if st.deadline > 0 {
+			want = minAllocFor(st.profile, st.remaining, st.deadline-now)
+			if want == 0 {
+				// Deadline already blown: ElasticFlow terminates
+				// such jobs; grant nothing and let it starve. It
+				// still counts as a violation in the metrics.
+				continue
+			}
+		} else {
+			want = st.profile.MinSize()
+		}
+		if want <= free {
+			st.alloc = want
+			free -= want
+		}
+	}
+	// Phase 2: distribute spare GPUs by marginal iterations/sec per GPU.
+	for {
+		best := -1
+		bestGain := 0.0
+		var bestNext int
+		for i, st := range active {
+			if st.alloc == 0 && st.deadline > 0 {
+				continue // terminated or unadmitted at this instant
+			}
+			nxt := nextSize(st.profile, st.alloc)
+			if nxt == 0 || nxt-st.alloc > free {
+				continue
+			}
+			gain := (st.profile.Rate(nxt) - st.profile.Rate(st.alloc)) / float64(nxt-st.alloc)
+			if gain > bestGain {
+				bestGain, best, bestNext = gain, i, nxt
+			}
+		}
+		if best < 0 {
+			return
+		}
+		free -= bestNext - active[best].alloc
+		active[best].alloc = bestNext
+	}
+}
+
+// nextSize returns the next larger feasible allocation after cur (0 if cur
+// is already the largest).
+func nextSize(p *Profile, cur int) int {
+	for _, g := range p.Sizes() {
+		if g > cur {
+			return g
+		}
+	}
+	return 0
+}
+
+func (s *Scheduler) aggregate(out *Outcome, firstArrival float64) {
+	deadlineJobs, met := 0, 0
+	completed := 0
+	var jctSum, lastFinish float64
+	for _, r := range out.Jobs {
+		if r.Deadline > 0 {
+			deadlineJobs++
+			if r.Completed && r.DeadlineMet {
+				met++
+			}
+		}
+		if r.Completed {
+			completed++
+			jctSum += r.CompletionTime - r.Job.Arrival
+			if r.CompletionTime > lastFinish {
+				lastFinish = r.CompletionTime
+			}
+		}
+	}
+	if deadlineJobs > 0 {
+		out.DeadlineSatisfactoryRatio = float64(met) / float64(deadlineJobs)
+	}
+	if completed > 0 {
+		out.AvgJCT = jctSum / float64(completed)
+		out.Makespan = lastFinish - firstArrival
+	}
+}
+
+// Validate sanity-checks the scheduler configuration.
+func (s *Scheduler) Validate() error {
+	if s.TotalGPUs < 8 {
+		return fmt.Errorf("cluster: need at least one node of GPUs, got %d", s.TotalGPUs)
+	}
+	if s.Profiles == nil {
+		return fmt.Errorf("cluster: scheduler needs profiles")
+	}
+	return nil
+}

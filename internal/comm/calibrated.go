@@ -1,0 +1,66 @@
+package comm
+
+import "math"
+
+// Calibrated wraps the isolated-environment communication model with the
+// training-time corrections the paper leaves as future work (Section IV):
+// NCCL primitives measured during real training run ~30 % slower than in
+// the isolated profiling environment — worst under tensor parallelism —
+// and inter-node collectives from data-parallel groups sharing ToR switches
+// interfere with each other.
+//
+// The correction factors are calibrated against measured campaigns (in this
+// repository, the testbed); applying them shrinks vTrain's validation error
+// at the cost of tying the model to one deployment's congestion behavior,
+// which is exactly the trade-off the paper discusses.
+type Calibrated struct {
+	// Base is the isolated-environment model.
+	Base *Model
+	// OverlapFactor multiplies intra-node collective latency to account
+	// for compute-overlap contention (~1.3-1.5 on A100 nodes).
+	OverlapFactor float64
+	// InterferencePerGroup is the per-log2(groups) slowdown of
+	// inter-node collectives sharing the fabric.
+	InterferencePerGroup float64
+	// Groups is the number of data-parallel groups contending for the
+	// inter-node fabric (one per tensor rank under Megatron placement).
+	Groups int
+	// LaunchOverhead is the per-collective NCCL kernel-launch latency
+	// the analytical model ignores.
+	LaunchOverhead float64
+}
+
+// DefaultCalibration returns factors fitted against the measured campaigns
+// of Section IV for a training run with the given tensor-parallel width.
+func DefaultCalibration(base *Model, tensorWidth int) Calibrated {
+	return Calibrated{
+		Base:                 base,
+		OverlapFactor:        1.45,
+		InterferencePerGroup: 0.12,
+		Groups:               tensorWidth,
+		LaunchOverhead:       15e-6,
+	}
+}
+
+// AllReduce implements the taskgraph.CommTimer shape.
+func (c Calibrated) AllReduce(bytes float64, n int, intraNode bool) float64 {
+	t := c.Base.AllReduce(bytes, n, intraNode)
+	if intraNode {
+		f := c.OverlapFactor
+		if f < 1 {
+			f = 1
+		}
+		return t*f + c.LaunchOverhead
+	}
+	groups := float64(c.Groups)
+	if groups < 1 {
+		groups = 1
+	}
+	interferer := 1 + c.InterferencePerGroup*math.Log2(groups+1)
+	return t*interferer + c.LaunchOverhead
+}
+
+// SendRecv implements the taskgraph.CommTimer shape.
+func (c Calibrated) SendRecv(bytes float64, sameNode bool) float64 {
+	return c.Base.SendRecv(bytes, sameNode) + c.LaunchOverhead
+}

@@ -1,0 +1,54 @@
+package comm
+
+import (
+	"testing"
+
+	"vtrain/internal/hw"
+)
+
+func TestCalibratedInflatesIntraNode(t *testing.T) {
+	base := NewModel(hw.PaperCluster(8))
+	cal := DefaultCalibration(base, 8)
+	s := 64.0 * (1 << 20)
+	plain := base.AllReduce(s, 8, true)
+	corrected := cal.AllReduce(s, 8, true)
+	if corrected <= plain {
+		t.Fatal("calibrated intra-node latency must exceed the isolated profile")
+	}
+	// The correction is the ~1.3-1.5x contention band, not an order of
+	// magnitude.
+	if corrected > 2*plain {
+		t.Fatalf("correction too large: %.4g vs %.4g", corrected, plain)
+	}
+}
+
+func TestCalibratedInterferenceGrowsWithGroups(t *testing.T) {
+	base := NewModel(hw.PaperCluster(64))
+	s := 256.0 * (1 << 20)
+	one := DefaultCalibration(base, 1).AllReduce(s, 64, false)
+	eight := DefaultCalibration(base, 8).AllReduce(s, 64, false)
+	if eight <= one {
+		t.Fatal("more contending DP groups must slow inter-node collectives")
+	}
+}
+
+func TestCalibratedClampsDegenerateInputs(t *testing.T) {
+	base := NewModel(hw.PaperCluster(8))
+	c := Calibrated{Base: base, OverlapFactor: 0.5, Groups: 0}
+	s := 8.0 * (1 << 20)
+	if c.AllReduce(s, 8, true) < base.AllReduce(s, 8, true) {
+		t.Fatal("overlap factor below 1 must clamp, never speed up")
+	}
+	if got := c.AllReduce(s, 8, false); got < base.AllReduce(s, 8, false) {
+		t.Fatal("zero groups must clamp to one")
+	}
+}
+
+func TestCalibratedSendRecvAddsLaunch(t *testing.T) {
+	base := NewModel(hw.PaperCluster(8))
+	cal := DefaultCalibration(base, 4)
+	s := 4.0 * (1 << 20)
+	if cal.SendRecv(s, true) <= base.SendRecv(s, true) {
+		t.Fatal("calibrated P2P must include launch overhead")
+	}
+}

@@ -1,0 +1,177 @@
+package comm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vtrain/internal/hw"
+)
+
+func TestNVSwitchFabricBasics(t *testing.T) {
+	f := NVSwitchFabric{Node: hw.DGXA100()}
+	if got := f.AllReduce(1<<20, 1); got != 0 {
+		t.Fatalf("single-GPU All-Reduce = %g, want 0", got)
+	}
+	small := f.AllReduce(1<<20, 8)
+	big := f.AllReduce(1<<30, 8)
+	if big <= small {
+		t.Fatal("All-Reduce latency must grow with size")
+	}
+	// Large transfers approach the 2(n-1)/n bandwidth bound.
+	bound := float64(1<<30) / 8 * 14 / hw.DGXA100().NVLinkBandwidth
+	if big < bound {
+		t.Fatalf("1 GiB All-Reduce %.4g below physical bound %.4g", big, bound)
+	}
+	if big > 1.2*bound {
+		t.Fatalf("1 GiB All-Reduce %.4g too far above bound %.4g", big, bound)
+	}
+}
+
+func TestProfileSizesSpanPaperRange(t *testing.T) {
+	sizes := ProfileSizes()
+	if sizes[0] != 1<<20 || sizes[len(sizes)-1] != 1<<30 {
+		t.Fatalf("profile sizes must span 1 MB..1024 MB, got %v..%v", sizes[0], sizes[len(sizes)-1])
+	}
+	if len(sizes) != 11 {
+		t.Fatalf("want 11 power-of-two sizes, got %d", len(sizes))
+	}
+}
+
+func TestProfileTableInterpolation(t *testing.T) {
+	fabric := NVSwitchFabric{Node: hw.DGXA100()}
+	table := Profile(fabric, []int{2, 4, 8})
+
+	// Exact profile points round-trip.
+	for _, s := range ProfileSizes() {
+		got, err := table.Lookup(s, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fabric.AllReduce(s, 8)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Lookup(%g) = %g, want %g", s, got, want)
+		}
+	}
+
+	// Midpoints interpolate between neighbors.
+	mid, err := table.Lookup(1.5*(1<<20), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := fabric.AllReduce(1<<20, 8)
+	hi := fabric.AllReduce(2<<20, 8)
+	if mid <= lo || mid >= hi {
+		t.Fatalf("interpolated %g not strictly between %g and %g", mid, lo, hi)
+	}
+
+	// Below-range and above-range sizes extrapolate without going
+	// negative.
+	under, _ := table.Lookup(1<<10, 8)
+	if under < 0 {
+		t.Fatalf("extrapolation below range went negative: %g", under)
+	}
+	over, _ := table.Lookup(4<<30, 8)
+	if over <= hi {
+		t.Fatalf("extrapolation above range should exceed in-range latency, got %g", over)
+	}
+}
+
+func TestProfileTableUnknownCount(t *testing.T) {
+	table := Profile(NVSwitchFabric{Node: hw.DGXA100()}, []int{2, 4, 8})
+	if _, err := table.Lookup(1<<20, 6); err == nil {
+		t.Fatal("lookup with unprofiled GPU count must error")
+	}
+	if got := table.Counts(); len(got) != 3 || got[0] != 2 || got[2] != 8 {
+		t.Fatalf("Counts() = %v, want [2 4 8]", got)
+	}
+}
+
+func TestZeroBytesLookup(t *testing.T) {
+	table := Profile(NVSwitchFabric{Node: hw.DGXA100()}, []int{8})
+	got, err := table.Lookup(0, 8)
+	if err != nil || got != 0 {
+		t.Fatalf("Lookup(0) = %g, %v; want 0, nil", got, err)
+	}
+}
+
+func TestEquationOne(t *testing.T) {
+	// Eq. 1: t = S/B * 2(n-1)/n with B = alpha * Bmax.
+	c := hw.PaperCluster(64)
+	m := NewModel(c)
+	s := 512.0 * (1 << 20)
+	n := 64
+	want := s/(c.Alpha*c.InterNodeBandwidth)*2*float64(n-1)/float64(n) + c.InterNodeLatency
+	if got := m.AllReduceInter(s, n); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("AllReduceInter = %g, want %g", got, want)
+	}
+	if got := m.AllReduceInter(s, 1); got != 0 {
+		t.Fatalf("single participant inter All-Reduce = %g, want 0", got)
+	}
+}
+
+func TestAlphaScalesInterLatency(t *testing.T) {
+	// Halving alpha must roughly double the transfer-dominated latency.
+	c := hw.PaperCluster(64)
+	full := NewModel(c)
+	c2 := c
+	c2.Alpha = 0.5
+	half := NewModel(c2)
+	s := 1024.0 * (1 << 20)
+	r := half.AllReduceInter(s, 16) / full.AllReduceInter(s, 16)
+	if r < 1.9 || r > 2.1 {
+		t.Fatalf("alpha 0.5 latency ratio = %.3f, want ~2", r)
+	}
+}
+
+func TestModelDispatch(t *testing.T) {
+	m := NewModel(hw.PaperCluster(64))
+	s := 64.0 * (1 << 20)
+	intra := m.AllReduce(s, 8, true)
+	inter := m.AllReduce(s, 8, false)
+	if intra >= inter {
+		t.Fatalf("NVLink All-Reduce (%.4g) should beat InfiniBand (%.4g) at 64 MB", intra, inter)
+	}
+}
+
+func TestModelFallbackForUnprofiledCount(t *testing.T) {
+	m := NewModel(hw.PaperCluster(64))
+	// 6-GPU collectives are not in the power-of-two profile; the model
+	// must fall back to the fabric rather than fail.
+	got := m.AllReduceIntra(64<<20, 6)
+	if got <= 0 {
+		t.Fatalf("fallback latency = %g, want > 0", got)
+	}
+}
+
+func TestSendRecv(t *testing.T) {
+	m := NewModel(hw.PaperCluster(64))
+	bytes := 8.0 * (1 << 20)
+	intra := m.SendRecv(bytes, true)
+	inter := m.SendRecv(bytes, false)
+	if intra >= inter {
+		t.Fatal("NVLink P2P should beat inter-node P2P")
+	}
+	if inter <= 0 || intra <= 0 {
+		t.Fatal("P2P latencies must be positive")
+	}
+}
+
+func TestAllReduceMonotoneInSizeProperty(t *testing.T) {
+	m := NewModel(hw.PaperCluster(64))
+	f := func(mb uint8, intra bool) bool {
+		s := (float64(mb%200) + 1) * (1 << 20)
+		return m.AllReduce(s+1<<20, 8, intra) >= m.AllReduce(s, 8, intra)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceGrowsWithParticipants(t *testing.T) {
+	m := NewModel(hw.PaperCluster(64))
+	s := 256.0 * (1 << 20)
+	if m.AllReduceInter(s, 64) <= m.AllReduceInter(s, 2) {
+		t.Fatal("2(n-1)/n factor must grow with n")
+	}
+}

@@ -1,0 +1,181 @@
+// Package core is vTrain's public facade: it wires the profiling module,
+// the communication model, the execution-graph builders, and the Algorithm 1
+// replay engine into the end-to-end simulation flow of Fig. 4:
+//
+//	description -> operator graph -> profile -> task graph -> iteration time
+//
+// A Simulator is safe for concurrent use: design-space exploration runs
+// thousands of Simulate calls across goroutines sharing one profile cache,
+// which is how the paper evaluates a full (t,d,p) sweep "in tens of minutes
+// on a multi-core CPU server".
+package core
+
+import (
+	"fmt"
+
+	"vtrain/internal/comm"
+	"vtrain/internal/cost"
+	"vtrain/internal/gpu"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/opgraph"
+	"vtrain/internal/parallel"
+	"vtrain/internal/profiler"
+	"vtrain/internal/taskgraph"
+)
+
+// Simulator predicts LLM training time on a cluster.
+type Simulator struct {
+	cluster  hw.Cluster
+	device   *gpu.Device
+	profiler *profiler.Profiler
+	comm     taskgraph.CommTimer
+	fidelity taskgraph.Fidelity
+}
+
+// Option configures a Simulator.
+type Option func(*Simulator)
+
+// WithFidelity selects the lowering granularity (TaskLevel by default).
+func WithFidelity(f taskgraph.Fidelity) Option {
+	return func(s *Simulator) { s.fidelity = f }
+}
+
+// WithCommTimer overrides the communication model (the testbed injects a
+// contention-aware one here).
+func WithCommTimer(ct taskgraph.CommTimer) Option {
+	return func(s *Simulator) { s.comm = ct }
+}
+
+// WithDevice overrides the GPU timing model.
+func WithDevice(d *gpu.Device) Option {
+	return func(s *Simulator) {
+		s.device = d
+		s.profiler = profiler.New(d)
+	}
+}
+
+// New builds a simulator for the cluster, profiling its intra-node fabric.
+func New(c hw.Cluster, opts ...Option) (*Simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	dev := gpu.NewDevice(c.Node.GPU)
+	s := &Simulator{
+		cluster:  c,
+		device:   dev,
+		profiler: profiler.New(dev),
+		comm:     comm.NewModel(c),
+		fidelity: taskgraph.TaskLevel,
+	}
+	for _, o := range opts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Cluster returns the simulated cluster description.
+func (s *Simulator) Cluster() hw.Cluster { return s.cluster }
+
+// Profiler exposes the operator-to-task lookup table.
+func (s *Simulator) Profiler() *profiler.Profiler { return s.profiler }
+
+// Report is the outcome of simulating one training iteration.
+type Report struct {
+	// Model and Plan identify the simulated configuration.
+	Model model.Config
+	Plan  parallel.Plan
+	// IterTime is the predicted single-iteration training time (s).
+	IterTime float64
+	// Utilization is GPU compute utilization (model FLOPs over peak).
+	Utilization float64
+	// HardwareFLOPs is the executed arithmetic per iteration across the
+	// whole system (includes attention and other non-model FLOPs).
+	HardwareFLOPs float64
+	// ComputeSeconds and CommSeconds are mean per-device busy times; the
+	// remainder of IterTime is pipeline bubble / idle.
+	ComputeSeconds float64
+	CommSeconds    float64
+	// BubbleFraction is the mean idle fraction of the compute streams.
+	BubbleFraction float64
+	// PeakMemoryBytes is the estimated per-GPU peak memory.
+	PeakMemoryBytes uint64
+	// FitsMemory reports whether the plan fits device memory.
+	FitsMemory bool
+	// Tasks is the number of replayed tasks.
+	Tasks int
+	// Breakdown attributes per-device busy seconds to operator and
+	// communication classes ("FwdMHA", "AllReduceTP", ...), summed over
+	// all simulated devices.
+	Breakdown map[string]float64
+}
+
+// Simulate predicts the single-iteration training time of m under plan.
+func (s *Simulator) Simulate(m model.Config, plan parallel.Plan) (Report, error) {
+	rep, _, err := s.simulate(m, plan, false)
+	return rep, err
+}
+
+// SimulateTrace is Simulate plus the full execution timeline, which
+// taskgraph.WriteChromeTrace renders for chrome://tracing or Perfetto.
+func (s *Simulator) SimulateTrace(m model.Config, plan parallel.Plan) (Report, []taskgraph.Span, error) {
+	return s.simulate(m, plan, true)
+}
+
+func (s *Simulator) simulate(m model.Config, plan parallel.Plan, capture bool) (Report, []taskgraph.Span, error) {
+	og, err := opgraph.Build(m, plan, s.cluster)
+	if err != nil {
+		return Report{}, nil, err
+	}
+	tg := taskgraph.Lower(og, s.profiler, s.comm, s.fidelity)
+	var (
+		res   taskgraph.Result
+		spans []taskgraph.Span
+	)
+	if capture {
+		res, spans, err = tg.SimulateTrace()
+	} else {
+		res, err = tg.Simulate()
+	}
+	if err != nil {
+		return Report{}, nil, fmt.Errorf("core: simulating %s under %s: %w", m.Name, plan, err)
+	}
+
+	var busyC, busyM float64
+	for i := range res.ComputeBusy {
+		busyC += res.ComputeBusy[i]
+		busyM += res.CommBusy[i]
+	}
+	stages := float64(len(res.ComputeBusy))
+	peakMem := plan.PeakMemoryBytes(m)
+
+	// The folded graph simulates one (tensor, data) representative per
+	// stage; every replica executes the same FLOPs.
+	sysFLOPs := res.FLOPs * float64(plan.Tensor) * float64(plan.Data)
+
+	return Report{
+		Model:           m,
+		Plan:            plan,
+		IterTime:        res.IterTime,
+		Utilization:     cost.Utilization(m, plan.GlobalBatch, res.IterTime, plan.GPUs(), s.cluster.Node.GPU),
+		HardwareFLOPs:   sysFLOPs,
+		ComputeSeconds:  busyC / stages,
+		CommSeconds:     busyM / stages,
+		BubbleFraction:  1 - busyC/(stages*res.IterTime),
+		PeakMemoryBytes: peakMem,
+		FitsMemory:      peakMem <= s.cluster.Node.GPU.MemCapacity,
+		Tasks:           res.Executed,
+		Breakdown:       res.ClassSeconds,
+	}, spans, nil
+}
+
+// Train extends Simulate with the end-to-end projection for totalTokens:
+// days of wall-clock training and its monetary cost.
+func (s *Simulator) Train(m model.Config, plan parallel.Plan, totalTokens uint64) (Report, cost.Training, error) {
+	rep, err := s.Simulate(m, plan)
+	if err != nil {
+		return Report{}, cost.Training{}, err
+	}
+	tr := cost.Train(m, plan.GlobalBatch, rep.IterTime, plan.GPUs(), totalTokens, s.cluster)
+	return rep, tr, nil
+}

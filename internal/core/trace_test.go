@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+)
+
+func TestSimulateTraceAndBreakdown(t *testing.T) {
+	s := sim(t, 8)
+	m := model.Megatron3_6B()
+	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
+	rep, spans, err := s.SimulateTrace(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != rep.Tasks {
+		t.Fatalf("spans = %d, tasks = %d", len(spans), rep.Tasks)
+	}
+	// The breakdown must cover the major classes and sum to the busy
+	// time implied by the report.
+	for _, class := range []string{"FwdMHA", "FwdFFN", "BwdMHA", "BwdFFN", "AllReduceTP", "AllReduceDP", "P2P", "WeightUpdate"} {
+		if rep.Breakdown[class] <= 0 {
+			t.Errorf("breakdown missing class %q", class)
+		}
+	}
+	var total float64
+	for _, v := range rep.Breakdown {
+		total += v
+	}
+	stages := float64(plan.Pipeline)
+	want := (rep.ComputeSeconds + rep.CommSeconds) * stages
+	if rel := (total - want) / want; rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("breakdown total %.6g != busy total %.6g", total, want)
+	}
+}
+
+func TestSimulateTraceMatchesSimulate(t *testing.T) {
+	s := sim(t, 8)
+	m := model.Megatron3_6B()
+	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8}
+	plain, err := s.Simulate(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, _, err := s.SimulateTrace(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.IterTime != traced.IterTime {
+		t.Fatal("trace capture perturbed the prediction")
+	}
+}
+
+func TestInterleavedPlanThroughFacade(t *testing.T) {
+	s := sim(t, 8)
+	m := model.Config{Name: "i8", Hidden: 512, Layers: 8, SeqLen: 256, Heads: 8, Vocab: 1024}
+	base := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 4, MicroBatch: 1, GlobalBatch: 16}
+	inter := base
+	inter.VirtualStages = 2
+	rb, err := s.Simulate(m, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := s.Simulate(m, inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.IterTime >= rb.IterTime {
+		t.Fatalf("interleaving did not help a bubble-bound plan: %.4g vs %.4g", ri.IterTime, rb.IterTime)
+	}
+	if ri.PeakMemoryBytes <= rb.PeakMemoryBytes {
+		t.Fatal("interleaving should cost some activation residency")
+	}
+}

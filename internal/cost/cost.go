@@ -1,0 +1,84 @@
+// Package cost converts simulated iteration times into the quantities the
+// paper's case studies optimize: end-to-end wall-clock training time, GPU
+// compute utilization, and monetary training cost (priced per Table I using
+// AWS EC2 P4d instances as the proxy, $5 per GPU-hour).
+package cost
+
+import (
+	"time"
+
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+)
+
+// SecondsPerDay converts between iteration seconds and report days.
+const SecondsPerDay = 86400.0
+
+// Utilization returns GPU compute utilization as defined in Fig. 1 and
+// Table I: achieved model FLOPS relative to aggregate peak FLOPS,
+//
+//	util = (6 · params · tokensPerIter) / (iterTime · GPUs · peak)
+//
+// i.e. the standard model-FLOPs utilization with the 6·N·T analytic count.
+func Utilization(m model.Config, batchSeqs int, iterTime float64, gpus int, g hw.GPU) float64 {
+	if iterTime <= 0 || gpus <= 0 {
+		return 0
+	}
+	modelFLOPs := 6 * float64(m.Params()) * float64(m.TokensPerIteration(batchSeqs))
+	return modelFLOPs / (iterTime * float64(gpus) * g.PeakTensorFLOPS)
+}
+
+// Training summarizes an end-to-end training run.
+type Training struct {
+	// Iterations is the total number of training iterations.
+	Iterations uint64
+	// IterTime is the single-iteration time in seconds.
+	IterTime float64
+	// TotalSeconds is the end-to-end wall-clock training time.
+	TotalSeconds float64
+	// Days is TotalSeconds in days.
+	Days float64
+	// GPUs is the compute budget consumed.
+	GPUs int
+	// DollarsPerHour is the cluster rental rate.
+	DollarsPerHour float64
+	// TotalDollars is the full training cost.
+	TotalDollars float64
+	// Utilization is the GPU compute utilization in [0,1].
+	Utilization float64
+}
+
+// Train derives the end-to-end training report for consuming totalTokens at
+// a given per-iteration time: the "total FLOPs divided by effective FLOPS"
+// calculation behind Fig. 1 and Table I.
+func Train(m model.Config, batchSeqs int, iterTime float64, gpus int, totalTokens uint64, c hw.Cluster) Training {
+	iters := m.Iterations(totalTokens, batchSeqs)
+	total := float64(iters) * iterTime
+	perHour := float64(gpus) * c.DollarsPerGPUHour
+	return Training{
+		Iterations:     iters,
+		IterTime:       iterTime,
+		TotalSeconds:   total,
+		Days:           total / SecondsPerDay,
+		GPUs:           gpus,
+		DollarsPerHour: perHour,
+		TotalDollars:   total / 3600 * perHour,
+		Utilization:    Utilization(m, batchSeqs, iterTime, gpus, c.Node.GPU),
+	}
+}
+
+// Duration renders seconds as a time.Duration for logs.
+func Duration(seconds float64) time.Duration {
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// TimeForUtilization inverts Fig. 1: the wall-clock days needed to train m
+// on totalTokens with gpus devices running at the given compute utilization.
+func TimeForUtilization(m model.Config, totalTokens uint64, gpus int, util float64, g hw.GPU) float64 {
+	if util <= 0 {
+		return 0
+	}
+	totalFLOPs := 6 * float64(m.Params()) * float64(totalTokens)
+	effective := float64(gpus) * g.PeakTensorFLOPS * util
+	return totalFLOPs / effective / SecondsPerDay
+}

@@ -1,0 +1,85 @@
+package cost
+
+import (
+	"math"
+	"testing"
+
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+)
+
+func TestUtilizationMTNLGBaseline(t *testing.T) {
+	// Table I row 1: MT-NLG (8,8,35), 42.59 s iterations, 2,240 GPUs,
+	// batch 1,920 -> 42.67 % utilization. The definition must reproduce
+	// the paper's number from the paper's own iteration time.
+	m := model.MTNLG530B()
+	got := Utilization(m, 1920, 42.59, 2240, hw.A100SXM80GB())
+	if math.Abs(got-0.4267) > 0.01 {
+		t.Fatalf("Utilization = %.4f, want ~0.4267 (Table I)", got)
+	}
+}
+
+func TestUtilizationEdgeCases(t *testing.T) {
+	m := model.GPT3175B()
+	if Utilization(m, 1024, 0, 8, hw.A100SXM80GB()) != 0 {
+		t.Fatal("zero iteration time must yield zero utilization")
+	}
+	if Utilization(m, 1024, 1, 0, hw.A100SXM80GB()) != 0 {
+		t.Fatal("zero GPUs must yield zero utilization")
+	}
+}
+
+func TestTrainReproducesTableIEconomics(t *testing.T) {
+	// Table I row 1: 42.59 s/iter, 270B tokens, 2,240 GPUs at $5/GPU-h
+	// -> 33.52 days, $11,200/hour, $9.01M.
+	m := model.MTNLG530B()
+	c := hw.PaperCluster(280)
+	tr := Train(m, 1920, 42.59, 2240, 270e9, c)
+	if math.Abs(tr.Days-33.52) > 0.5 {
+		t.Errorf("Days = %.2f, want ~33.52", tr.Days)
+	}
+	if math.Abs(tr.DollarsPerHour-11200) > 1 {
+		t.Errorf("DollarsPerHour = %.0f, want 11,200", tr.DollarsPerHour)
+	}
+	if math.Abs(tr.TotalDollars-9.01e6)/9.01e6 > 0.02 {
+		t.Errorf("TotalDollars = %.3g, want ~9.01e6", tr.TotalDollars)
+	}
+	if tr.Iterations < 65000 || tr.Iterations > 71000 {
+		t.Errorf("Iterations = %d, want ~68,000", tr.Iterations)
+	}
+}
+
+func TestTimeForUtilizationFigure1(t *testing.T) {
+	// Fig. 1: GPT-3 175B, 300B tokens, 1,024 A100s. At ~50 % utilization
+	// training takes roughly 20-25 days; at 40 % it takes ~8 days more.
+	m := model.GPT3175B()
+	g := hw.A100SXM80GB()
+	d50 := TimeForUtilization(m, 300e9, 1024, 0.50, g)
+	d40 := TimeForUtilization(m, 300e9, 1024, 0.40, g)
+	if d50 < 18 || d50 > 27 {
+		t.Errorf("days at 50%% = %.1f, want ~20-25", d50)
+	}
+	delta := d40 - d50
+	if delta < 4 || delta > 9 {
+		t.Errorf("40%% vs 50%% delta = %.1f days, want ~5-8 (Fig. 1's 'additional 8 days at 10%% drop')", delta)
+	}
+	if TimeForUtilization(m, 300e9, 1024, 0, g) != 0 {
+		t.Error("zero utilization must return 0 rather than dividing by zero")
+	}
+}
+
+func TestTrainingTimeInverseInUtilization(t *testing.T) {
+	m := model.GPT3175B()
+	g := hw.A100SXM80GB()
+	d30 := TimeForUtilization(m, 300e9, 1024, 0.30, g)
+	d60 := TimeForUtilization(m, 300e9, 1024, 0.60, g)
+	if math.Abs(d30-2*d60) > 1e-9 {
+		t.Fatalf("doubling utilization must halve time: %.3f vs %.3f", d30, d60)
+	}
+}
+
+func TestDuration(t *testing.T) {
+	if got := Duration(1.5); got.Seconds() != 1.5 {
+		t.Fatalf("Duration(1.5) = %v", got)
+	}
+}

@@ -1,0 +1,173 @@
+// Package descfile parses vTrain's input description file (step 1 of
+// Fig. 4): a JSON document naming the target LLM, the training system
+// configuration, and the parallelization strategy to evaluate.
+//
+// Model and cluster sections accept either a preset name (the paper's
+// catalog) or explicit hyperparameters:
+//
+//	{
+//	  "model":  {"preset": "mt-nlg-530b"},
+//	  "cluster":{"nodes": 280},
+//	  "plan":   {"tensor": 8, "data": 8, "pipeline": 35,
+//	             "micro_batch": 1, "global_batch": 1920,
+//	             "schedule": "1f1b", "gradient_buckets": 2,
+//	             "recompute": true},
+//	  "total_tokens": 270000000000
+//	}
+package descfile
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+)
+
+// Description is the parsed input file.
+type Description struct {
+	Model       ModelSection   `json:"model"`
+	Cluster     ClusterSection `json:"cluster"`
+	Plan        PlanSection    `json:"plan"`
+	TotalTokens uint64         `json:"total_tokens"`
+}
+
+// ModelSection selects the target LLM.
+type ModelSection struct {
+	Preset string `json:"preset"`
+	Name   string `json:"name"`
+	Hidden int    `json:"hidden"`
+	Layers int    `json:"layers"`
+	SeqLen int    `json:"seq_len"`
+	Heads  int    `json:"heads"`
+	Vocab  int    `json:"vocab"`
+}
+
+// ClusterSection selects the training system.
+type ClusterSection struct {
+	Nodes int `json:"nodes"`
+	// Alpha overrides the bandwidth-effectiveness factor when nonzero.
+	Alpha float64 `json:"alpha"`
+	// DollarsPerGPUHour overrides pricing when nonzero.
+	DollarsPerGPUHour float64 `json:"dollars_per_gpu_hour"`
+}
+
+// PlanSection selects the 3D-parallel plan.
+type PlanSection struct {
+	Tensor          int    `json:"tensor"`
+	Data            int    `json:"data"`
+	Pipeline        int    `json:"pipeline"`
+	MicroBatch      int    `json:"micro_batch"`
+	GlobalBatch     int    `json:"global_batch"`
+	Schedule        string `json:"schedule"`
+	GradientBuckets int    `json:"gradient_buckets"`
+	Recompute       bool   `json:"recompute"`
+	VirtualStages   int    `json:"virtual_stages"`
+}
+
+// presets maps preset names to catalog models.
+var presets = map[string]func() model.Config{
+	"gpt3-175b":      model.GPT3175B,
+	"mt-nlg-530b":    model.MTNLG530B,
+	"megatron-3.6b":  model.Megatron3_6B,
+	"megatron-18.4b": model.Megatron18_4B,
+	"megatron-39.1b": model.Megatron39_1B,
+	"megatron-81.2b": model.Megatron81_2B,
+}
+
+// Presets lists the accepted model preset names.
+func Presets() []string {
+	out := make([]string, 0, len(presets))
+	for k := range presets {
+		out = append(out, k)
+	}
+	return out
+}
+
+// LookupModel resolves a preset name (case-insensitive).
+func LookupModel(preset string) (model.Config, error) {
+	f, ok := presets[strings.ToLower(preset)]
+	if !ok {
+		return model.Config{}, fmt.Errorf("descfile: unknown model preset %q (have %v)", preset, Presets())
+	}
+	return f(), nil
+}
+
+// Parse reads a description from r.
+func Parse(r io.Reader) (Description, error) {
+	var d Description
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return Description{}, fmt.Errorf("descfile: %w", err)
+	}
+	return d, nil
+}
+
+// Load reads a description file from disk.
+func Load(path string) (Description, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Description{}, fmt.Errorf("descfile: %w", err)
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Resolve converts the parsed description into simulator inputs.
+func (d Description) Resolve() (model.Config, parallel.Plan, hw.Cluster, error) {
+	var m model.Config
+	if d.Model.Preset != "" {
+		var err error
+		if m, err = LookupModel(d.Model.Preset); err != nil {
+			return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
+		}
+	} else {
+		m = model.Config{
+			Name:   d.Model.Name,
+			Hidden: d.Model.Hidden, Layers: d.Model.Layers,
+			SeqLen: d.Model.SeqLen, Heads: d.Model.Heads, Vocab: d.Model.Vocab,
+		}
+		if m.Name == "" {
+			m.Name = "custom"
+		}
+	}
+	if err := m.Validate(); err != nil {
+		return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
+	}
+
+	nodes := d.Cluster.Nodes
+	if nodes <= 0 {
+		return model.Config{}, parallel.Plan{}, hw.Cluster{}, fmt.Errorf("descfile: cluster.nodes must be positive")
+	}
+	c := hw.PaperCluster(nodes)
+	if d.Cluster.Alpha > 0 {
+		c.Alpha = d.Cluster.Alpha
+	}
+	if d.Cluster.DollarsPerGPUHour > 0 {
+		c.DollarsPerGPUHour = d.Cluster.DollarsPerGPUHour
+	}
+
+	sched := parallel.OneFOneB
+	switch strings.ToLower(d.Plan.Schedule) {
+	case "", "1f1b":
+	case "gpipe":
+		sched = parallel.GPipe
+	default:
+		return model.Config{}, parallel.Plan{}, hw.Cluster{}, fmt.Errorf("descfile: unknown schedule %q (want 1f1b or gpipe)", d.Plan.Schedule)
+	}
+	plan := parallel.Plan{
+		Tensor: d.Plan.Tensor, Data: d.Plan.Data, Pipeline: d.Plan.Pipeline,
+		MicroBatch: d.Plan.MicroBatch, GlobalBatch: d.Plan.GlobalBatch,
+		Schedule: sched, GradientBuckets: d.Plan.GradientBuckets,
+		Recompute: d.Plan.Recompute, VirtualStages: d.Plan.VirtualStages,
+	}
+	if err := plan.Validate(m, c); err != nil {
+		return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
+	}
+	return m, plan, c, nil
+}

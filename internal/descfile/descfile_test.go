@@ -1,0 +1,176 @@
+package descfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"vtrain/internal/parallel"
+)
+
+const mtnlgDesc = `{
+  "model":  {"preset": "mt-nlg-530b"},
+  "cluster":{"nodes": 280},
+  "plan":   {"tensor": 8, "data": 8, "pipeline": 35,
+             "micro_batch": 1, "global_batch": 1920,
+             "schedule": "1f1b", "gradient_buckets": 2,
+             "recompute": true},
+  "total_tokens": 270000000000
+}`
+
+func TestParseAndResolvePreset(t *testing.T) {
+	d, err := Parse(strings.NewReader(mtnlgDesc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, plan, c, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Hidden != 20480 || m.Layers != 105 {
+		t.Fatalf("preset resolved wrong model: %s", m)
+	}
+	if plan.Tensor != 8 || plan.Pipeline != 35 || !plan.Recompute {
+		t.Fatalf("plan mis-parsed: %s", plan)
+	}
+	if c.TotalGPUs() != 2240 {
+		t.Fatalf("cluster GPUs = %d, want 2240", c.TotalGPUs())
+	}
+	if d.TotalTokens != 270e9 {
+		t.Fatalf("tokens = %d", d.TotalTokens)
+	}
+}
+
+func TestParseCustomModel(t *testing.T) {
+	in := `{
+	  "model": {"hidden": 1024, "layers": 4, "seq_len": 512, "heads": 16, "vocab": 32000},
+	  "cluster": {"nodes": 1},
+	  "plan": {"tensor": 2, "data": 2, "pipeline": 2, "micro_batch": 1, "global_batch": 8}
+	}`
+	d, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, plan, _, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "custom" || m.Hidden != 1024 {
+		t.Fatalf("custom model mis-parsed: %s", m)
+	}
+	if plan.Schedule != parallel.OneFOneB {
+		t.Fatal("default schedule must be 1F1B")
+	}
+}
+
+func TestGPipeSchedule(t *testing.T) {
+	in := strings.Replace(mtnlgDesc, `"1f1b"`, `"gpipe"`, 1)
+	d, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plan, _, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Schedule != parallel.GPipe {
+		t.Fatal("gpipe schedule not honored")
+	}
+}
+
+func TestRejections(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{"unknown field", `{"modell": {}}`},
+		{"bad json", `{`},
+		{"unknown preset", `{"model":{"preset":"nope"},"cluster":{"nodes":1},"plan":{"tensor":1,"data":1,"pipeline":1,"micro_batch":1,"global_batch":1}}`},
+		{"bad schedule", `{"model":{"preset":"gpt3-175b"},"cluster":{"nodes":1},"plan":{"tensor":1,"data":1,"pipeline":1,"micro_batch":1,"global_batch":1,"schedule":"zigzag"}}`},
+		{"zero nodes", `{"model":{"preset":"gpt3-175b"},"cluster":{},"plan":{"tensor":1,"data":1,"pipeline":1,"micro_batch":1,"global_batch":1}}`},
+		{"invalid model", `{"model":{"hidden":10,"layers":0,"seq_len":1,"heads":1,"vocab":1},"cluster":{"nodes":1},"plan":{"tensor":1,"data":1,"pipeline":1,"micro_batch":1,"global_batch":1}}`},
+		{"invalid plan", `{"model":{"preset":"gpt3-175b"},"cluster":{"nodes":1},"plan":{}}`},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Parse(strings.NewReader(tc.in))
+			if err != nil {
+				return // parse-time rejection is fine
+			}
+			if _, _, _, err := d.Resolve(); err == nil {
+				t.Fatal("want error")
+			}
+		})
+	}
+}
+
+func TestOverrides(t *testing.T) {
+	in := `{
+	  "model": {"preset": "megatron-3.6b"},
+	  "cluster": {"nodes": 2, "alpha": 0.5, "dollars_per_gpu_hour": 3.25},
+	  "plan": {"tensor": 1, "data": 16, "pipeline": 1, "micro_batch": 1, "global_batch": 32, "gradient_buckets": 1}
+	}`
+	d, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, c, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Alpha != 0.5 || c.DollarsPerGPUHour != 3.25 {
+		t.Fatalf("overrides not applied: alpha=%v $=%v", c.Alpha, c.DollarsPerGPUHour)
+	}
+}
+
+func TestVirtualStages(t *testing.T) {
+	in := `{
+	  "model": {"hidden": 1024, "layers": 8, "seq_len": 512, "heads": 16, "vocab": 32000},
+	  "cluster": {"nodes": 1},
+	  "plan": {"tensor": 1, "data": 1, "pipeline": 2, "micro_batch": 1, "global_batch": 4, "virtual_stages": 2}
+	}`
+	d, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, plan, _, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.VirtualStages != 2 || !plan.Interleaved() {
+		t.Fatalf("virtual stages not honored: %s", plan)
+	}
+}
+
+func TestLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "desc.json")
+	if err := os.WriteFile(path, []byte(mtnlgDesc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Model.Preset != "mt-nlg-530b" {
+		t.Fatal("loaded file mis-parsed")
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestPresetsComplete(t *testing.T) {
+	if len(Presets()) != 6 {
+		t.Fatalf("presets = %d, want 6", len(Presets()))
+	}
+	for _, p := range Presets() {
+		if _, err := LookupModel(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := LookupModel("MT-NLG-530B"); err != nil {
+		t.Fatal("preset lookup must be case-insensitive")
+	}
+}

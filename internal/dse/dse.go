@@ -1,0 +1,255 @@
+// Package dse performs the design-space exploration of Section V-A: given a
+// model, a cluster, and a global batch, it enumerates every valid
+// (t, d, p, m)-way 3D-parallel plan, simulates each with vTrain, and ranks
+// the candidates by iteration time, GPU utilization, or end-to-end training
+// cost — the search that produced Fig. 10, Fig. 11, Table I, and Table II.
+//
+// Plans whose activations exceed device memory automatically retry with
+// full activation recomputation (exactly what a practitioner would do);
+// plans that still do not fit are reported as infeasible rather than
+// silently dropped.
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"vtrain/internal/core"
+	"vtrain/internal/cost"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+)
+
+// Space describes the sweep.
+type Space struct {
+	// TensorWidths are the tensor-parallel degrees to explore
+	// (Fig. 10 uses 4, 8, 16; tmax = 16).
+	TensorWidths []int
+	// DataWidths are the data-parallel degrees (Fig. 10: up to 32).
+	DataWidths []int
+	// PipelineDepths are the pipeline degrees (Fig. 10: up to 105).
+	PipelineDepths []int
+	// MicroBatches are the per-replica micro-batch sizes.
+	MicroBatches []int
+	// GlobalBatch is the iteration batch in sequences.
+	GlobalBatch int
+	// GradientBuckets configures DP overlap for every candidate.
+	GradientBuckets int
+	// Schedule is the pipeline schedule for every candidate.
+	Schedule parallel.Schedule
+	// MaxGPUs, when positive, caps t*d*p.
+	MaxGPUs int
+	// ExactGPUs, when positive, requires t*d*p to match exactly (used
+	// for the fixed-budget comparisons of Table II).
+	ExactGPUs int
+	// MaxMicroBatches, when positive, skips plans whose per-pipeline
+	// micro-batch count exceeds the limit. Very large counts arise only
+	// for tiny data-parallel widths, are essentially never optimal, and
+	// dominate simulation cost; offline profile builders cap them.
+	MaxMicroBatches int
+}
+
+// DefaultSpace mirrors the paper's MT-NLG sweep: tmax=16, dmax=32,
+// pipeline over the divisors of the layer count up to pmax=L.
+func DefaultSpace(m model.Config, globalBatch int) Space {
+	var depths []int
+	for p := 1; p <= m.Layers; p++ {
+		if m.Layers%p == 0 {
+			depths = append(depths, p)
+		}
+	}
+	var data []int
+	for d := 1; d <= 32; d++ {
+		if globalBatch%d == 0 {
+			data = append(data, d)
+		}
+	}
+	return Space{
+		TensorWidths:    []int{1, 2, 4, 8, 16},
+		DataWidths:      data,
+		PipelineDepths:  depths,
+		MicroBatches:    []int{1, 2, 4, 8, 16},
+		GlobalBatch:     globalBatch,
+		GradientBuckets: 2,
+	}
+}
+
+// Point is one evaluated design point.
+type Point struct {
+	Plan   parallel.Plan
+	Report core.Report
+	// Feasible is false when the plan cannot fit device memory even
+	// with recomputation (Report is zero) or fails validation.
+	Feasible bool
+	// Reason explains infeasibility.
+	Reason string
+}
+
+// Enumerate lists the valid plans of the space for m on sim's cluster,
+// choosing recomputation automatically where required for memory.
+func (s Space) Enumerate(m model.Config, sim *core.Simulator) []parallel.Plan {
+	cluster := sim.Cluster()
+	gpu := cluster.Node.GPU
+	var plans []parallel.Plan
+	for _, t := range s.TensorWidths {
+		for _, d := range s.DataWidths {
+			for _, p := range s.PipelineDepths {
+				gpus := t * d * p
+				if s.MaxGPUs > 0 && gpus > s.MaxGPUs {
+					continue
+				}
+				if s.ExactGPUs > 0 && gpus != s.ExactGPUs {
+					continue
+				}
+				for _, mb := range s.MicroBatches {
+					plan := parallel.Plan{
+						Tensor: t, Data: d, Pipeline: p,
+						MicroBatch:      mb,
+						GlobalBatch:     s.GlobalBatch,
+						Schedule:        s.Schedule,
+						GradientBuckets: s.GradientBuckets,
+					}
+					if err := plan.Validate(m, cluster); err != nil {
+						continue
+					}
+					if s.MaxMicroBatches > 0 && plan.MicroBatches() > s.MaxMicroBatches {
+						continue
+					}
+					if !plan.FitsMemory(m, gpu) {
+						plan.Recompute = true
+						if !plan.FitsMemory(m, gpu) {
+							continue // reported via Explore's infeasible path
+						}
+					}
+					plans = append(plans, plan)
+				}
+			}
+		}
+	}
+	return plans
+}
+
+// Explore simulates every plan of the space in parallel and returns the
+// evaluated points sorted by iteration time (fastest first).
+func Explore(sim *core.Simulator, m model.Config, s Space) ([]Point, error) {
+	plans := s.Enumerate(m, sim)
+	if len(plans) == 0 {
+		return nil, fmt.Errorf("dse: no valid plan in the search space for %s", m.Name)
+	}
+	points := make([]Point, len(plans))
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, plan := range plans {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, plan parallel.Plan) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rep, err := sim.Simulate(m, plan)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fmt.Errorf("dse: %s: %w", plan, err)
+				}
+				mu.Unlock()
+				return
+			}
+			points[i] = Point{Plan: plan, Report: rep, Feasible: true}
+		}(i, plan)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	sort.Slice(points, func(i, j int) bool {
+		return points[i].Report.IterTime < points[j].Report.IterTime
+	})
+	return points, nil
+}
+
+// Fastest returns the feasible point with the lowest iteration time.
+func Fastest(points []Point) (Point, bool) {
+	for _, p := range points {
+		if p.Feasible {
+			return p, true
+		}
+	}
+	return Point{}, false
+}
+
+// Cheapest returns the feasible point minimizing end-to-end training cost
+// for totalTokens, pricing each plan's GPU count at the cluster rate.
+func Cheapest(sim *core.Simulator, points []Point, totalTokens uint64) (Point, cost.Training, bool) {
+	var (
+		best   Point
+		bestTr cost.Training
+		found  bool
+	)
+	for _, p := range points {
+		if !p.Feasible {
+			continue
+		}
+		tr := cost.Train(p.Report.Model, p.Plan.GlobalBatch, p.Report.IterTime, p.Plan.GPUs(), totalTokens, sim.Cluster())
+		if !found || tr.TotalDollars < bestTr.TotalDollars {
+			best, bestTr, found = p, tr, true
+		}
+	}
+	return best, bestTr, found
+}
+
+// CheapestWithin returns the cheapest feasible point whose end-to-end days
+// do not exceed maxDays — the "balance training time and cost" objective of
+// case study 1.
+func CheapestWithin(sim *core.Simulator, points []Point, totalTokens uint64, maxDays float64) (Point, cost.Training, bool) {
+	var (
+		best   Point
+		bestTr cost.Training
+		found  bool
+	)
+	for _, p := range points {
+		if !p.Feasible {
+			continue
+		}
+		tr := cost.Train(p.Report.Model, p.Plan.GlobalBatch, p.Report.IterTime, p.Plan.GPUs(), totalTokens, sim.Cluster())
+		if tr.Days > maxDays {
+			continue
+		}
+		if !found || tr.TotalDollars < bestTr.TotalDollars {
+			best, bestTr, found = p, tr, true
+		}
+	}
+	return best, bestTr, found
+}
+
+// ParetoFront returns the points not dominated in (iteration time, GPU
+// count): no other feasible point is both faster and smaller — the frontier
+// a practitioner inspects in Fig. 11.
+func ParetoFront(points []Point) []Point {
+	var front []Point
+	for _, p := range points {
+		if !p.Feasible {
+			continue
+		}
+		dominated := false
+		for _, q := range points {
+			if !q.Feasible {
+				continue
+			}
+			if q.Report.IterTime < p.Report.IterTime && q.Plan.GPUs() <= p.Plan.GPUs() ||
+				q.Report.IterTime <= p.Report.IterTime && q.Plan.GPUs() < p.Plan.GPUs() {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, p)
+		}
+	}
+	return front
+}

@@ -1,0 +1,143 @@
+package gpu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vtrain/internal/hw"
+)
+
+func dev() *Device { return NewDevice(hw.A100SXM80GB()) }
+
+func TestGEMMLargeSquareApproachesCeiling(t *testing.T) {
+	d := dev()
+	k := d.GEMM(1, 8192, 8192, 8192)
+	achieved := k.FLOPs / k.Duration / d.Spec.PeakTensorFLOPS
+	if achieved < 0.70 || achieved > d.MaxTensorEff+1e-9 {
+		t.Fatalf("8Kx8Kx8K GEMM achieves %.2f of peak, want in [0.70, %.2f]", achieved, d.MaxTensorEff)
+	}
+}
+
+func TestGEMMSmallIsInefficient(t *testing.T) {
+	d := dev()
+	k := d.GEMM(1, 64, 64, 64)
+	achieved := k.FLOPs / k.Duration / d.Spec.PeakTensorFLOPS
+	if achieved > 0.05 {
+		t.Fatalf("tiny GEMM achieves %.3f of peak, expected < 0.05 (memory/quantization bound)", achieved)
+	}
+}
+
+func TestGEMMTileQuantizationPenalty(t *testing.T) {
+	d := dev()
+	// At SM saturation, a 129-wide N wastes nearly half of the second
+	// 128-column tile; per-flop time must be worse than the aligned
+	// shape. (Below saturation the extra CTA parallelism hides the
+	// waste, as on real hardware.)
+	aligned := d.GEMM(1, 108*128, 128, 4096)
+	ragged := d.GEMM(1, 108*128, 129, 4096)
+	perFlopAligned := aligned.Duration / aligned.FLOPs
+	perFlopRagged := ragged.Duration / ragged.FLOPs
+	if perFlopRagged <= perFlopAligned {
+		t.Fatalf("ragged GEMM per-flop time %.3g not worse than aligned %.3g", perFlopRagged, perFlopAligned)
+	}
+}
+
+func TestGEMMDurationMonotoneInK(t *testing.T) {
+	f := func(k16 uint16) bool {
+		d := dev()
+		k := int(k16)%4096 + 1
+		a := d.GEMM(1, 1024, 1024, k)
+		b := d.GEMM(1, 1024, 1024, k+128)
+		return b.Duration > a.Duration
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGEMMBatchClamp(t *testing.T) {
+	d := dev()
+	if got, want := d.GEMM(0, 128, 128, 128).Duration, d.GEMM(1, 128, 128, 128).Duration; got != want {
+		t.Fatal("batch 0 must clamp to 1")
+	}
+}
+
+func TestGEMMFLOPsExact(t *testing.T) {
+	d := dev()
+	k := d.GEMM(3, 100, 200, 50)
+	if want := 2.0 * 3 * 100 * 200 * 50; k.FLOPs != want {
+		t.Fatalf("FLOPs = %g, want %g", k.FLOPs, want)
+	}
+}
+
+func TestMemoryBoundKernels(t *testing.T) {
+	d := dev()
+	// All streaming kernels must be within 30% of the bandwidth bound
+	// and never exceed it.
+	kernels := []Kernel{
+		d.Elementwise("relu", 1<<24, 4, 1),
+		d.Softmax(1<<14, 2048),
+		d.LayerNorm(1<<14, 4096),
+		d.Embedding(1<<20, 1024),
+		d.AdamStep(1 << 26),
+	}
+	for _, k := range kernels {
+		bound := k.Bytes / (d.Spec.MemBandwidth * d.MemEff)
+		if k.Duration < bound-1e-12 {
+			t.Errorf("%s: duration %.3g below bandwidth bound %.3g", k.Name, k.Duration, bound)
+		}
+		if k.Duration > 1.3*bound {
+			t.Errorf("%s: duration %.3g far above bandwidth bound %.3g (should be memory bound)", k.Name, k.Duration, bound)
+		}
+	}
+}
+
+func TestElementwiseComputeBoundCase(t *testing.T) {
+	d := dev()
+	// Absurd flops-per-elem flips the kernel to compute bound.
+	k := d.Elementwise("heavy", 1<<20, 4, 1e6)
+	if math.Abs(k.Duration-k.FLOPs/d.Spec.PeakVectorFLOPS) > 1e-12 {
+		t.Fatal("compute-heavy elementwise must be compute bound")
+	}
+}
+
+func TestKernelNamesDistinguishShapes(t *testing.T) {
+	d := dev()
+	a := d.GEMM(1, 128, 256, 512).Name
+	b := d.GEMM(1, 128, 256, 1024).Name
+	if a == b {
+		t.Fatal("kernel names must encode shapes for CUPTI-style traces")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	d := dev()
+	a := d.GEMM(4, 2048, 512, 768)
+	b := d.GEMM(4, 2048, 512, 768)
+	if a != b {
+		t.Fatal("kernel timing must be deterministic")
+	}
+}
+
+func TestDurationsAlwaysPositive(t *testing.T) {
+	f := func(b, m, n, k uint8) bool {
+		d := dev()
+		kn := d.GEMM(int(b)%8+1, int(m)+1, int(n)+1, int(k)+1)
+		return kn.Duration > 0 && !math.IsNaN(kn.Duration) && !math.IsInf(kn.Duration, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaveQuantization(t *testing.T) {
+	d := dev()
+	// 109 CTAs on 108 SMs needs two waves: per-flop efficiency drops
+	// sharply versus 108 CTAs.
+	e108 := d.gemmEfficiency(108, 128, 128, 4096)
+	e109 := d.gemmEfficiency(109, 128, 128, 4096)
+	if e109 >= e108*0.65 {
+		t.Fatalf("wave quantization too weak: 108 CTAs %.3f vs 109 CTAs %.3f", e108, e109)
+	}
+}

@@ -1,0 +1,135 @@
+// Package hw describes the hardware substrate vTrain simulates against:
+// GPU devices, multi-GPU server nodes, and multi-node clusters.
+//
+// The paper's testbed is an NVIDIA A100-based system: 8-GPU DGX-style nodes
+// connected internally by NVLink/NVSwitch and externally by four 200 Gbps
+// InfiniBand HCAs arranged in a two-level non-blocking fat tree. All of those
+// machines are modeled here as plain data: the kernel-level timing model in
+// internal/gpu and the collective-communication models in internal/comm
+// consume these descriptions.
+package hw
+
+import "fmt"
+
+// GPU describes a single accelerator device. Times derived from a GPU are
+// functions of these published datasheet numbers plus the empirical
+// efficiency factors in internal/gpu.
+type GPU struct {
+	// Name is the marketing name, e.g. "A100-SXM4-80GB".
+	Name string
+	// PeakTensorFLOPS is the peak dense FP16 tensor-core throughput in
+	// FLOP/s (for the A100: 312e12).
+	PeakTensorFLOPS float64
+	// PeakVectorFLOPS is the peak non-tensor-core FP32 throughput in
+	// FLOP/s, used by element-wise kernels (A100: 19.5e12).
+	PeakVectorFLOPS float64
+	// MemBandwidth is HBM bandwidth in bytes/s (A100 80GB: ~2.0e12).
+	MemBandwidth float64
+	// MemCapacity is device memory in bytes.
+	MemCapacity uint64
+	// SMCount is the number of streaming multiprocessors; it drives wave
+	// quantization in the GEMM model (A100: 108).
+	SMCount int
+	// KernelLaunchOverhead is the fixed host-side cost of launching one
+	// kernel, in seconds (~4 microseconds on a busy training node).
+	KernelLaunchOverhead float64
+}
+
+// Node is a multi-GPU server.
+type Node struct {
+	// GPU is the device type installed; nodes are homogeneous.
+	GPU GPU
+	// GPUsPerNode is the device count (8 for DGX A100).
+	GPUsPerNode int
+	// NVLinkBandwidth is the per-GPU intra-node interconnect bandwidth in
+	// bytes/s usable by collectives (A100 NVSwitch: 300 GB/s per
+	// direction; NCCL ring all-reduce achieves ~230-250 GB/s bus
+	// bandwidth, which the comm profile table captures).
+	NVLinkBandwidth float64
+	// NVLinkLatency is the per-hop latency of the intra-node fabric in
+	// seconds (a few microseconds including NCCL kernel launch).
+	NVLinkLatency float64
+}
+
+// Cluster is a multi-node training system.
+type Cluster struct {
+	Node Node
+	// NodeCount is the number of server nodes.
+	NodeCount int
+	// InterNodeBandwidth is the aggregate per-node network bandwidth in
+	// bytes/s (paper: 4 x 200 Gbps HDR InfiniBand = 100 GB/s).
+	InterNodeBandwidth float64
+	// InterNodeLatency is the base latency of an inter-node transfer in
+	// seconds.
+	InterNodeLatency float64
+	// Alpha is the bandwidth-effectiveness factor from Eq. 1; the paper
+	// sweeps 0.1..1.0 and settles on 1.0 for its fat-tree testbed.
+	Alpha float64
+	// DollarsPerGPUHour prices rented GPU time. The paper uses AWS EC2
+	// P4d as the proxy: Table I shows 2,240 GPUs at $11,200/hour, i.e.
+	// $5 per GPU-hour.
+	DollarsPerGPUHour float64
+}
+
+// TotalGPUs returns the number of GPUs in the cluster.
+func (c Cluster) TotalGPUs() int { return c.NodeCount * c.Node.GPUsPerNode }
+
+// Validate reports an error for physically meaningless descriptions.
+func (c Cluster) Validate() error {
+	if c.NodeCount <= 0 {
+		return fmt.Errorf("hw: cluster needs at least one node, got %d", c.NodeCount)
+	}
+	if c.Node.GPUsPerNode <= 0 {
+		return fmt.Errorf("hw: node needs at least one GPU, got %d", c.Node.GPUsPerNode)
+	}
+	if c.Node.GPU.PeakTensorFLOPS <= 0 || c.Node.GPU.MemBandwidth <= 0 {
+		return fmt.Errorf("hw: GPU %q has non-positive peak throughput", c.Node.GPU.Name)
+	}
+	if c.Node.GPU.MemCapacity == 0 {
+		return fmt.Errorf("hw: GPU %q has zero memory capacity", c.Node.GPU.Name)
+	}
+	if c.InterNodeBandwidth <= 0 && c.NodeCount > 1 {
+		return fmt.Errorf("hw: multi-node cluster needs inter-node bandwidth")
+	}
+	if c.Alpha <= 0 || c.Alpha > 1 {
+		return fmt.Errorf("hw: bandwidth effectiveness factor alpha must be in (0,1], got %v", c.Alpha)
+	}
+	return nil
+}
+
+// A100SXM80GB returns the datasheet description of the paper's GPU.
+func A100SXM80GB() GPU {
+	return GPU{
+		Name:                 "A100-SXM4-80GB",
+		PeakTensorFLOPS:      312e12,
+		PeakVectorFLOPS:      19.5e12,
+		MemBandwidth:         2.0e12,
+		MemCapacity:          80 << 30,
+		SMCount:              108,
+		KernelLaunchOverhead: 4e-6,
+	}
+}
+
+// DGXA100 returns an 8-GPU NVSwitch node matching the paper's testbed.
+func DGXA100() Node {
+	return Node{
+		GPU:             A100SXM80GB(),
+		GPUsPerNode:     8,
+		NVLinkBandwidth: 240e9, // achievable NCCL bus bandwidth
+		NVLinkLatency:   8e-6,
+	}
+}
+
+// PaperCluster returns an n-node cluster matching Section IV's testbed:
+// DGX A100 nodes, 4 x 200 Gbps HDR InfiniBand per node in a two-level
+// non-blocking fat tree, alpha = 1.0, $5/GPU-hour.
+func PaperCluster(nodes int) Cluster {
+	return Cluster{
+		Node:               DGXA100(),
+		NodeCount:          nodes,
+		InterNodeBandwidth: 100e9, // 800 Gbps
+		InterNodeLatency:   12e-6,
+		Alpha:              1.0,
+		DollarsPerGPUHour:  5.0,
+	}
+}

@@ -1,0 +1,66 @@
+package hw
+
+import "testing"
+
+func TestPaperClusterShape(t *testing.T) {
+	c := PaperCluster(64)
+	if got, want := c.TotalGPUs(), 512; got != want {
+		t.Fatalf("TotalGPUs = %d, want %d (Section IV multi-node testbed)", got, want)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 x 200 Gbps HDR InfiniBand = 100 GB/s.
+	if c.InterNodeBandwidth != 100e9 {
+		t.Fatalf("InterNodeBandwidth = %g, want 100e9", c.InterNodeBandwidth)
+	}
+	// Table I pricing: 2,240 GPUs at $11,200/hour => $5/GPU-hour.
+	if c.DollarsPerGPUHour != 5.0 {
+		t.Fatalf("DollarsPerGPUHour = %v, want 5.0", c.DollarsPerGPUHour)
+	}
+}
+
+func TestA100Datasheet(t *testing.T) {
+	g := A100SXM80GB()
+	if g.PeakTensorFLOPS != 312e12 {
+		t.Errorf("PeakTensorFLOPS = %g, want 312e12", g.PeakTensorFLOPS)
+	}
+	if g.MemCapacity != 80<<30 {
+		t.Errorf("MemCapacity = %d, want 80 GiB", g.MemCapacity)
+	}
+	if g.SMCount != 108 {
+		t.Errorf("SMCount = %d, want 108", g.SMCount)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Cluster)
+	}{
+		{"zero nodes", func(c *Cluster) { c.NodeCount = 0 }},
+		{"zero gpus per node", func(c *Cluster) { c.Node.GPUsPerNode = 0 }},
+		{"zero peak flops", func(c *Cluster) { c.Node.GPU.PeakTensorFLOPS = 0 }},
+		{"zero memory", func(c *Cluster) { c.Node.GPU.MemCapacity = 0 }},
+		{"zero inter-node bw multi-node", func(c *Cluster) { c.InterNodeBandwidth = 0 }},
+		{"alpha zero", func(c *Cluster) { c.Alpha = 0 }},
+		{"alpha above one", func(c *Cluster) { c.Alpha = 1.5 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			c := PaperCluster(4)
+			tc.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+}
+
+func TestSingleNodeNeedsNoInterconnect(t *testing.T) {
+	c := PaperCluster(1)
+	c.InterNodeBandwidth = 0
+	if err := c.Validate(); err != nil {
+		t.Fatalf("single-node cluster should not require inter-node bandwidth: %v", err)
+	}
+}

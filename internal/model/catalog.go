@@ -1,0 +1,65 @@
+package model
+
+// Catalog of the model configurations that appear in the paper's
+// evaluation. Hyperparameters follow Megatron-LM (Narayanan et al., SC'21)
+// table 1, the MT-NLG paper, and Table III of the vTrain paper.
+
+// megatronVocab is the padded GPT-2 BPE vocabulary Megatron-LM uses.
+const megatronVocab = 51200
+
+// GPT3175B is OpenAI's GPT-3 with 175B parameters (Fig. 1).
+func GPT3175B() Config {
+	return Config{Name: "GPT-3 175B", Hidden: 12288, Layers: 96, SeqLen: 2048, Heads: 96, Vocab: megatronVocab}
+}
+
+// MTNLG530B is Megatron-Turing NLG 530B (case study 1): h=20480, L=105,
+// n=128, s=2048.
+func MTNLG530B() Config {
+	return Config{Name: "MT-NLG 530B", Hidden: 20480, Layers: 105, SeqLen: 2048, Heads: 128, Vocab: megatronVocab}
+}
+
+// Megatron3_6B is the 3.6B-parameter scale-down from [40] used in Table II.
+func Megatron3_6B() Config {
+	return Config{Name: "Megatron 3.6B", Hidden: 3072, Layers: 30, SeqLen: 2048, Heads: 32, Vocab: megatronVocab}
+}
+
+// Megatron18_4B is the 18.4B-parameter configuration (Tables II and III).
+func Megatron18_4B() Config {
+	return Config{Name: "Megatron 18.4B", Hidden: 6144, Layers: 40, SeqLen: 2048, Heads: 48, Vocab: megatronVocab}
+}
+
+// Megatron39_1B is the 39.1B-parameter configuration (Tables II and III).
+func Megatron39_1B() Config {
+	return Config{Name: "Megatron 39.1B", Hidden: 8192, Layers: 48, SeqLen: 2048, Heads: 64, Vocab: megatronVocab}
+}
+
+// Megatron81_2B is the 81.2B-parameter configuration from Table III.
+func Megatron81_2B() Config {
+	return Config{Name: "Megatron 81.2B", Hidden: 10240, Layers: 64, SeqLen: 2048, Heads: 80, Vocab: megatronVocab}
+}
+
+// Custom builds an anonymous configuration with the Megatron vocabulary,
+// used by the Chinchilla search which sweeps (h, L) freely.
+func Custom(hidden, layers, seqLen, heads int) Config {
+	return Config{
+		Name:   "custom",
+		Hidden: hidden, Layers: layers, SeqLen: seqLen, Heads: heads,
+		Vocab: megatronVocab,
+	}
+}
+
+// TableIII returns the three cluster-experiment models with their global
+// batch sizes (Table III of the paper).
+func TableIII() []struct {
+	Config Config
+	Batch  int
+} {
+	return []struct {
+		Config Config
+		Batch  int
+	}{
+		{Megatron18_4B(), 1024},
+		{Megatron39_1B(), 1536},
+		{Megatron81_2B(), 1792},
+	}
+}

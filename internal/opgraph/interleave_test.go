@@ -1,0 +1,198 @@
+package opgraph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+	"vtrain/internal/profiler"
+)
+
+func interleavedPlan(p, v, nmb int) parallel.Plan {
+	return parallel.Plan{
+		Tensor: 1, Data: 1, Pipeline: p, MicroBatch: 1, GlobalBatch: nmb,
+		Schedule: parallel.OneFOneB, VirtualStages: v,
+	}
+}
+
+func TestInterleavedSlotsMatchMegatron(t *testing.T) {
+	// p=2, v=2, nmb=2. Last device (stage 1) warms up with
+	// 2*(2-1-1) + (2-1)*2 = 2 forwards, then alternates:
+	// F(m0,c0) F(m1,c0) F(m0,c1) B(m0,c1) F(m1,c1) B(m1,c1) B(m0,c0) B(m1,c0).
+	got := interleavedSlots(1, 2, 2, 2)
+	want := []slot{
+		{forward: true, micro: 0, chunk: 0},
+		{forward: true, micro: 1, chunk: 0},
+		{forward: true, micro: 0, chunk: 1},
+		{forward: false, micro: 0, chunk: 1},
+		{forward: true, micro: 1, chunk: 1},
+		{forward: false, micro: 1, chunk: 1},
+		{forward: false, micro: 0, chunk: 0},
+		{forward: false, micro: 1, chunk: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("slots = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slot %d = %+v, want %+v (full: %+v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestInterleavedSlotsCoverEveryChunkMicroOnce(t *testing.T) {
+	f := func(st, p8, v8, g8 uint8) bool {
+		p := int(p8)%4 + 2
+		stage := int(st) % p
+		v := int(v8)%3 + 2
+		nmb := (int(g8)%3 + 1) * p // divisible by p
+		slots := interleavedSlots(stage, p, v, nmb)
+		if len(slots) != 2*nmb*v {
+			return false
+		}
+		fwd := make(map[[2]int]int)
+		bwd := make(map[[2]int]int)
+		for _, s := range slots {
+			if s.micro < 0 || s.micro >= nmb || s.chunk < 0 || s.chunk >= v {
+				return false
+			}
+			if s.forward {
+				fwd[[2]int{s.micro, s.chunk}]++
+			} else {
+				bwd[[2]int{s.micro, s.chunk}]++
+			}
+		}
+		for j := 0; j < nmb; j++ {
+			for c := 0; c < v; c++ {
+				if fwd[[2]int{j, c}] != 1 || bwd[[2]int{j, c}] != 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedForwardPrecedesBackwardPerChunk(t *testing.T) {
+	f := func(st, p8, v8 uint8) bool {
+		p := int(p8)%4 + 2
+		stage := int(st) % p
+		v := int(v8)%3 + 2
+		nmb := 2 * p
+		seen := make(map[[2]int]bool)
+		for _, s := range interleavedSlots(stage, p, v, nmb) {
+			k := [2]int{s.micro, s.chunk}
+			if s.forward {
+				seen[k] = true
+			} else if !seen[k] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedGraphBuilds(t *testing.T) {
+	m := tinyModel() // 4 layers
+	plan := interleavedPlan(2, 2, 4)
+	g := build(t, m, plan, 1)
+	checkAcyclic(t, g)
+
+	// v chunks x (p-1 fwd + p-1 bwd internal boundaries) plus the
+	// wrap-around hops: total virtual boundaries = p*v-1 per direction.
+	wantP2P := 2 * (2*2 - 1) * plan.MicroBatches()
+	if got := count(g, P2P); got != wantP2P {
+		t.Fatalf("interleaved P2P nodes = %d, want %d", got, wantP2P)
+	}
+
+	// Embedding still on stage 0 (chunk 0), LM head on the last device
+	// (chunk v-1).
+	for _, n := range g.Nodes {
+		if n.Kind != Compute {
+			continue
+		}
+		switch n.Op.Kind {
+		case profiler.FwdEmbedding:
+			if n.Stage != 0 || n.Chunk != 0 {
+				t.Fatalf("embedding on (stage %d, chunk %d)", n.Stage, n.Chunk)
+			}
+		case profiler.FwdLMHead:
+			if n.Stage != 1 || n.Chunk != 1 {
+				t.Fatalf("LM head on (stage %d, chunk %d)", n.Stage, n.Chunk)
+			}
+		}
+	}
+}
+
+func TestInterleavedLayerCoverage(t *testing.T) {
+	// Every decoder layer appears exactly nmb times forward and backward.
+	m := model.Config{Name: "cov", Hidden: 128, Layers: 8, SeqLen: 64, Heads: 2, Vocab: 256}
+	plan := interleavedPlan(2, 2, 2)
+	g := build(t, m, plan, 1)
+	fwdMHA := make(map[string]int)
+	for _, n := range g.Nodes {
+		if n.Kind == Compute && n.Op.Kind == profiler.FwdMHA {
+			fwdMHA[n.Label]++
+		}
+	}
+	// 8 layers x 2 micro-batches of distinct labels, each once.
+	if len(fwdMHA) != 16 {
+		t.Fatalf("distinct FwdMHA labels = %d, want 16", len(fwdMHA))
+	}
+	for label, c := range fwdMHA {
+		if c != 1 {
+			t.Fatalf("label %q appears %d times", label, c)
+		}
+	}
+}
+
+func TestInterleavedGraphAcyclicProperty(t *testing.T) {
+	c := hw.PaperCluster(8)
+	f := func(p8, v8, g8 uint8) bool {
+		p := int(p8)%2 + 2 // 2..3
+		v := int(v8)%2 + 2 // 2..3
+		layers := p * v * (int(g8)%2 + 1)
+		m := model.Config{Name: "q", Hidden: 64, Layers: layers, SeqLen: 32, Heads: 2, Vocab: 64}
+		nmb := p * (int(g8)%3 + 1)
+		plan := parallel.Plan{
+			Tensor: 1, Data: 1, Pipeline: p, MicroBatch: 1, GlobalBatch: nmb,
+			VirtualStages: v,
+		}
+		g, err := Build(m, plan, c)
+		if err != nil {
+			return false
+		}
+		for _, n := range g.Nodes {
+			for _, d := range n.Deps {
+				if d >= n.ID {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterleavedChunkGradientBuckets(t *testing.T) {
+	m := model.Config{Name: "b", Hidden: 128, Layers: 8, SeqLen: 64, Heads: 2, Vocab: 256}
+	plan := parallel.Plan{
+		Tensor: 1, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 4,
+		VirtualStages: 2, GradientBuckets: 4,
+	}
+	g := build(t, m, plan, 2)
+	// One bucket per chunk per stage: 2 stages x 2 chunks.
+	if got := count(g, AllReduceDP); got != 4 {
+		t.Fatalf("interleaved DP All-Reduces = %d, want 4", got)
+	}
+}

@@ -1,0 +1,87 @@
+package parallel
+
+// Rank topology: how the t·d·p logical ranks map onto physical GPUs and
+// which communication groups each rank belongs to. Megatron-LM orders ranks
+// tensor-fastest, then data, then pipeline, so that tensor-parallel groups
+// are contiguous GPUs inside one node (Fig. 3 of the paper).
+
+// Rank identifies one GPU's coordinates in the 3D-parallel grid.
+type Rank struct {
+	// Tensor is the tensor-parallel index in [0, t).
+	Tensor int
+	// Data is the data-parallel index in [0, d).
+	Data int
+	// Pipeline is the pipeline-stage index in [0, p).
+	Pipeline int
+}
+
+// Grid precomputes the rank layout of a plan.
+type Grid struct {
+	t, d, p int
+}
+
+// NewGrid builds the rank grid of a plan.
+func NewGrid(p Plan) Grid { return Grid{t: p.Tensor, d: p.Data, p: p.Pipeline} }
+
+// Size returns the total rank count.
+func (g Grid) Size() int { return g.t * g.d * g.p }
+
+// GlobalRank flattens coordinates (tensor-fastest order).
+func (g Grid) GlobalRank(r Rank) int {
+	return r.Tensor + g.t*(r.Data+g.d*r.Pipeline)
+}
+
+// RankOf inverts GlobalRank.
+func (g Grid) RankOf(global int) Rank {
+	t := global % g.t
+	rest := global / g.t
+	return Rank{Tensor: t, Data: rest % g.d, Pipeline: rest / g.d}
+}
+
+// TensorGroup returns the global ranks in r's tensor-parallel group (the
+// ranks that All-Reduce activations over NVLink).
+func (g Grid) TensorGroup(r Rank) []int {
+	out := make([]int, g.t)
+	for i := 0; i < g.t; i++ {
+		out[i] = g.GlobalRank(Rank{Tensor: i, Data: r.Data, Pipeline: r.Pipeline})
+	}
+	return out
+}
+
+// DataGroup returns the global ranks in r's data-parallel group (the ranks
+// that All-Reduce weight gradients).
+func (g Grid) DataGroup(r Rank) []int {
+	out := make([]int, g.d)
+	for i := 0; i < g.d; i++ {
+		out[i] = g.GlobalRank(Rank{Tensor: r.Tensor, Data: i, Pipeline: r.Pipeline})
+	}
+	return out
+}
+
+// PipelineGroup returns the global ranks in r's pipeline, stage order (the
+// ranks that exchange Send-Receive activations).
+func (g Grid) PipelineGroup(r Rank) []int {
+	out := make([]int, g.p)
+	for i := 0; i < g.p; i++ {
+		out[i] = g.GlobalRank(Rank{Tensor: r.Tensor, Data: r.Data, Pipeline: i})
+	}
+	return out
+}
+
+// NodeOf returns the node index hosting a global rank given gpusPerNode,
+// under the contiguous placement Megatron uses.
+func NodeOf(global, gpusPerNode int) int { return global / gpusPerNode }
+
+// DataGroupSpansNodes reports whether a data-parallel group crosses node
+// boundaries (and therefore uses the inter-node analytical model rather
+// than the NVLink profile).
+func (g Grid) DataGroupSpansNodes(r Rank, gpusPerNode int) bool {
+	group := g.DataGroup(r)
+	first := NodeOf(group[0], gpusPerNode)
+	for _, gr := range group[1:] {
+		if NodeOf(gr, gpusPerNode) != first {
+			return true
+		}
+	}
+	return false
+}

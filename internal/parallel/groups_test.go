@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGridRoundTrip(t *testing.T) {
+	g := NewGrid(Plan{Tensor: 4, Data: 2, Pipeline: 3})
+	for r := 0; r < g.Size(); r++ {
+		if got := g.GlobalRank(g.RankOf(r)); got != r {
+			t.Fatalf("round trip %d -> %v -> %d", r, g.RankOf(r), got)
+		}
+	}
+}
+
+func TestTensorGroupContiguous(t *testing.T) {
+	// Tensor-parallel groups must be contiguous GPU ranks (intra-node
+	// NVLink placement, Fig. 3).
+	g := NewGrid(Plan{Tensor: 4, Data: 2, Pipeline: 3})
+	group := g.TensorGroup(Rank{Tensor: 1, Data: 1, Pipeline: 2})
+	for i := 1; i < len(group); i++ {
+		if group[i] != group[i-1]+1 {
+			t.Fatalf("tensor group not contiguous: %v", group)
+		}
+	}
+}
+
+func TestGroupSizesAndMembership(t *testing.T) {
+	p := Plan{Tensor: 2, Data: 3, Pipeline: 4}
+	g := NewGrid(p)
+	r := Rank{Tensor: 1, Data: 2, Pipeline: 3}
+	if got := len(g.TensorGroup(r)); got != 2 {
+		t.Errorf("tensor group size %d, want 2", got)
+	}
+	if got := len(g.DataGroup(r)); got != 3 {
+		t.Errorf("data group size %d, want 3", got)
+	}
+	if got := len(g.PipelineGroup(r)); got != 4 {
+		t.Errorf("pipeline group size %d, want 4", got)
+	}
+	self := g.GlobalRank(r)
+	found := false
+	for _, m := range g.DataGroup(r) {
+		if m == self {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("rank missing from its own data group")
+	}
+}
+
+func TestGroupsPartitionAllRanks(t *testing.T) {
+	// Property: tensor groups partition the rank space (every rank in
+	// exactly one group).
+	f := func(t8, d8, p8 uint8) bool {
+		plan := Plan{Tensor: int(t8)%4 + 1, Data: int(d8)%4 + 1, Pipeline: int(p8)%4 + 1}
+		g := NewGrid(plan)
+		seen := make(map[int]int)
+		for dd := 0; dd < plan.Data; dd++ {
+			for pp := 0; pp < plan.Pipeline; pp++ {
+				for _, m := range g.TensorGroup(Rank{Data: dd, Pipeline: pp}) {
+					seen[m]++
+				}
+			}
+		}
+		if len(seen) != g.Size() {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDataGroupSpansNodes(t *testing.T) {
+	// t=8, d=2 on 8-GPU nodes: the DP group strides across nodes.
+	g := NewGrid(Plan{Tensor: 8, Data: 2, Pipeline: 1})
+	if !g.DataGroupSpansNodes(Rank{}, 8) {
+		t.Fatal("t=8,d=2 data group must span nodes")
+	}
+	// t=2, d=4 fits inside one 8-GPU node.
+	g = NewGrid(Plan{Tensor: 2, Data: 4, Pipeline: 1})
+	if g.DataGroupSpansNodes(Rank{}, 8) {
+		t.Fatal("t=2,d=4 data group must stay inside a node")
+	}
+}
+
+func TestNodeOf(t *testing.T) {
+	if NodeOf(0, 8) != 0 || NodeOf(7, 8) != 0 || NodeOf(8, 8) != 1 || NodeOf(63, 8) != 7 {
+		t.Fatal("NodeOf contiguous placement broken")
+	}
+}

@@ -1,0 +1,79 @@
+package parallel
+
+import (
+	"strings"
+	"testing"
+
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+)
+
+func TestInterleavedValidation(t *testing.T) {
+	m := model.Config{Name: "i", Hidden: 256, Layers: 8, SeqLen: 128, Heads: 4, Vocab: 512}
+	c := hw.PaperCluster(2)
+	base := Plan{Tensor: 1, Data: 1, Pipeline: 2, MicroBatch: 1, GlobalBatch: 4, VirtualStages: 2}
+	if err := base.Validate(m, c); err != nil {
+		t.Fatalf("valid interleaved plan rejected: %v", err)
+	}
+
+	tests := []struct {
+		name   string
+		mutate func(*Plan)
+	}{
+		{"gpipe", func(p *Plan) { p.Schedule = GPipe }},
+		{"negative v", func(p *Plan) { p.VirtualStages = -1 }},
+		{"no pipeline", func(p *Plan) { p.Pipeline = 1; p.VirtualStages = 2 }},
+		{"layers not divisible", func(p *Plan) { p.VirtualStages = 3 }},
+		{"micro-batches not divisible by p", func(p *Plan) { p.GlobalBatch = 3 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := base
+			tc.mutate(&p)
+			if err := p.Validate(m, c); err == nil {
+				t.Fatalf("plan %s should be rejected", p)
+			}
+		})
+	}
+}
+
+func TestInterleavedHelpers(t *testing.T) {
+	p := Plan{Tensor: 1, Data: 1, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, VirtualStages: 2}
+	if !p.Interleaved() {
+		t.Fatal("v=2 must report interleaved")
+	}
+	if (Plan{VirtualStages: 1}).Interleaved() || (Plan{}).Interleaved() {
+		t.Fatal("v<=1 must not report interleaved")
+	}
+	m := model.Config{Name: "i", Hidden: 256, Layers: 8, SeqLen: 128, Heads: 4, Vocab: 512}
+	if got := p.ChunkLayers(m); got != 2 { // 8 / (2*2)
+		t.Fatalf("ChunkLayers = %d, want 2", got)
+	}
+	flat := Plan{Tensor: 1, Data: 1, Pipeline: 2}
+	if got := flat.ChunkLayers(m); got != 4 {
+		t.Fatalf("non-interleaved ChunkLayers = %d, want 4", got)
+	}
+	if !strings.Contains(p.String(), "v=2") {
+		t.Fatalf("String() = %q, should mention v", p.String())
+	}
+}
+
+func TestInterleavedInFlight(t *testing.T) {
+	// p=4, v=2, plenty of micro-batches: in-flight = ceil((p*v+p-1)/v)
+	// = ceil(11/2) = 6 whole-stage activations, vs 4 without
+	// interleaving.
+	p := Plan{Tensor: 1, Data: 1, Pipeline: 4, MicroBatch: 1, GlobalBatch: 32, VirtualStages: 2}
+	if got := p.InFlight(); got != 6 {
+		t.Fatalf("interleaved InFlight = %d, want 6", got)
+	}
+	p.VirtualStages = 0
+	if got := p.InFlight(); got != 4 {
+		t.Fatalf("plain InFlight = %d, want 4", got)
+	}
+	// Still capped by the micro-batch count.
+	p.VirtualStages = 2
+	p.GlobalBatch = 4
+	if got := p.InFlight(); got != 4 {
+		t.Fatalf("capped InFlight = %d, want 4", got)
+	}
+}

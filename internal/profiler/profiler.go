@@ -1,0 +1,214 @@
+package profiler
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"vtrain/internal/gpu"
+)
+
+// Task is one profiled kernel execution — a row in the operator-to-task
+// lookup table. Duration includes the kernel-launch overhead the host pays
+// per launch, matching what end-to-end CUPTI timestamps capture.
+type Task struct {
+	// Kernel is the simulated CUPTI record.
+	Kernel gpu.Kernel
+	// Duration is the effective cost charged on the device timeline.
+	Duration float64
+}
+
+// Profiler executes operators on the target device model and caches their
+// kernel decompositions.
+type Profiler struct {
+	dev *gpu.Device
+
+	mu     sync.Mutex
+	cache  map[Key][]Task
+	misses int
+	hits   int
+}
+
+// New builds a profiler for the device.
+func New(dev *gpu.Device) *Profiler {
+	return &Profiler{dev: dev, cache: make(map[Key][]Task)}
+}
+
+// Profile returns the kernel tasks of an operator, executing (i.e.
+// evaluating the device model for) the operator only on the first request
+// for its shape — the necessary-operator optimization.
+func (p *Profiler) Profile(op Operator) []Task {
+	key := op.Key()
+	p.mu.Lock()
+	if ts, ok := p.cache[key]; ok {
+		p.hits++
+		p.mu.Unlock()
+		return ts
+	}
+	p.misses++
+	p.mu.Unlock()
+
+	kernels := p.decompose(op)
+	tasks := make([]Task, len(kernels))
+	for i, k := range kernels {
+		tasks[i] = Task{Kernel: k, Duration: k.Duration + p.dev.Spec.KernelLaunchOverhead}
+	}
+
+	p.mu.Lock()
+	p.cache[key] = tasks
+	p.mu.Unlock()
+	return tasks
+}
+
+// Duration returns the summed task durations of an operator — the
+// operator-granularity cost used by the fast simulation fidelity.
+func (p *Profiler) Duration(op Operator) float64 {
+	var sum float64
+	for _, t := range p.Profile(op) {
+		sum += t.Duration
+	}
+	return sum
+}
+
+// FLOPs returns the arithmetic work of one execution of the operator.
+func (p *Profiler) FLOPs(op Operator) float64 {
+	var sum float64
+	for _, t := range p.Profile(op) {
+		sum += t.Kernel.FLOPs
+	}
+	return sum
+}
+
+// CacheStats reports (distinct operators profiled, cache hits) — the paper's
+// O(1) claim is observable here: misses stays constant as L and the number
+// of micro-batches grow.
+func (p *Profiler) CacheStats() (misses, hits int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.misses, p.hits
+}
+
+// Table materializes the operator-to-task lookup table for inspection,
+// sorted by operator kind then hidden size.
+func (p *Profiler) Table() []TableEntry {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]TableEntry, 0, len(p.cache))
+	for k, ts := range p.cache {
+		out = append(out, TableEntry{Key: k, Tasks: ts})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Key.Kind != out[j].Key.Kind {
+			return out[i].Key.Kind < out[j].Key.Kind
+		}
+		return out[i].Key.Hidden < out[j].Key.Hidden
+	})
+	return out
+}
+
+// TableEntry is one operator-to-task lookup table row.
+type TableEntry struct {
+	Key   Key
+	Tasks []Task
+}
+
+// decompose maps an operator to the kernel sequence its Megatron
+// implementation launches on one GPU, with tensor-parallel sharding t.
+func (p *Profiler) decompose(op Operator) []gpu.Kernel {
+	m := op.Model
+	b := op.MicroBatch
+	t := op.Tensor
+	if t < 1 {
+		t = 1
+	}
+	s := m.SeqLen
+	h := m.Hidden
+	n := m.Heads
+	rows := b * s // token rows in the micro-batch
+	headsLocal := n / t
+	if headsLocal < 1 {
+		headsLocal = 1
+	}
+	dHead := m.HeadDim()
+	d := p.dev
+
+	switch op.Kind {
+	case FwdEmbedding:
+		return []gpu.Kernel{
+			d.Embedding(rows, h),
+			d.Elementwise("pos_embed_add", rows*h, 6, 1),
+			d.Elementwise("embed_dropout", rows*h, 5, 1),
+		}
+	case BwdEmbedding:
+		return []gpu.Kernel{
+			d.Elementwise("embed_dropout_bwd", rows*h, 4, 1),
+			d.Embedding(rows, h), // scatter-add of gradients
+		}
+	case FwdMHA:
+		return []gpu.Kernel{
+			d.LayerNorm(rows, h),
+			d.GEMM(1, rows, 3*h/t, h),         // QKV projection
+			d.GEMM(b*headsLocal, s, s, dHead), // Q x K^T
+			d.Elementwise("scale_mask", b*headsLocal*s*s, 4, 2),
+			d.Softmax(b*headsLocal*s, s),
+			d.Elementwise("attn_dropout", b*headsLocal*s*s, 5, 1),
+			d.GEMM(b*headsLocal, s, dHead, s), // scores x V
+			d.GEMM(1, rows, h, h/t),           // output projection
+			d.Elementwise("proj_dropout_residual", rows*h, 8, 2),
+		}
+	case BwdMHA:
+		return []gpu.Kernel{
+			d.Elementwise("proj_dropout_residual_bwd", rows*h, 6, 2),
+			d.GEMM(1, rows, h/t, h),           // output projection dgrad
+			d.GEMM(1, h/t, h, rows),           // output projection wgrad
+			d.GEMM(b*headsLocal, s, s, dHead), // dScores = dCtx x V^T
+			d.GEMM(b*headsLocal, dHead, s, s), // dV = scores^T x dCtx
+			d.Elementwise("attn_dropout_bwd", b*headsLocal*s*s, 4, 1),
+			d.Softmax(b*headsLocal*s, s), // softmax backward
+			d.Elementwise("scale_mask_bwd", b*headsLocal*s*s, 4, 1),
+			d.GEMM(b*headsLocal, s, dHead, s), // dQ
+			d.GEMM(b*headsLocal, dHead, s, s), // dK
+			d.GEMM(1, rows, h, 3*h/t),         // QKV dgrad
+			d.GEMM(1, h, 3*h/t, rows),         // QKV wgrad
+			d.LayerNorm(rows, h),              // LayerNorm backward
+		}
+	case FwdFFN:
+		return []gpu.Kernel{
+			d.LayerNorm(rows, h),
+			d.GEMM(1, rows, 4*h/t, h), // FC1
+			d.Elementwise("gelu", rows*4*h/t, 4, 8),
+			d.GEMM(1, rows, h, 4*h/t), // FC2
+			d.Elementwise("ffn_dropout_residual", rows*h, 8, 2),
+		}
+	case BwdFFN:
+		return []gpu.Kernel{
+			d.Elementwise("ffn_dropout_residual_bwd", rows*h, 6, 2),
+			d.GEMM(1, rows, 4*h/t, h), // FC2 dgrad
+			d.GEMM(1, 4*h/t, h, rows), // FC2 wgrad (reduced dims swapped)
+			d.Elementwise("gelu_bwd", rows*4*h/t, 6, 10),
+			d.GEMM(1, rows, h, 4*h/t), // FC1 dgrad
+			d.GEMM(1, h, 4*h/t, rows), // FC1 wgrad
+			d.LayerNorm(rows, h),      // LayerNorm backward
+		}
+	case FwdLMHead:
+		vShard := m.Vocab / t
+		return []gpu.Kernel{
+			d.LayerNorm(rows, h),
+			d.GEMM(1, rows, vShard, h), // logits = X x E^T
+			d.Softmax(rows, vShard),    // vocab-parallel cross entropy
+			d.Elementwise("ce_loss", rows, 16, 4),
+		}
+	case BwdLMHead:
+		vShard := m.Vocab / t
+		return []gpu.Kernel{
+			d.Elementwise("ce_loss_bwd", rows*vShard, 4, 2),
+			d.GEMM(1, rows, h, vShard), // dX
+			d.GEMM(1, vShard, h, rows), // dE (tied embedding gradient)
+			d.LayerNorm(rows, h),
+		}
+	case WeightUpdate:
+		return []gpu.Kernel{d.AdamStep(op.Params)}
+	default:
+		panic(fmt.Sprintf("profiler: unknown operator kind %v", op.Kind))
+	}
+}

@@ -1,0 +1,150 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMAPE(t *testing.T) {
+	got, err := MAPE([]float64{90, 110}, []float64{100, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 1e-12 {
+		t.Fatalf("MAPE = %v, want 10", got)
+	}
+}
+
+func TestMAPEPerfect(t *testing.T) {
+	got, err := MAPE([]float64{1, 2, 3}, []float64{1, 2, 3})
+	if err != nil || got != 0 {
+		t.Fatalf("perfect MAPE = %v, %v", got, err)
+	}
+}
+
+func TestMAPEErrors(t *testing.T) {
+	if _, err := MAPE([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+	if _, err := MAPE(nil, nil); err == nil {
+		t.Fatal("empty sample must error")
+	}
+	if _, err := MAPE([]float64{1}, []float64{0}); err == nil {
+		t.Fatal("zero measurement must error")
+	}
+}
+
+func TestR2PerfectAndPoor(t *testing.T) {
+	meas := []float64{1, 2, 3, 4, 5}
+	if r, err := R2(meas, meas); err != nil || math.Abs(r-1) > 1e-12 {
+		t.Fatalf("perfect R2 = %v, %v", r, err)
+	}
+	// Predicting the mean gives R2 = 0.
+	mean := []float64{3, 3, 3, 3, 3}
+	if r, err := R2(mean, meas); err != nil || math.Abs(r) > 1e-12 {
+		t.Fatalf("mean-prediction R2 = %v, %v", r, err)
+	}
+}
+
+func TestR2Errors(t *testing.T) {
+	if _, err := R2([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single sample must error")
+	}
+	if _, err := R2([]float64{1, 2}, []float64{5, 5}); err == nil {
+		t.Fatal("zero-variance measurements must error")
+	}
+	if _, err := R2([]float64{1, 2, 3}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("empty mean should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Mean = %v, want 2", got)
+	}
+}
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	if NewRand(1).Uint64() == NewRand(2).Uint64() {
+		t.Fatal("different seeds should diverge immediately")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnRangeAndPanic(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if v := r.Intn(7); v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestUniform(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 100; i++ {
+		v := r.Uniform(0.5, 1.5)
+		if v < 0.5 || v >= 1.5 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(11)
+	n := 20000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sq/float64(n) - mean*mean
+	if math.Abs(mean-5) > 0.1 {
+		t.Fatalf("Normal mean = %.3f, want ~5", mean)
+	}
+	if math.Abs(variance-4) > 0.3 {
+		t.Fatalf("Normal variance = %.3f, want ~4", variance)
+	}
+}
+
+func TestLogNormalPositive(t *testing.T) {
+	r := NewRand(13)
+	for i := 0; i < 1000; i++ {
+		if r.LogNormal(0, 1) <= 0 {
+			t.Fatal("LogNormal must be positive")
+		}
+	}
+}

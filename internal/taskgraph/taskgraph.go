@@ -1,0 +1,263 @@
+// Package taskgraph lowers an operator-granularity execution graph into the
+// task-granularity execution graph of Section III-D and replays it with the
+// event-driven simulation of Algorithm 1 to estimate single-iteration
+// training time.
+//
+// Each computation operator is replaced by the sequence of profiled kernels
+// from the operator-to-task lookup table; each communication operator
+// becomes a task priced by the communication model. Every logical device
+// (pipeline stage) owns two resources: a compute stream executing kernels
+// in order, and a communication stream, so gradient-bucket All-Reduces can
+// overlap backward computation (Fig. 5a) while tensor-parallel All-Reduces
+// remain serialized through their dependency edges.
+package taskgraph
+
+import (
+	"fmt"
+
+	"vtrain/internal/comm"
+	"vtrain/internal/opgraph"
+	"vtrain/internal/profiler"
+)
+
+// Stream selects which per-device resource a task occupies.
+type Stream int
+
+const (
+	// ComputeStream executes kernels.
+	ComputeStream Stream = iota
+	// CommStream executes collective and point-to-point transfers.
+	CommStream
+)
+
+// Fidelity selects the lowering granularity.
+type Fidelity int
+
+const (
+	// TaskLevel expands every operator into its individual kernels —
+	// the paper's task-granularity graph, used for validation and
+	// detailed single-configuration reports.
+	TaskLevel Fidelity = iota
+	// OperatorLevel keeps one task per operator with the summed kernel
+	// durations — bit-identical iteration times for chained kernels at a
+	// fraction of the cost, used inside design-space sweeps.
+	OperatorLevel
+)
+
+// Task is one vertex of the task-granularity execution graph.
+type Task struct {
+	// ID indexes Graph.Tasks.
+	ID int
+	// Device is the logical device (pipeline stage).
+	Device int
+	// Stream is the device resource the task occupies.
+	Stream Stream
+	// Duration is the execution time in seconds.
+	Duration float64
+	// FLOPs is the arithmetic work (zero for communication).
+	FLOPs float64
+	// CommBytes is the transfer size (zero for computation).
+	CommBytes float64
+	// Source is the originating operator-graph node ID.
+	Source int
+	// Class is the accounting bucket: the operator kind for computation
+	// ("FwdMHA", "WeightUpdate", ...) or the communication kind
+	// ("AllReduceTP", "AllReduceDP", "P2P").
+	Class string
+	// Label is inherited from the operator graph for traces.
+	Label string
+
+	children []int
+	ref      int
+	// ready is the earliest start permitted by dependencies ("start" in
+	// Algorithm 1); mutated during simulation.
+	ready float64
+}
+
+// Children returns the IDs of dependent tasks.
+func (t *Task) Children() []int { return t.children }
+
+// Graph is the task-granularity execution graph.
+type Graph struct {
+	Tasks   []*Task
+	Devices int
+}
+
+// CommTimer prices communication operators during lowering. *comm.Model
+// implements it; the testbed wraps it with contention effects.
+type CommTimer interface {
+	AllReduce(bytes float64, n int, intraNode bool) float64
+	SendRecv(bytes float64, sameNode bool) float64
+}
+
+var _ CommTimer = (*comm.Model)(nil)
+
+// Lower translates the operator graph into a task graph using the
+// operator-to-task lookup table maintained by prof and the communication
+// model cm.
+func Lower(g *opgraph.Graph, prof *profiler.Profiler, cm CommTimer, fid Fidelity) *Graph {
+	tg := &Graph{Devices: g.Stages}
+	// first/last task of each operator-graph node, for edge translation.
+	firstTask := make([]int, len(g.Nodes))
+	lastTask := make([]int, len(g.Nodes))
+
+	addTask := func(t *Task) *Task {
+		t.ID = len(tg.Tasks)
+		tg.Tasks = append(tg.Tasks, t)
+		return t
+	}
+	link := func(from, to int) {
+		tg.Tasks[from].children = append(tg.Tasks[from].children, to)
+		tg.Tasks[to].ref++
+	}
+
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case opgraph.Compute:
+			tasks := prof.Profile(n.Op)
+			class := n.Op.Kind.String()
+			if fid == OperatorLevel || len(tasks) == 1 {
+				var dur, flops float64
+				for _, k := range tasks {
+					dur += k.Duration
+					flops += k.Kernel.FLOPs
+				}
+				t := addTask(&Task{Device: n.Stage, Stream: ComputeStream, Duration: dur, FLOPs: flops, Source: n.ID, Class: class, Label: n.Label})
+				firstTask[n.ID], lastTask[n.ID] = t.ID, t.ID
+			} else {
+				prev := -1
+				for i, k := range tasks {
+					t := addTask(&Task{
+						Device: n.Stage, Stream: ComputeStream,
+						Duration: k.Duration, FLOPs: k.Kernel.FLOPs,
+						Source: n.ID, Class: class,
+						Label: fmt.Sprintf("%s/%s", n.Label, k.Kernel.Name),
+					})
+					if i == 0 {
+						firstTask[n.ID] = t.ID
+					} else {
+						link(prev, t.ID)
+					}
+					prev = t.ID
+				}
+				lastTask[n.ID] = prev
+			}
+		case opgraph.AllReduceTP, opgraph.AllReduceDP:
+			dur := cm.AllReduce(n.Bytes, n.Group, n.IntraNode)
+			t := addTask(&Task{Device: n.Stage, Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: n.ID, Class: n.Kind.String(), Label: n.Label})
+			firstTask[n.ID], lastTask[n.ID] = t.ID, t.ID
+		case opgraph.P2P:
+			dur := cm.SendRecv(n.Bytes, n.IntraNode)
+			t := addTask(&Task{Device: n.Stage, Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: n.ID, Class: n.Kind.String(), Label: n.Label})
+			firstTask[n.ID], lastTask[n.ID] = t.ID, t.ID
+		default:
+			panic(fmt.Sprintf("taskgraph: unknown node kind %v", n.Kind))
+		}
+		// Operator-graph edges: node starts after all its deps finish.
+		for _, d := range n.Deps {
+			link(lastTask[d], firstTask[n.ID])
+		}
+	}
+	return tg
+}
+
+// Result summarizes one simulated iteration.
+type Result struct {
+	// IterTime is the predicted single-iteration training time.
+	IterTime float64
+	// ComputeBusy / CommBusy are per-device busy seconds per stream.
+	ComputeBusy []float64
+	CommBusy    []float64
+	// FLOPs is the total executed arithmetic across all simulated
+	// devices (the folded representative replica set).
+	FLOPs float64
+	// Executed is the number of tasks replayed.
+	Executed int
+	// ClassSeconds attributes busy time to accounting buckets (operator
+	// kinds and communication kinds), summed across devices.
+	ClassSeconds map[string]float64
+}
+
+// Simulate replays the task graph per Algorithm 1: a FIFO ready queue,
+// per-device timelines (split into compute and communication streams), and
+// dependency reference counts. It is deterministic.
+func (g *Graph) Simulate() (Result, error) {
+	res, _, err := g.simulate(false)
+	return res, err
+}
+
+func (g *Graph) simulate(capture bool) (Result, []Span, error) {
+	res := Result{
+		ComputeBusy:  make([]float64, g.Devices),
+		CommBusy:     make([]float64, g.Devices),
+		ClassSeconds: make(map[string]float64),
+	}
+	var spans []Span
+	if capture {
+		spans = make([]Span, 0, len(g.Tasks))
+	}
+	// Timeline T: one entry per (device, stream) resource.
+	free := make([][2]float64, g.Devices)
+
+	// Task queue Q seeded with zero-reference tasks in ID order.
+	queue := make([]int, 0, len(g.Tasks))
+	for _, t := range g.Tasks {
+		if t.ref == 0 {
+			queue = append(queue, t.ID)
+		}
+	}
+
+	executed := 0
+	for head := 0; head < len(queue); head++ {
+		u := g.Tasks[queue[head]] // fetch in FIFO order
+		start := u.ready
+		if f := free[u.Device][u.Stream]; f > start {
+			start = f
+		}
+		finish := start + u.Duration
+		free[u.Device][u.Stream] = finish // proceed the timeline
+		switch u.Stream {
+		case ComputeStream:
+			res.ComputeBusy[u.Device] += u.Duration
+		case CommStream:
+			res.CommBusy[u.Device] += u.Duration
+		}
+		res.ClassSeconds[u.Class] += u.Duration
+		res.FLOPs += u.FLOPs
+		executed++
+		if capture {
+			spans = append(spans, Span{Device: u.Device, Stream: u.Stream, Start: start, End: finish, Label: u.Label})
+		}
+		for _, cid := range u.children {
+			c := g.Tasks[cid]
+			if finish > c.ready {
+				c.ready = finish // update the child task
+			}
+			c.ref--
+			if c.ref == 0 {
+				queue = append(queue, cid) // update the task queue
+			}
+		}
+	}
+	if executed != len(g.Tasks) {
+		return res, spans, fmt.Errorf("taskgraph: deadlock, executed %d of %d tasks", executed, len(g.Tasks))
+	}
+	res.Executed = executed
+	for _, f := range free {
+		for _, v := range f {
+			if v > res.IterTime {
+				res.IterTime = v
+			}
+		}
+	}
+	// Restore reference counts so the graph can be simulated again.
+	for _, t := range g.Tasks {
+		t.ready = 0
+	}
+	for _, t := range g.Tasks {
+		for _, cid := range t.children {
+			g.Tasks[cid].ref++
+		}
+	}
+	return res, spans, nil
+}

@@ -1,0 +1,234 @@
+package taskgraph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vtrain/internal/comm"
+	"vtrain/internal/gpu"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/opgraph"
+	"vtrain/internal/parallel"
+	"vtrain/internal/profiler"
+)
+
+func tinyModel() model.Config {
+	return model.Config{Name: "tiny", Hidden: 256, Layers: 4, SeqLen: 128, Heads: 4, Vocab: 1024}
+}
+
+func lower(t *testing.T, plan parallel.Plan, fid Fidelity) *Graph {
+	t.Helper()
+	c := hw.PaperCluster(8)
+	og, err := opgraph.Build(tinyModel(), plan, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
+	return Lower(og, prof, comm.NewModel(c), fid)
+}
+
+func simulate(t *testing.T, g *Graph) Result {
+	t.Helper()
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestFidelitiesAgree(t *testing.T) {
+	// Kernels within an operator are chained sequentially, so replaying
+	// at task granularity and operator granularity must give the same
+	// iteration time.
+	plans := []parallel.Plan{
+		{Tensor: 1, Data: 1, Pipeline: 1, MicroBatch: 1, GlobalBatch: 2},
+		{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2},
+		{Tensor: 1, Data: 1, Pipeline: 4, MicroBatch: 1, GlobalBatch: 8, Schedule: parallel.GPipe},
+	}
+	for _, plan := range plans {
+		taskRes := simulate(t, lower(t, plan, TaskLevel))
+		opRes := simulate(t, lower(t, plan, OperatorLevel))
+		if rel := math.Abs(taskRes.IterTime-opRes.IterTime) / taskRes.IterTime; rel > 1e-9 {
+			t.Fatalf("plan %s: task-level %.9g vs op-level %.9g (rel %g)", plan, taskRes.IterTime, opRes.IterTime, rel)
+		}
+		if taskRes.Executed <= opRes.Executed {
+			t.Fatalf("task-level should replay more tasks: %d vs %d", taskRes.Executed, opRes.Executed)
+		}
+	}
+}
+
+func TestSimulateDeterministicAndRepeatable(t *testing.T) {
+	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
+	g := lower(t, plan, TaskLevel)
+	a := simulate(t, g)
+	b := simulate(t, g) // reference counts must be restored
+	if a.IterTime != b.IterTime || a.Executed != b.Executed {
+		t.Fatalf("re-simulation diverged: %v vs %v", a.IterTime, b.IterTime)
+	}
+}
+
+func TestIterTimeAtLeastCriticalChain(t *testing.T) {
+	// With a single device and no parallel streams' overlap possible on
+	// compute, iteration time >= sum of compute durations on the device.
+	plan := parallel.Plan{Tensor: 1, Data: 1, Pipeline: 1, MicroBatch: 1, GlobalBatch: 2}
+	g := lower(t, plan, TaskLevel)
+	res := simulate(t, g)
+	if res.IterTime < res.ComputeBusy[0]-1e-12 {
+		t.Fatalf("iteration %.6g below device busy time %.6g", res.IterTime, res.ComputeBusy[0])
+	}
+}
+
+func TestPipelineBubbleGrowsWithDepth(t *testing.T) {
+	// Same total work, fewer micro-batches per stage: deeper pipelines
+	// must show a larger bubble (idle) fraction with fixed micro-batches.
+	mk := func(p int) float64 {
+		plan := parallel.Plan{Tensor: 1, Data: 1, Pipeline: p, MicroBatch: 1, GlobalBatch: 4}
+		res := simulate(t, lower(t, plan, OperatorLevel))
+		var busy float64
+		for _, b := range res.ComputeBusy {
+			busy += b
+		}
+		return 1 - busy/(float64(p)*res.IterTime)
+	}
+	if b2, b4 := mk(2), mk(4); b4 <= b2 {
+		t.Fatalf("bubble fraction should grow with depth: p=2 %.3f, p=4 %.3f", b2, b4)
+	}
+}
+
+func TestGPipeSlowerOrEqualToOneFOneB(t *testing.T) {
+	// With equal micro-batch counts the two schedules have identical
+	// bubble structure in a two-stage pipeline, but GPipe can never be
+	// faster.
+	base := parallel.Plan{Tensor: 1, Data: 1, Pipeline: 4, MicroBatch: 1, GlobalBatch: 16}
+	gpipe := base
+	gpipe.Schedule = parallel.GPipe
+	r1 := simulate(t, lower(t, base, OperatorLevel))
+	r2 := simulate(t, lower(t, gpipe, OperatorLevel))
+	if r2.IterTime < r1.IterTime-1e-12 {
+		t.Fatalf("GPipe %.6g faster than 1F1B %.6g", r2.IterTime, r1.IterTime)
+	}
+}
+
+func TestMoreMicroBatchesAmortizeBubble(t *testing.T) {
+	mk := func(nmb int) float64 {
+		plan := parallel.Plan{Tensor: 1, Data: 1, Pipeline: 4, MicroBatch: 1, GlobalBatch: nmb}
+		res := simulate(t, lower(t, plan, OperatorLevel))
+		return res.IterTime / float64(nmb)
+	}
+	// Per-micro-batch cost shrinks as the bubble amortizes.
+	if a, b := mk(4), mk(16); b >= a {
+		t.Fatalf("per-micro-batch time should shrink: nmb=4 %.6g, nmb=16 %.6g", a, b)
+	}
+}
+
+func TestDPAllReduceOverlapsBackward(t *testing.T) {
+	// The gradient-bucket All-Reduce runs on the comm stream: its time
+	// must not be fully serialized into the iteration. Compare d=2
+	// bucketed vs an artificial serialization bound.
+	plan := parallel.Plan{Tensor: 1, Data: 2, Pipeline: 1, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 4}
+	g := lower(t, plan, OperatorLevel)
+	res := simulate(t, g)
+	serial := res.ComputeBusy[0] + res.CommBusy[0]
+	if res.IterTime >= serial-1e-12 {
+		t.Fatalf("no communication overlap: iter %.6g, serial bound %.6g", res.IterTime, serial)
+	}
+}
+
+func TestCommTimesCounted(t *testing.T) {
+	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 1}
+	res := simulate(t, lower(t, plan, TaskLevel))
+	for i, c := range res.CommBusy {
+		if c <= 0 {
+			t.Fatalf("stage %d has zero communication time under 3D parallelism", i)
+		}
+	}
+	if res.FLOPs <= 0 {
+		t.Fatal("FLOPs accounting missing")
+	}
+}
+
+// brokenComm prices everything at zero, to exercise lowering edge cases.
+type zeroComm struct{}
+
+func (zeroComm) AllReduce(bytes float64, n int, intra bool) float64 { return 0 }
+func (zeroComm) SendRecv(bytes float64, sameNode bool) float64      { return 0 }
+
+func TestZeroCommStillSimulates(t *testing.T) {
+	c := hw.PaperCluster(8)
+	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 1}
+	og, err := opgraph.Build(tinyModel(), plan, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
+	g := Lower(og, prof, zeroComm{}, OperatorLevel)
+	res := simulate(t, g)
+	if res.IterTime <= 0 {
+		t.Fatal("zero-comm simulation produced non-positive time")
+	}
+}
+
+func TestSimulationMonotoneInKernelDurations(t *testing.T) {
+	// Property: slowing down the device can never speed up the
+	// iteration (monotonicity of the replay).
+	c := hw.PaperCluster(8)
+	plan := parallel.Plan{Tensor: 2, Data: 1, Pipeline: 2, MicroBatch: 1, GlobalBatch: 4}
+	og, err := opgraph.Build(tinyModel(), plan, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cm := comm.NewModel(c)
+	f := func(slowdown8 uint8) bool {
+		slow := 1 + float64(slowdown8)/64
+		fast := gpu.NewDevice(c.Node.GPU)
+		slower := gpu.NewDevice(c.Node.GPU)
+		slower.MaxTensorEff = fast.MaxTensorEff / slow
+		slower.MemEff = fast.MemEff / slow
+		rFast, err1 := Lower(og, profiler.New(fast), cm, OperatorLevel).Simulate()
+		rSlow, err2 := Lower(og, profiler.New(slower), cm, OperatorLevel).Simulate()
+		return err1 == nil && err2 == nil && rSlow.IterTime >= rFast.IterTime-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllTasksExecuted(t *testing.T) {
+	plan := parallel.Plan{Tensor: 1, Data: 2, Pipeline: 4, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2, Recompute: true}
+	g := lower(t, plan, TaskLevel)
+	res := simulate(t, g)
+	if res.Executed != len(g.Tasks) {
+		t.Fatalf("executed %d of %d tasks", res.Executed, len(g.Tasks))
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	// A hand-built cyclic graph must be reported, not spin.
+	g := &Graph{Devices: 1}
+	a := &Task{ID: 0, Duration: 1}
+	b := &Task{ID: 1, Duration: 1}
+	a.children = []int{1}
+	b.children = []int{0}
+	a.ref, b.ref = 1, 1
+	g.Tasks = []*Task{a, b}
+	if _, err := g.Simulate(); err == nil {
+		t.Fatal("cycle must produce a deadlock error")
+	}
+}
+
+func TestRecomputeIncreasesIterationTime(t *testing.T) {
+	base := parallel.Plan{Tensor: 1, Data: 1, Pipeline: 2, MicroBatch: 1, GlobalBatch: 4}
+	rec := base
+	rec.Recompute = true
+	r1 := simulate(t, lower(t, base, OperatorLevel))
+	r2 := simulate(t, lower(t, rec, OperatorLevel))
+	if r2.IterTime <= r1.IterTime {
+		t.Fatalf("recompute should cost time: %.6g vs %.6g", r2.IterTime, r1.IterTime)
+	}
+	// The overhead is bounded by the forward pass (~1/3 of fwd+bwd).
+	if r2.IterTime > 1.6*r1.IterTime {
+		t.Fatalf("recompute overhead implausible: %.6g vs %.6g", r2.IterTime, r1.IterTime)
+	}
+}

@@ -1,0 +1,58 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Span is one executed task on the simulated timeline.
+type Span struct {
+	// Device and Stream locate the resource.
+	Device int
+	Stream Stream
+	// Start and End are simulation seconds.
+	Start, End float64
+	// Label is the task's human-readable tag.
+	Label string
+}
+
+// SimulateTrace replays the graph like Simulate and additionally returns
+// the full execution timeline, suitable for Chrome-trace export.
+func (g *Graph) SimulateTrace() (Result, []Span, error) {
+	return g.simulate(true)
+}
+
+// chromeEvent is one Chrome trace-event-format record ("X" complete event).
+type chromeEvent struct {
+	Name     string  `json:"name"`
+	Phase    string  `json:"ph"`
+	TSMicros float64 `json:"ts"`
+	DurMicro float64 `json:"dur"`
+	PID      int     `json:"pid"`
+	TID      int     `json:"tid"`
+}
+
+// WriteChromeTrace writes the timeline in Chrome's trace-event format
+// (load via chrome://tracing or Perfetto): one process per simulated
+// device, thread 0 = compute stream, thread 1 = communication stream.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		events = append(events, chromeEvent{
+			Name:     s.Label,
+			Phase:    "X",
+			TSMicros: s.Start * 1e6,
+			DurMicro: (s.End - s.Start) * 1e6,
+			PID:      s.Device,
+			TID:      int(s.Stream),
+		})
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events}); err != nil {
+		return fmt.Errorf("taskgraph: writing chrome trace: %w", err)
+	}
+	return nil
+}

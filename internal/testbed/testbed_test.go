@@ -1,0 +1,166 @@
+package testbed
+
+import (
+	"testing"
+
+	"vtrain/internal/core"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+	"vtrain/internal/taskgraph"
+)
+
+func plan() parallel.Plan {
+	return parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 1}
+}
+
+func TestMeasureDeterministicPerConfig(t *testing.T) {
+	// The paper observes real kernel times are highly deterministic;
+	// repeated measurements of the same configuration must agree.
+	tb := New(hw.PaperCluster(8), DefaultConfig(), 99)
+	m := model.Megatron3_6B()
+	a, err := tb.Measure(m, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := tb.Measure(m, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("repeated measurement diverged: %v vs %v", a, b)
+	}
+}
+
+func TestDistinctConfigsVaryIndependently(t *testing.T) {
+	tb := New(hw.PaperCluster(8), DefaultConfig(), 99)
+	m := model.Megatron3_6B()
+	p2 := plan()
+	p2.MicroBatch = 2
+	p2.GlobalBatch = 16
+	a, _ := tb.Measure(m, plan())
+	b, _ := tb.Measure(m, p2)
+	if a == b {
+		t.Fatal("different configurations should not share noise draws")
+	}
+}
+
+func TestMeasuredSlowerThanPredicted(t *testing.T) {
+	// All injected effects add latency; the testbed "measurement" must
+	// exceed vTrain's isolated-environment prediction for comm-heavy
+	// configurations (the paper reports vTrain underestimates).
+	cluster := hw.PaperCluster(8)
+	tb := New(cluster, DefaultConfig(), 12345)
+	sim, err := core.New(cluster, core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.Megatron18_4B()
+	p := parallel.Plan{Tensor: 8, Data: 4, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2}
+	rep, err := sim.Simulate(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := tb.Measure(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meas <= rep.IterTime {
+		t.Fatalf("measured %.4g not above predicted %.4g for TP-heavy config", meas, rep.IterTime)
+	}
+	// But within a sane band (< 40 % off).
+	if meas > 1.4*rep.IterTime {
+		t.Fatalf("measured %.4g implausibly above predicted %.4g", meas, rep.IterTime)
+	}
+}
+
+func TestTensorParallelErrorMorePronounced(t *testing.T) {
+	// Section IV: the isolated-vs-training NCCL discrepancy "was
+	// especially more pronounced when tensor parallelism is employed".
+	cluster := hw.PaperCluster(8)
+	tb := New(cluster, DefaultConfig(), 7)
+	sim, err := core.New(cluster, core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.Megatron18_4B()
+	relErr := func(p parallel.Plan) float64 {
+		rep, err := sim.Simulate(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := tb.Measure(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return (meas - rep.IterTime) / meas
+	}
+	tpHeavy := relErr(parallel.Plan{Tensor: 8, Data: 1, Pipeline: 1, MicroBatch: 1, GlobalBatch: 8})
+	dpOnly := relErr(parallel.Plan{Tensor: 1, Data: 8, Pipeline: 1, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 1})
+	if tpHeavy <= dpOnly {
+		t.Fatalf("TP-heavy error %.3f not above DP-only error %.3f", tpHeavy, dpOnly)
+	}
+}
+
+func TestStragglerGrowsWithScale(t *testing.T) {
+	// The same per-GPU workload across more nodes must suffer a larger
+	// straggler penalty relative to prediction. Isolate the effect: all
+	// other noise sources off.
+	m := model.Megatron18_4B()
+	cfg := Config{StragglerSigma: 0.03}
+	ratio := func(nodes, d int) float64 {
+		cluster := hw.PaperCluster(nodes)
+		tb := New(cluster, cfg, 21)
+		sim, err := core.New(cluster, core.WithFidelity(taskgraph.OperatorLevel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := parallel.Plan{Tensor: 8, Data: d, Pipeline: 1, MicroBatch: 1, GlobalBatch: 4 * d, GradientBuckets: 1}
+		rep, err := sim.Simulate(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		meas, err := tb.Measure(m, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return meas / rep.IterTime
+	}
+	small := ratio(2, 2)
+	large := ratio(64, 64)
+	if large <= small {
+		t.Fatalf("straggler ratio at 64 nodes (%.4f) not above 2 nodes (%.4f)", large, small)
+	}
+}
+
+func TestZeroEffectConfigMatchesPrediction(t *testing.T) {
+	// With every effect disabled the testbed must agree with vTrain
+	// bit-for-bit: same device model, same comm model, same engine.
+	cluster := hw.PaperCluster(8)
+	tb := New(cluster, Config{}, 42)
+	sim, err := core.New(cluster, core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := model.Megatron3_6B()
+	p := plan()
+	rep, err := sim.Simulate(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meas, err := tb.Measure(m, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// KernelSigma 0 still leaves the drift-clamp path; allow 1e-9.
+	if rel := (meas - rep.IterTime) / rep.IterTime; rel > 1e-9 || rel < -1e-9 {
+		t.Fatalf("zero-effect testbed deviates: measured %.9g vs predicted %.9g", meas, rep.IterTime)
+	}
+}
+
+func TestMeasureRejectsInvalidPlan(t *testing.T) {
+	tb := New(hw.PaperCluster(1), DefaultConfig(), 1)
+	if _, err := tb.Measure(model.Megatron3_6B(), parallel.Plan{}); err == nil {
+		t.Fatal("invalid plan must propagate an error")
+	}
+}

@@ -1,0 +1,107 @@
+// Package trace generates the multi-tenant workload traces of Section V-B.
+//
+// The paper samples job inter-arrival times from Microsoft's internal ITP
+// cluster traces; those are not public, so this package synthesizes traces
+// with the published shape — bursty, heavy-tailed (log-normal)
+// inter-arrival gaps — with every trace fully determined by its ID, so the
+// nine traces of Fig. 12/13 are reproducible. Each arriving job draws one
+// of the three Table III model configurations, a training length, and
+// (optionally) a deadline-slack factor λ ~ U[0.5, 1.5] exactly as the paper
+// does.
+package trace
+
+import (
+	"fmt"
+
+	"vtrain/internal/model"
+	"vtrain/internal/stats"
+)
+
+// Job is one LLM training job submitted to the cluster.
+type Job struct {
+	// ID is unique within the trace.
+	ID int
+	// Arrival is the submission time in seconds from trace start.
+	Arrival float64
+	// Model is the LLM to train (one of Table III).
+	Model model.Config
+	// GlobalBatch is the job's iteration batch in sequences (Table III).
+	GlobalBatch int
+	// Iterations is the number of training iterations requested.
+	Iterations uint64
+	// SlackFactor is the deadline slack λ drawn from U[0.5, 1.5]; the
+	// scheduler converts it into an absolute deadline using the job's
+	// reference duration. Zero means the job has no deadline.
+	SlackFactor float64
+}
+
+// Options shape a synthetic trace.
+type Options struct {
+	// Jobs is the number of jobs (paper: 16-128).
+	Jobs int
+	// ArrivalWindow is the span in seconds during which all jobs arrive
+	// (the paper fixes a window so bigger traces stress the cluster
+	// harder). Zero makes all jobs arrive at time zero (the makespan
+	// experiments).
+	ArrivalWindow float64
+	// WithDeadlines draws λ ~ U[0.5, 1.5] per job.
+	WithDeadlines bool
+	// MinIterations / MaxIterations bound the training length.
+	MinIterations, MaxIterations uint64
+}
+
+// DefaultOptions matches the Fig. 12 experiments: jobs arriving across a
+// 200-hour window with deadlines.
+func DefaultOptions(jobs int) Options {
+	return Options{
+		Jobs:          jobs,
+		ArrivalWindow: 200 * 3600,
+		WithDeadlines: true,
+		MinIterations: 500,
+		MaxIterations: 5000,
+	}
+}
+
+// Generate synthesizes trace number id with the given options. The same
+// (id, opts) always yields the same jobs.
+func Generate(id int, opts Options) ([]Job, error) {
+	if opts.Jobs <= 0 {
+		return nil, fmt.Errorf("trace: need at least one job, got %d", opts.Jobs)
+	}
+	if opts.MaxIterations < opts.MinIterations {
+		return nil, fmt.Errorf("trace: iteration bounds inverted [%d, %d]", opts.MinIterations, opts.MaxIterations)
+	}
+	rng := stats.NewRand(0xC0FFEE ^ uint64(id)*0x9E3779B97F4A7C15)
+	zoo := model.TableIII()
+
+	// Heavy-tailed inter-arrival gaps, normalized to the window.
+	gaps := make([]float64, opts.Jobs)
+	var total float64
+	for i := range gaps {
+		gaps[i] = rng.LogNormal(0, 1.2)
+		total += gaps[i]
+	}
+
+	jobs := make([]Job, opts.Jobs)
+	arrival := 0.0
+	for i := range jobs {
+		if opts.ArrivalWindow > 0 {
+			arrival += gaps[i] / total * opts.ArrivalWindow
+		}
+		pick := zoo[rng.Intn(len(zoo))]
+		span := opts.MaxIterations - opts.MinIterations + 1
+		iters := opts.MinIterations + rng.Uint64()%span
+		j := Job{
+			ID:          i,
+			Arrival:     arrival,
+			Model:       pick.Config,
+			GlobalBatch: pick.Batch,
+			Iterations:  iters,
+		}
+		if opts.WithDeadlines {
+			j.SlackFactor = rng.Uniform(0.5, 1.5)
+		}
+		jobs[i] = j
+	}
+	return jobs, nil
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(3, DefaultOptions(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(3, DefaultOptions(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("non-deterministic job count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("job %d differs between identical generations", i)
+		}
+	}
+}
+
+func TestTracesDifferByID(t *testing.T) {
+	a, _ := Generate(1, DefaultOptions(64))
+	b, _ := Generate(2, DefaultOptions(64))
+	same := true
+	for i := range a {
+		if a[i].Arrival != b[i].Arrival || a[i].Iterations != b[i].Iterations {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different trace IDs produced identical traces")
+	}
+}
+
+func TestArrivalsOrderedWithinWindow(t *testing.T) {
+	opts := DefaultOptions(128)
+	jobs, err := Generate(7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, j := range jobs {
+		if j.Arrival < prev {
+			t.Fatal("arrivals not monotone")
+		}
+		prev = j.Arrival
+	}
+	if last := jobs[len(jobs)-1].Arrival; last > opts.ArrivalWindow+1e-6 {
+		t.Fatalf("last arrival %.0f outside window %.0f", last, opts.ArrivalWindow)
+	}
+}
+
+func TestFixedWindowStressesWithMoreJobs(t *testing.T) {
+	// The paper fixes the arrival window, so 128-job traces stress the
+	// cluster harder than 64-job traces: mean inter-arrival must shrink.
+	j64, _ := Generate(5, DefaultOptions(64))
+	j128, _ := Generate(5, DefaultOptions(128))
+	gap := func(js []Job) float64 { return js[len(js)-1].Arrival / float64(len(js)) }
+	if gap(j128) >= gap(j64) {
+		t.Fatalf("128-job trace not denser: %.0f vs %.0f", gap(j128), gap(j64))
+	}
+}
+
+func TestBatchArrivalForMakespan(t *testing.T) {
+	opts := Options{Jobs: 16, MinIterations: 10, MaxIterations: 20}
+	jobs, err := Generate(1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if j.Arrival != 0 {
+			t.Fatal("zero window must mean simultaneous arrival")
+		}
+		if j.SlackFactor != 0 {
+			t.Fatal("deadlines must be off by default")
+		}
+	}
+}
+
+func TestJobFieldsWithinBounds(t *testing.T) {
+	f := func(id uint8, n uint8) bool {
+		opts := DefaultOptions(int(n)%64 + 1)
+		jobs, err := Generate(int(id), opts)
+		if err != nil {
+			return false
+		}
+		for _, j := range jobs {
+			if j.Iterations < opts.MinIterations || j.Iterations > opts.MaxIterations {
+				return false
+			}
+			if j.SlackFactor < 0.5 || j.SlackFactor >= 1.5 {
+				return false
+			}
+			if j.GlobalBatch <= 0 || j.Model.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelMixCoversTableIII(t *testing.T) {
+	jobs, _ := Generate(11, DefaultOptions(128))
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		seen[j.Model.Name] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("job mix covers %d models, want all 3 of Table III", len(seen))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if _, err := Generate(1, Options{Jobs: 0}); err == nil {
+		t.Fatal("zero jobs must error")
+	}
+	if _, err := Generate(1, Options{Jobs: 1, MinIterations: 10, MaxIterations: 5}); err == nil {
+		t.Fatal("inverted iteration bounds must error")
+	}
+}
+
+func TestUniqueIDs(t *testing.T) {
+	jobs, _ := Generate(9, DefaultOptions(64))
+	seen := map[int]bool{}
+	for _, j := range jobs {
+		if seen[j.ID] {
+			t.Fatalf("duplicate job ID %d", j.ID)
+		}
+		seen[j.ID] = true
+	}
+}

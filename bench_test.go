@@ -545,9 +545,11 @@ func BenchmarkTable4(b *testing.B) {
 }
 
 // BenchmarkSimulatorThroughput measures raw Algorithm 1 replay speed on a
-// large task graph (an engineering metric, not a paper exhibit).
+// large task graph (an engineering metric, not a paper exhibit). The
+// plan-level cache is disabled so every iteration rebuilds and replays the
+// graph — the uncached cost a sweep pays per distinct configuration.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	sim, err := core.New(hw.PaperCluster(64)) // TaskLevel fidelity
+	sim, err := core.New(hw.PaperCluster(64), core.WithCacheSize(0)) // TaskLevel fidelity
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -563,4 +565,29 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		tasks = rep.Tasks
 	}
 	b.ReportMetric(float64(tasks), "tasks_per_iteration")
+}
+
+// BenchmarkSimulatorThroughputCached measures the same configuration served
+// from the plan-level result cache — the cost repeated configurations pay
+// inside design-space sweeps, scheduler profiling, and Chinchilla searches.
+func BenchmarkSimulatorThroughputCached(b *testing.B) {
+	sim, err := core.New(hw.PaperCluster(64)) // TaskLevel fidelity, default cache
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := model.Megatron18_4B()
+	plan := parallel.Plan{Tensor: 8, Data: 8, Pipeline: 8, MicroBatch: 1, GlobalBatch: 256, GradientBuckets: 2}
+	if _, err := sim.Simulate(m, plan); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Simulate(m, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_, misses := sim.CacheStats()
+	if misses != 1 {
+		b.Fatalf("cached benchmark re-simulated: %d misses, want 1 (the warm-up)", misses)
+	}
 }

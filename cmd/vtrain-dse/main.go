@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"time"
 
@@ -52,10 +53,20 @@ func main() {
 	space.MaxMicroBatches = 512
 
 	start := time.Now()
-	points, err := dse.Explore(sim, m, space)
+	// Stream the sweep so long explorations show progress; points arrive
+	// in completion order and are ranked afterwards.
+	var points []dse.Point
+	err = dse.ExploreFunc(sim, m, space, func(p dse.Point) {
+		points = append(points, p)
+		if len(points)%1000 == 0 {
+			fmt.Fprintf(os.Stderr, "... %d points evaluated (%v)\n",
+				len(points), time.Since(start).Round(time.Millisecond))
+		}
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Better(points[j]) })
 	elapsed := time.Since(start)
 	fmt.Printf("explored %d design points in %v\n\n", len(points), elapsed.Round(time.Millisecond))
 

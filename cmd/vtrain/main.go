@@ -52,7 +52,8 @@ func main() {
 		log.Fatalf("unknown fidelity %q (want task or operator)", *fidelity)
 	}
 
-	sim, err := core.New(cluster, core.WithFidelity(fid))
+	// One-shot simulation: nothing repeats, so skip the result cache.
+	sim, err := core.New(cluster, core.WithFidelity(fid), core.WithCacheSize(0))
 	if err != nil {
 		log.Fatal(err)
 	}

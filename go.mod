@@ -1,0 +1,3 @@
+module vtrain
+
+go 1.24

@@ -98,11 +98,12 @@ func Evaluate(sim *core.Simulator, m model.Config, gpus, globalBatch int) (Point
 		space.PipelineDepths = append(space.PipelineDepths, p)
 	}
 	space.MaxMicroBatches = 128
-	points, err := dse.Explore(sim, m, space)
+	// Exact-GPU spaces hold thousands of candidates and only the fastest
+	// survives, so stream the sweep instead of collecting and sorting.
+	best, ok, err := dse.ExploreBest(sim, m, space)
 	if err != nil {
 		return Point{}, err
 	}
-	best, ok := dse.Fastest(points)
 	if !ok {
 		return Point{}, fmt.Errorf("chinchilla: no feasible plan for %s on %d GPUs", m.Name, gpus)
 	}

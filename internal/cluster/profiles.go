@@ -165,14 +165,15 @@ func BuildProfile(sim *core.Simulator, system System, m model.Config, globalBatc
 			// that never wins at this scale.
 			space.TensorWidths = []int{1, 2, 4, 8}
 			space.MaxMicroBatches = 256
-			points, err := dse.Explore(sim, m, space)
-			if err != nil {
+			// Stream the sweep and keep only the fastest plan; the
+			// simulator's plan-level cache dedupes configurations that
+			// recur across allocation sizes, systems, and job classes.
+			best, found, err := dse.ExploreBest(sim, m, space)
+			if err != nil || !found {
 				continue // no feasible plan at this size
 			}
-			if best, ok := dse.Fastest(points); ok {
-				prof.IterTime[g] = best.Report.IterTime
-				prof.Plans[g] = best.Plan
-			}
+			prof.IterTime[g] = best.Report.IterTime
+			prof.Plans[g] = best.Plan
 		}
 	default:
 		return nil, fmt.Errorf("cluster: unknown system %d", system)

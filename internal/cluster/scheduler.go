@@ -143,14 +143,18 @@ func (s *Scheduler) Run(jobs []trace.Job) (Outcome, error) {
 		firstArrival = pending[0].Arrival
 	}
 
+	// activeBuf is reused across scheduling instants: the event loop asks
+	// for the active set twice per event, and traces run tens of
+	// thousands of events.
+	var activeBuf []*jobState
 	active := func() []*jobState {
-		var a []*jobState
+		activeBuf = activeBuf[:0]
 		for _, st := range states {
 			if st.remaining > 0 {
-				a = append(a, st)
+				activeBuf = append(activeBuf, st)
 			}
 		}
-		return a
+		return activeBuf
 	}
 
 	for {

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+	"vtrain/internal/taskgraph"
+)
+
+// DefaultCacheSize is the report cache capacity of a new Simulator. A full
+// MT-NLG design-space sweep evaluates a few thousand plans; 16Ki entries
+// hold several sweeps at ~200 bytes per Report.
+const DefaultCacheSize = 16384
+
+// cacheKey identifies one simulated configuration. Both model.Config and
+// parallel.Plan are flat comparable structs, so the tuple is a valid map
+// key; the fidelity completes the configuration (one Simulator only ever
+// uses one, but keying on it keeps the invariant explicit).
+type cacheKey struct {
+	model    model.Config
+	plan     parallel.Plan
+	fidelity taskgraph.Fidelity
+}
+
+// reportCache is a concurrency-safe, bounded (model, plan, fidelity) →
+// Report cache with FIFO eviction. Design-space exploration, the cluster
+// scheduler's offline profiling, and the Chinchilla search repeatedly
+// evaluate overlapping configurations; deduping them to one simulation is
+// the plan-level analogue of the profiler's kernel cache.
+type reportCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[cacheKey]Report
+	// order is a FIFO ring of the inserted keys; head indexes the next
+	// victim once the cache is full.
+	order []cacheKey
+	head  int
+	hits, misses uint64
+}
+
+func newReportCache(max int) *reportCache {
+	if max <= 0 {
+		return nil
+	}
+	return &reportCache{
+		max:     max,
+		entries: make(map[cacheKey]Report, min(max, 1024)),
+		order:   make([]cacheKey, 0, min(max, 1024)),
+	}
+}
+
+func (c *reportCache) get(k cacheKey) (Report, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	rep, ok := c.entries[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return rep, ok
+}
+
+func (c *reportCache) put(k cacheKey, rep Report) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		c.entries[k] = rep
+		return
+	}
+	if len(c.entries) < c.max {
+		c.entries[k] = rep
+		c.order = append(c.order, k)
+		return
+	}
+	delete(c.entries, c.order[c.head])
+	c.entries[k] = rep
+	c.order[c.head] = k
+	c.head = (c.head + 1) % c.max
+}
+
+func (c *reportCache) stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"vtrain/internal/gpu"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+	"vtrain/internal/taskgraph"
+)
+
+func cachePlan(d int) parallel.Plan {
+	return parallel.Plan{Tensor: 2, Data: d, Pipeline: 2, MicroBatch: 1, GlobalBatch: 24, GradientBuckets: 2}
+}
+
+func TestCacheHitReturnsIdenticalReport(t *testing.T) {
+	s := sim(t, 8, WithFidelity(taskgraph.OperatorLevel))
+	m := model.Megatron3_6B()
+	first, err := s.Simulate(m, cachePlan(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0 := s.CacheStats()
+	if hits0 != 0 || misses0 != 1 {
+		t.Fatalf("after one simulation: hits %d misses %d, want 0/1", hits0, misses0)
+	}
+	second, err := s.Simulate(m, cachePlan(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := s.CacheStats(); hits != 1 {
+		t.Fatalf("second simulation missed the cache (hits = %d)", hits)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cache hit differs from the simulated report:\n%+v\n%+v", first, second)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := sim(t, 8, WithFidelity(taskgraph.OperatorLevel), WithCacheSize(0))
+	m := model.Megatron3_6B()
+	for i := 0; i < 2; i++ {
+		if _, err := s.Simulate(m, cachePlan(2)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := s.CacheStats(); hits != 0 || misses != 0 {
+		t.Fatalf("disabled cache recorded traffic: hits %d misses %d", hits, misses)
+	}
+}
+
+func TestCacheEvictsFIFOWhenFull(t *testing.T) {
+	s := sim(t, 8, WithFidelity(taskgraph.OperatorLevel), WithCacheSize(2))
+	m := model.Megatron3_6B()
+	for _, d := range []int{1, 2, 3} { // d=1 is evicted when d=3 lands
+		if _, err := s.Simulate(m, cachePlan(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Simulate(m, cachePlan(3)); err != nil { // still resident
+		t.Fatal(err)
+	}
+	if hits, _ := s.CacheStats(); hits != 1 {
+		t.Fatalf("resident entry missed (hits = %d)", hits)
+	}
+	if _, err := s.Simulate(m, cachePlan(1)); err != nil { // evicted: re-simulated
+		t.Fatal(err)
+	}
+	if _, misses := s.CacheStats(); misses != 4 {
+		t.Fatalf("evicted entry served from cache (misses = %d, want 4)", misses)
+	}
+}
+
+func TestDeviceAndCommOptionsDoNotShareCaches(t *testing.T) {
+	// Each Simulator owns its cache and builds it after the options are
+	// applied, so a differently-configured simulator can never serve
+	// another's reports: the slowed device must yield a slower iteration
+	// even when the stock simulator has already cached the configuration.
+	c := hw.PaperCluster(8)
+	m := model.Megatron3_6B()
+	plan := cachePlan(2)
+
+	stock := sim(t, 8, WithFidelity(taskgraph.OperatorLevel))
+	fast, err := stock.Simulate(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dev := gpu.NewDevice(c.Node.GPU)
+	dev.MaxTensorEff /= 2
+	dev.MemEff /= 2
+	slowed := sim(t, 8, WithFidelity(taskgraph.OperatorLevel), WithDevice(dev))
+	slow, err := slowed.Simulate(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.IterTime <= fast.IterTime {
+		t.Fatalf("slowed device not slower: %.6g vs %.6g", slow.IterTime, fast.IterTime)
+	}
+
+	// A custom communication model likewise gets its own cache.
+	free := sim(t, 8, WithFidelity(taskgraph.OperatorLevel), WithCommTimer(zeroComm{}))
+	noComm, err := free.Simulate(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noComm.IterTime >= fast.IterTime {
+		t.Fatalf("free communication not faster: %.6g vs %.6g", noComm.IterTime, fast.IterTime)
+	}
+	if noComm.CommSeconds != 0 {
+		t.Fatalf("zero comm timer left %.6g comm seconds", noComm.CommSeconds)
+	}
+}
+
+// zeroComm prices all communication at zero.
+type zeroComm struct{}
+
+func (zeroComm) AllReduce(bytes float64, n int, intraNode bool) float64 { return 0 }
+func (zeroComm) SendRecv(bytes float64, sameNode bool) float64          { return 0 }
+
+func TestConcurrentSimulateSharesCacheRaceFree(t *testing.T) {
+	// Many goroutines hammer one Simulator with a mix of repeated and
+	// distinct configurations; run under -race this exercises the cache's
+	// synchronization. Every caller must observe the same reports.
+	s := sim(t, 8, WithFidelity(taskgraph.OperatorLevel))
+	m := model.Megatron3_6B()
+
+	want := make([]Report, 4)
+	for d := 1; d <= 4; d++ {
+		rep, err := s.Simulate(m, cachePlan(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[d-1] = rep
+	}
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 8; j++ {
+				d := 1 + (i+j)%4
+				rep, err := s.Simulate(m, cachePlan(d))
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if rep.IterTime != want[d-1].IterTime || rep.Tasks != want[d-1].Tasks {
+					errs[i] = errReportMismatch
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits, misses := s.CacheStats()
+	if misses != 4 {
+		t.Fatalf("concurrent load re-simulated cached plans: %d misses, want 4", misses)
+	}
+	if hits != goroutines*8 {
+		t.Fatalf("hits = %d, want %d", hits, goroutines*8)
+	}
+}
+
+var errReportMismatch = errMismatch{}
+
+type errMismatch struct{}
+
+func (errMismatch) Error() string { return "cached report differs across goroutines" }
+
+func TestDegenerateIterTimeGuards(t *testing.T) {
+	// A degenerate replay with IterTime == 0 must not poison the report
+	// with NaN/Inf from the bubble and utilization divisions.
+	s := sim(t, 8)
+	rep := s.assembleReport(model.Megatron3_6B(), cachePlan(2), taskgraph.Result{
+		IterTime:    0,
+		ComputeBusy: make([]float64, 2),
+		CommBusy:    make([]float64, 2),
+	})
+	if rep.BubbleFraction != 0 {
+		t.Fatalf("BubbleFraction = %v, want 0", rep.BubbleFraction)
+	}
+	if rep.Utilization != 0 {
+		t.Fatalf("Utilization = %v, want 0", rep.Utilization)
+	}
+	for name, v := range map[string]float64{
+		"BubbleFraction": rep.BubbleFraction,
+		"Utilization":    rep.Utilization,
+		"ComputeSeconds": rep.ComputeSeconds,
+		"CommSeconds":    rep.CommSeconds,
+	} {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("%s = %v on a degenerate plan", name, v)
+		}
+	}
+}

@@ -26,11 +26,13 @@ import (
 
 // Simulator predicts LLM training time on a cluster.
 type Simulator struct {
-	cluster  hw.Cluster
-	device   *gpu.Device
-	profiler *profiler.Profiler
-	comm     taskgraph.CommTimer
-	fidelity taskgraph.Fidelity
+	cluster   hw.Cluster
+	device    *gpu.Device
+	profiler  *profiler.Profiler
+	comm      taskgraph.CommTimer
+	fidelity  taskgraph.Fidelity
+	cacheSize int
+	cache     *reportCache
 }
 
 // Option configures a Simulator.
@@ -55,6 +57,13 @@ func WithDevice(d *gpu.Device) Option {
 	}
 }
 
+// WithCacheSize bounds the plan-level result cache to n entries
+// (DefaultCacheSize if the option is not given). n <= 0 disables caching —
+// useful for one-shot simulators whose configurations never repeat.
+func WithCacheSize(n int) Option {
+	return func(s *Simulator) { s.cacheSize = n }
+}
+
 // New builds a simulator for the cluster, profiling its intra-node fabric.
 func New(c hw.Cluster, opts ...Option) (*Simulator, error) {
 	if err := c.Validate(); err != nil {
@@ -62,16 +71,30 @@ func New(c hw.Cluster, opts ...Option) (*Simulator, error) {
 	}
 	dev := gpu.NewDevice(c.Node.GPU)
 	s := &Simulator{
-		cluster:  c,
-		device:   dev,
-		profiler: profiler.New(dev),
-		comm:     comm.NewModel(c),
-		fidelity: taskgraph.TaskLevel,
+		cluster:   c,
+		device:    dev,
+		profiler:  profiler.New(dev),
+		comm:      comm.NewModel(c),
+		fidelity:  taskgraph.TaskLevel,
+		cacheSize: DefaultCacheSize,
 	}
 	for _, o := range opts {
 		o(s)
 	}
+	// The cache is created after the options so every entry reflects the
+	// final device, communication model, and fidelity; each Simulator has
+	// its own cache, so differently-configured simulators can never serve
+	// each other's reports.
+	s.cache = newReportCache(s.cacheSize)
 	return s, nil
+}
+
+// CacheStats reports plan-level result cache hits and misses.
+func (s *Simulator) CacheStats() (hits, misses uint64) {
+	if s.cache == nil {
+		return 0, 0
+	}
+	return s.cache.stats()
 }
 
 // Cluster returns the simulated cluster description.
@@ -111,8 +134,22 @@ type Report struct {
 }
 
 // Simulate predicts the single-iteration training time of m under plan.
+// Results are memoized per (model, plan, fidelity): repeated configurations
+// across design-space sweeps, scheduler profiling, and Chinchilla searches
+// dedupe to one simulation. Reports served from the cache share their
+// Breakdown map; callers must treat it as read-only.
 func (s *Simulator) Simulate(m model.Config, plan parallel.Plan) (Report, error) {
+	var key cacheKey
+	if s.cache != nil {
+		key = cacheKey{model: m, plan: plan, fidelity: s.fidelity}
+		if rep, ok := s.cache.get(key); ok {
+			return rep, nil
+		}
+	}
 	rep, _, err := s.simulate(m, plan, false)
+	if err == nil && s.cache != nil {
+		s.cache.put(key, rep)
+	}
 	return rep, err
 }
 
@@ -140,7 +177,11 @@ func (s *Simulator) simulate(m model.Config, plan parallel.Plan, capture bool) (
 	if err != nil {
 		return Report{}, nil, fmt.Errorf("core: simulating %s under %s: %w", m.Name, plan, err)
 	}
+	return s.assembleReport(m, plan, res), spans, nil
+}
 
+// assembleReport derives the Report quantities from a replay result.
+func (s *Simulator) assembleReport(m model.Config, plan parallel.Plan, res taskgraph.Result) Report {
 	var busyC, busyM float64
 	for i := range res.ComputeBusy {
 		busyC += res.ComputeBusy[i]
@@ -148,6 +189,13 @@ func (s *Simulator) simulate(m model.Config, plan parallel.Plan, capture bool) (
 	}
 	stages := float64(len(res.ComputeBusy))
 	peakMem := plan.PeakMemoryBytes(m)
+
+	// A degenerate plan (every task priced at zero) yields IterTime == 0;
+	// report zero utilization and bubble rather than dividing by it.
+	bubble := 0.0
+	if res.IterTime > 0 {
+		bubble = 1 - busyC/(stages*res.IterTime)
+	}
 
 	// The folded graph simulates one (tensor, data) representative per
 	// stage; every replica executes the same FLOPs.
@@ -161,12 +209,12 @@ func (s *Simulator) simulate(m model.Config, plan parallel.Plan, capture bool) (
 		HardwareFLOPs:   sysFLOPs,
 		ComputeSeconds:  busyC / stages,
 		CommSeconds:     busyM / stages,
-		BubbleFraction:  1 - busyC/(stages*res.IterTime),
+		BubbleFraction:  bubble,
 		PeakMemoryBytes: peakMem,
 		FitsMemory:      peakMem <= s.cluster.Node.GPU.MemCapacity,
 		Tasks:           res.Executed,
 		Breakdown:       res.ClassSeconds,
-	}, spans, nil
+	}
 }
 
 // Train extends Simulate with the end-to-end projection for totalTokens:

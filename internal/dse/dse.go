@@ -6,8 +6,8 @@
 //
 // Plans whose activations exceed device memory automatically retry with
 // full activation recomputation (exactly what a practitioner would do);
-// plans that still do not fit are reported as infeasible rather than
-// silently dropped.
+// plans that still do not fit are excluded during enumeration, so every
+// explored point is memory-feasible.
 package dse
 
 import (
@@ -15,6 +15,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"vtrain/internal/core"
 	"vtrain/internal/cost"
@@ -120,7 +121,7 @@ func (s Space) Enumerate(m model.Config, sim *core.Simulator) []parallel.Plan {
 					if !plan.FitsMemory(m, gpu) {
 						plan.Recompute = true
 						if !plan.FitsMemory(m, gpu) {
-							continue // reported via Explore's infeasible path
+							continue // does not fit even with recomputation
 						}
 					}
 					plans = append(plans, plan)
@@ -131,46 +132,113 @@ func (s Space) Enumerate(m model.Config, sim *core.Simulator) []parallel.Plan {
 	return plans
 }
 
-// Explore simulates every plan of the space in parallel and returns the
-// evaluated points sorted by iteration time (fastest first).
-func Explore(sim *core.Simulator, m model.Config, s Space) ([]Point, error) {
+// Better reports whether p should rank ahead of q: feasible before
+// infeasible, then lower iteration time, with the (t, d, p, m) tuple as a
+// deterministic tie-break so rankings are stable regardless of the order
+// points were evaluated in. (Points produced by this package are always
+// feasible — Enumerate excludes memory-infeasible plans — so the
+// feasibility branch matters only for hand-built Points.)
+func (p Point) Better(q Point) bool {
+	if p.Feasible != q.Feasible {
+		return p.Feasible
+	}
+	if p.Report.IterTime != q.Report.IterTime {
+		return p.Report.IterTime < q.Report.IterTime
+	}
+	a, b := p.Plan, q.Plan
+	switch {
+	case a.Tensor != b.Tensor:
+		return a.Tensor < b.Tensor
+	case a.Data != b.Data:
+		return a.Data < b.Data
+	case a.Pipeline != b.Pipeline:
+		return a.Pipeline < b.Pipeline
+	default:
+		return a.MicroBatch < b.MicroBatch
+	}
+}
+
+// ExploreFunc simulates every plan of the space with a bounded worker pool
+// and streams each evaluated Point to fn as it completes. Every streamed
+// point is feasible (Enumerate excludes plans that cannot fit memory).
+// Calls to fn are serialized (one at a time), so callers can rank
+// incrementally — keep a running best, feed a top-k heap — without holding
+// every point in memory. Completion order is nondeterministic; use
+// Point.Better for deterministic ranking. The workers share the simulator's
+// plan-level cache, so repeated configurations across sweeps cost one
+// simulation.
+func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) error {
 	plans := s.Enumerate(m, sim)
 	if len(plans) == 0 {
-		return nil, fmt.Errorf("dse: no valid plan in the search space for %s", m.Name)
+		return fmt.Errorf("dse: no valid plan in the search space for %s", m.Name)
 	}
-	points := make([]Point, len(plans))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(plans) {
+		workers = len(plans)
+	}
 	var (
+		next     atomic.Int64
+		failed   atomic.Bool
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
 	)
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, plan := range plans {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int, plan parallel.Plan) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			rep, err := sim.Simulate(m, plan)
-			if err != nil {
-				mu.Lock()
-				if firstErr == nil {
-					firstErr = fmt.Errorf("dse: %s: %w", plan, err)
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= len(plans) {
+					return
 				}
+				rep, err := sim.Simulate(m, plans[i])
+				if err != nil {
+					failed.Store(true)
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = fmt.Errorf("dse: %s: %w", plans[i], err)
+					}
+					mu.Unlock()
+					return
+				}
+				mu.Lock()
+				fn(Point{Plan: plans[i], Report: rep, Feasible: true})
 				mu.Unlock()
-				return
 			}
-			points[i] = Point{Plan: plan, Report: rep, Feasible: true}
-		}(i, plan)
+		}()
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	return firstErr
+}
+
+// Explore simulates every plan of the space in parallel and returns the
+// evaluated points sorted fastest-first (see Point.Better).
+func Explore(sim *core.Simulator, m model.Config, s Space) ([]Point, error) {
+	points := make([]Point, 0, 64)
+	if err := ExploreFunc(sim, m, s, func(p Point) {
+		points = append(points, p)
+	}); err != nil {
+		return nil, err
 	}
-	sort.Slice(points, func(i, j int) bool {
-		return points[i].Report.IterTime < points[j].Report.IterTime
-	})
+	sort.Slice(points, func(i, j int) bool { return points[i].Better(points[j]) })
 	return points, nil
+}
+
+// ExploreBest streams the sweep and returns only the best-ranked point
+// (per Point.Better), for callers that need one winner from a large space
+// without holding every point in memory. ok is false when no point was
+// evaluated or an error occurred.
+func ExploreBest(sim *core.Simulator, m model.Config, s Space) (best Point, ok bool, err error) {
+	err = ExploreFunc(sim, m, s, func(p Point) {
+		if !ok || p.Better(best) {
+			best, ok = p, true
+		}
+	})
+	if err != nil {
+		return Point{}, false, err
+	}
+	return best, ok, nil
 }
 
 // Fastest returns the feasible point with the lowest iteration time.

@@ -142,6 +142,29 @@ func TestExploreSortedAndFeasible(t *testing.T) {
 	}
 }
 
+func TestExploreBestMatchesFastest(t *testing.T) {
+	sim := newSim(t, 8)
+	m := model.Megatron3_6B()
+	points, err := Explore(sim, m, smallSpace(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, _ := Fastest(points)
+	best, ok, err := ExploreBest(sim, m, smallSpace(16))
+	if err != nil || !ok {
+		t.Fatalf("ExploreBest: ok=%v err=%v", ok, err)
+	}
+	if best.Plan != fast.Plan || best.Report.IterTime != fast.Report.IterTime {
+		t.Fatalf("ExploreBest %s disagrees with Fastest %s", best.Plan, fast.Plan)
+	}
+	// An empty space errors with ok false.
+	empty := smallSpace(16)
+	empty.ExactGPUs = 7
+	if _, ok, err := ExploreBest(sim, m, empty); ok || err == nil {
+		t.Fatal("empty space must error with ok=false")
+	}
+}
+
 func TestExploreEmptySpace(t *testing.T) {
 	sim := newSim(t, 8)
 	s := smallSpace(16)

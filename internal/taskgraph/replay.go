@@ -1,0 +1,127 @@
+package taskgraph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// scratch holds all mutable replay state for one Simulate call. Pooling it
+// keeps the hot path of design-space sweeps allocation-lean: a worker that
+// replays thousands of graphs reuses the same slices across calls.
+type scratch struct {
+	// ref counts outstanding dependencies per task ("ref" in Algorithm 1).
+	ref []int32
+	// ready is the earliest start permitted by dependencies ("start" in
+	// Algorithm 1).
+	ready []float64
+	// free is the timeline T, flattened: free[2*device+stream].
+	free []float64
+	// queue is the FIFO task queue Q.
+	queue []int32
+	// classSec accumulates busy seconds per interned class.
+	classSec []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// reset sizes the scratch for a graph with n tasks, devices devices, and
+// classes distinct classes, zeroing what the replay reads.
+func (sc *scratch) reset(n, devices, classes int) {
+	if cap(sc.ref) < n {
+		sc.ref = make([]int32, n)
+		sc.ready = make([]float64, n)
+		sc.queue = make([]int32, 0, n)
+	}
+	sc.ref = sc.ref[:n]
+	sc.ready = sc.ready[:n]
+	for i := range sc.ready {
+		sc.ready[i] = 0
+	}
+	if cap(sc.free) < 2*devices {
+		sc.free = make([]float64, 2*devices)
+	}
+	sc.free = sc.free[:2*devices]
+	for i := range sc.free {
+		sc.free[i] = 0
+	}
+	if cap(sc.classSec) < classes {
+		sc.classSec = make([]float64, classes)
+	}
+	sc.classSec = sc.classSec[:classes]
+	for i := range sc.classSec {
+		sc.classSec[i] = 0
+	}
+	sc.queue = sc.queue[:0]
+}
+
+// replay runs Algorithm 1 over the immutable graph using pooled scratch
+// state. It never writes to g, so concurrent replays of one graph are safe.
+func (g *Graph) replay(capture bool) (Result, []Span, error) {
+	n := len(g.Tasks)
+	sc := scratchPool.Get().(*scratch)
+	sc.reset(n, g.Devices, len(g.classes))
+
+	res := Result{
+		ComputeBusy: make([]float64, g.Devices),
+		CommBusy:    make([]float64, g.Devices),
+	}
+	var spans []Span
+	if capture {
+		spans = make([]Span, 0, n)
+	}
+
+	copy(sc.ref, g.indeg)
+	queue := append(sc.queue, g.roots...)
+
+	executed := 0
+	for head := 0; head < len(queue); head++ {
+		id := queue[head] // fetch in FIFO order
+		u := &g.Tasks[id]
+		start := sc.ready[id]
+		slot := 2*u.Device + int(u.Stream)
+		if f := sc.free[slot]; f > start {
+			start = f
+		}
+		finish := start + u.Duration
+		sc.free[slot] = finish // proceed the timeline
+		switch u.Stream {
+		case ComputeStream:
+			res.ComputeBusy[u.Device] += u.Duration
+		case CommStream:
+			res.CommBusy[u.Device] += u.Duration
+		}
+		sc.classSec[g.classOf[id]] += u.Duration
+		res.FLOPs += u.FLOPs
+		executed++
+		if capture {
+			spans = append(spans, Span{Device: u.Device, Stream: u.Stream, Start: start, End: finish, Label: u.DisplayLabel()})
+		}
+		for _, cid := range g.Children(int(id)) {
+			if finish > sc.ready[cid] {
+				sc.ready[cid] = finish // update the child task
+			}
+			sc.ref[cid]--
+			if sc.ref[cid] == 0 {
+				queue = append(queue, cid) // update the task queue
+			}
+		}
+	}
+	res.Executed = executed
+	for _, f := range sc.free {
+		if f > res.IterTime {
+			res.IterTime = f
+		}
+	}
+	res.ClassSeconds = make(map[string]float64, len(g.classes))
+	for i, s := range sc.classSec {
+		res.ClassSeconds[g.classes[i]] = s
+	}
+
+	sc.queue = queue[:0]
+	scratchPool.Put(sc)
+
+	if executed != n {
+		return res, spans, fmt.Errorf("taskgraph: deadlock, executed %d of %d tasks", executed, n)
+	}
+	return res, spans, nil
+}

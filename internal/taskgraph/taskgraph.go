@@ -10,6 +10,11 @@
 // in order, and a communication stream, so gradient-bucket All-Reduces can
 // overlap backward computation (Fig. 5a) while tensor-parallel All-Reduces
 // remain serialized through their dependency edges.
+//
+// A lowered Graph is immutable: all per-replay state (dependency reference
+// counts, earliest-start times, resource timelines) lives in a pooled
+// scratch structure, so one graph can be replayed repeatedly and from many
+// goroutines concurrently — the property design-space sweeps rely on.
 package taskgraph
 
 import (
@@ -44,7 +49,9 @@ const (
 	OperatorLevel
 )
 
-// Task is one vertex of the task-granularity execution graph.
+// Task is one vertex of the task-granularity execution graph. Tasks are
+// plain values stored in the graph's arena; they carry no mutable replay
+// state.
 type Task struct {
 	// ID indexes Graph.Tasks.
 	ID int
@@ -66,21 +73,120 @@ type Task struct {
 	Class string
 	// Label is inherited from the operator graph for traces.
 	Label string
-
-	children []int
-	ref      int
-	// ready is the earliest start permitted by dependencies ("start" in
-	// Algorithm 1); mutated during simulation.
-	ready float64
+	// Kernel is the kernel name for task-granularity lowering (empty at
+	// operator granularity). Kept separate from Label so the hot path
+	// never concatenates strings; DisplayLabel joins them for traces.
+	Kernel string
 }
 
-// Children returns the IDs of dependent tasks.
-func (t *Task) Children() []int { return t.children }
+// DisplayLabel is the task's human-readable trace tag: the operator label,
+// qualified by the kernel name at task granularity.
+func (t *Task) DisplayLabel() string {
+	if t.Kernel == "" {
+		return t.Label
+	}
+	return t.Label + "/" + t.Kernel
+}
 
-// Graph is the task-granularity execution graph.
+// Graph is the task-granularity execution graph: a value-typed task arena
+// plus CSR-style flat adjacency. Once built it is never mutated, so it is
+// safe to share across goroutines and replay any number of times.
 type Graph struct {
-	Tasks   []*Task
+	Tasks   []Task
 	Devices int
+
+	// CSR adjacency: the children of task i are
+	// children[childStart[i]:childStart[i+1]], in edge-insertion order.
+	childStart []int32
+	children   []int32
+	// indeg is the dependency count of each task (the initial "ref" of
+	// Algorithm 1); copied into replay scratch, never mutated.
+	indeg []int32
+	// roots are the zero-dependency tasks in ID order, seeding the queue.
+	roots []int32
+	// classes interns the distinct Class strings; classOf maps each task
+	// to its class index so replay accumulates into a flat slice instead
+	// of a map.
+	classes []string
+	classOf []int32
+}
+
+// Children returns the dependent task IDs of task id.
+func (g *Graph) Children(id int) []int32 {
+	return g.children[g.childStart[id]:g.childStart[id+1]]
+}
+
+// Builder accumulates tasks and dependency edges and finalizes them into an
+// immutable Graph. Lower uses it internally; tests use it to hand-build
+// graphs.
+type Builder struct {
+	g       Graph
+	edges   [][2]int32
+	classID map[string]int32
+}
+
+// NewBuilder starts a graph over the given number of logical devices.
+func NewBuilder(devices int) *Builder {
+	return &Builder{
+		g:       Graph{Devices: devices},
+		classID: make(map[string]int32),
+	}
+}
+
+// Reserve pre-allocates capacity for the given task and edge counts,
+// avoiding append-doubling waste when the caller knows the graph size.
+func (b *Builder) Reserve(tasks, edges int) {
+	b.g.Tasks = make([]Task, 0, tasks)
+	b.g.classOf = make([]int32, 0, tasks)
+	b.edges = make([][2]int32, 0, edges)
+}
+
+// AddTask appends a task to the arena, assigning and returning its ID.
+func (b *Builder) AddTask(t Task) int {
+	t.ID = len(b.g.Tasks)
+	cid, ok := b.classID[t.Class]
+	if !ok {
+		cid = int32(len(b.g.classes))
+		b.g.classes = append(b.g.classes, t.Class)
+		b.classID[t.Class] = cid
+	}
+	b.g.Tasks = append(b.g.Tasks, t)
+	b.g.classOf = append(b.g.classOf, cid)
+	return t.ID
+}
+
+// AddEdge records that task to depends on task from.
+func (b *Builder) AddEdge(from, to int) {
+	b.edges = append(b.edges, [2]int32{int32(from), int32(to)})
+}
+
+// Build finalizes the accumulated tasks and edges into CSR form. The
+// builder must not be reused afterwards.
+func (b *Builder) Build() *Graph {
+	g := &b.g
+	n := len(g.Tasks)
+	g.childStart = make([]int32, n+1)
+	g.indeg = make([]int32, n)
+	for _, e := range b.edges {
+		g.childStart[e[0]+1]++
+		g.indeg[e[1]]++
+	}
+	for i := 0; i < n; i++ {
+		g.childStart[i+1] += g.childStart[i]
+	}
+	g.children = make([]int32, len(b.edges))
+	cursor := make([]int32, n)
+	copy(cursor, g.childStart[:n])
+	for _, e := range b.edges {
+		g.children[cursor[e[0]]] = e[1]
+		cursor[e[0]]++
+	}
+	for i := 0; i < n; i++ {
+		if g.indeg[i] == 0 {
+			g.roots = append(g.roots, int32(i))
+		}
+	}
+	return g
 }
 
 // CommTimer prices communication operators during lowering. *comm.Model
@@ -96,20 +202,23 @@ var _ CommTimer = (*comm.Model)(nil)
 // operator-to-task lookup table maintained by prof and the communication
 // model cm.
 func Lower(g *opgraph.Graph, prof *profiler.Profiler, cm CommTimer, fid Fidelity) *Graph {
-	tg := &Graph{Devices: g.Stages}
+	b := NewBuilder(g.Stages)
+	// Pre-count tasks and edges so the arena and edge list are allocated
+	// exactly once; Profile results are cached by the profiler, so the
+	// extra pass costs lookups, not profiling work.
+	nTasks, nEdges := 0, 0
+	for _, n := range g.Nodes {
+		k := 1
+		if n.Kind == opgraph.Compute && fid == TaskLevel {
+			k = len(prof.Profile(n.Op))
+		}
+		nTasks += k
+		nEdges += k - 1 + len(n.Deps)
+	}
+	b.Reserve(nTasks, nEdges)
 	// first/last task of each operator-graph node, for edge translation.
 	firstTask := make([]int, len(g.Nodes))
 	lastTask := make([]int, len(g.Nodes))
-
-	addTask := func(t *Task) *Task {
-		t.ID = len(tg.Tasks)
-		tg.Tasks = append(tg.Tasks, t)
-		return t
-	}
-	link := func(from, to int) {
-		tg.Tasks[from].children = append(tg.Tasks[from].children, to)
-		tg.Tasks[to].ref++
-	}
 
 	for _, n := range g.Nodes {
 		switch n.Kind {
@@ -122,43 +231,43 @@ func Lower(g *opgraph.Graph, prof *profiler.Profiler, cm CommTimer, fid Fidelity
 					dur += k.Duration
 					flops += k.Kernel.FLOPs
 				}
-				t := addTask(&Task{Device: n.Stage, Stream: ComputeStream, Duration: dur, FLOPs: flops, Source: n.ID, Class: class, Label: n.Label})
-				firstTask[n.ID], lastTask[n.ID] = t.ID, t.ID
+				id := b.AddTask(Task{Device: n.Stage, Stream: ComputeStream, Duration: dur, FLOPs: flops, Source: n.ID, Class: class, Label: n.Label})
+				firstTask[n.ID], lastTask[n.ID] = id, id
 			} else {
 				prev := -1
 				for i, k := range tasks {
-					t := addTask(&Task{
+					id := b.AddTask(Task{
 						Device: n.Stage, Stream: ComputeStream,
 						Duration: k.Duration, FLOPs: k.Kernel.FLOPs,
 						Source: n.ID, Class: class,
-						Label: fmt.Sprintf("%s/%s", n.Label, k.Kernel.Name),
+						Label: n.Label, Kernel: k.Kernel.Name,
 					})
 					if i == 0 {
-						firstTask[n.ID] = t.ID
+						firstTask[n.ID] = id
 					} else {
-						link(prev, t.ID)
+						b.AddEdge(prev, id)
 					}
-					prev = t.ID
+					prev = id
 				}
 				lastTask[n.ID] = prev
 			}
 		case opgraph.AllReduceTP, opgraph.AllReduceDP:
 			dur := cm.AllReduce(n.Bytes, n.Group, n.IntraNode)
-			t := addTask(&Task{Device: n.Stage, Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: n.ID, Class: n.Kind.String(), Label: n.Label})
-			firstTask[n.ID], lastTask[n.ID] = t.ID, t.ID
+			id := b.AddTask(Task{Device: n.Stage, Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: n.ID, Class: n.Kind.String(), Label: n.Label})
+			firstTask[n.ID], lastTask[n.ID] = id, id
 		case opgraph.P2P:
 			dur := cm.SendRecv(n.Bytes, n.IntraNode)
-			t := addTask(&Task{Device: n.Stage, Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: n.ID, Class: n.Kind.String(), Label: n.Label})
-			firstTask[n.ID], lastTask[n.ID] = t.ID, t.ID
+			id := b.AddTask(Task{Device: n.Stage, Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: n.ID, Class: n.Kind.String(), Label: n.Label})
+			firstTask[n.ID], lastTask[n.ID] = id, id
 		default:
 			panic(fmt.Sprintf("taskgraph: unknown node kind %v", n.Kind))
 		}
 		// Operator-graph edges: node starts after all its deps finish.
 		for _, d := range n.Deps {
-			link(lastTask[d], firstTask[n.ID])
+			b.AddEdge(lastTask[d], firstTask[n.ID])
 		}
 	}
-	return tg
+	return b.Build()
 }
 
 // Result summarizes one simulated iteration.
@@ -180,84 +289,9 @@ type Result struct {
 
 // Simulate replays the task graph per Algorithm 1: a FIFO ready queue,
 // per-device timelines (split into compute and communication streams), and
-// dependency reference counts. It is deterministic.
+// dependency reference counts. It is deterministic, does not mutate the
+// graph, and is safe to call concurrently on one Graph.
 func (g *Graph) Simulate() (Result, error) {
-	res, _, err := g.simulate(false)
+	res, _, err := g.replay(false)
 	return res, err
-}
-
-func (g *Graph) simulate(capture bool) (Result, []Span, error) {
-	res := Result{
-		ComputeBusy:  make([]float64, g.Devices),
-		CommBusy:     make([]float64, g.Devices),
-		ClassSeconds: make(map[string]float64),
-	}
-	var spans []Span
-	if capture {
-		spans = make([]Span, 0, len(g.Tasks))
-	}
-	// Timeline T: one entry per (device, stream) resource.
-	free := make([][2]float64, g.Devices)
-
-	// Task queue Q seeded with zero-reference tasks in ID order.
-	queue := make([]int, 0, len(g.Tasks))
-	for _, t := range g.Tasks {
-		if t.ref == 0 {
-			queue = append(queue, t.ID)
-		}
-	}
-
-	executed := 0
-	for head := 0; head < len(queue); head++ {
-		u := g.Tasks[queue[head]] // fetch in FIFO order
-		start := u.ready
-		if f := free[u.Device][u.Stream]; f > start {
-			start = f
-		}
-		finish := start + u.Duration
-		free[u.Device][u.Stream] = finish // proceed the timeline
-		switch u.Stream {
-		case ComputeStream:
-			res.ComputeBusy[u.Device] += u.Duration
-		case CommStream:
-			res.CommBusy[u.Device] += u.Duration
-		}
-		res.ClassSeconds[u.Class] += u.Duration
-		res.FLOPs += u.FLOPs
-		executed++
-		if capture {
-			spans = append(spans, Span{Device: u.Device, Stream: u.Stream, Start: start, End: finish, Label: u.Label})
-		}
-		for _, cid := range u.children {
-			c := g.Tasks[cid]
-			if finish > c.ready {
-				c.ready = finish // update the child task
-			}
-			c.ref--
-			if c.ref == 0 {
-				queue = append(queue, cid) // update the task queue
-			}
-		}
-	}
-	if executed != len(g.Tasks) {
-		return res, spans, fmt.Errorf("taskgraph: deadlock, executed %d of %d tasks", executed, len(g.Tasks))
-	}
-	res.Executed = executed
-	for _, f := range free {
-		for _, v := range f {
-			if v > res.IterTime {
-				res.IterTime = v
-			}
-		}
-	}
-	// Restore reference counts so the graph can be simulated again.
-	for _, t := range g.Tasks {
-		t.ready = 0
-	}
-	for _, t := range g.Tasks {
-		for _, cid := range t.children {
-			g.Tasks[cid].ref++
-		}
-	}
-	return res, spans, nil
 }

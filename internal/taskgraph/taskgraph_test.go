@@ -2,6 +2,7 @@ package taskgraph
 
 import (
 	"math"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -206,15 +207,74 @@ func TestAllTasksExecuted(t *testing.T) {
 
 func TestDeadlockDetection(t *testing.T) {
 	// A hand-built cyclic graph must be reported, not spin.
-	g := &Graph{Devices: 1}
-	a := &Task{ID: 0, Duration: 1}
-	b := &Task{ID: 1, Duration: 1}
-	a.children = []int{1}
-	b.children = []int{0}
-	a.ref, b.ref = 1, 1
-	g.Tasks = []*Task{a, b}
-	if _, err := g.Simulate(); err == nil {
+	b := NewBuilder(1)
+	x := b.AddTask(Task{Duration: 1})
+	y := b.AddTask(Task{Duration: 1})
+	b.AddEdge(x, y)
+	b.AddEdge(y, x)
+	if _, err := b.Build().Simulate(); err == nil {
 		t.Fatal("cycle must produce a deadlock error")
+	}
+}
+
+func TestBuilderAdjacency(t *testing.T) {
+	b := NewBuilder(1)
+	a := b.AddTask(Task{Duration: 1, Class: "A"})
+	c := b.AddTask(Task{Duration: 1, Class: "B"})
+	d := b.AddTask(Task{Duration: 1, Class: "A"})
+	b.AddEdge(a, c)
+	b.AddEdge(a, d)
+	g := b.Build()
+	if got := g.Children(a); len(got) != 2 || got[0] != int32(c) || got[1] != int32(d) {
+		t.Fatalf("Children(%d) = %v, want [%d %d]", a, got, c, d)
+	}
+	if len(g.Children(c)) != 0 {
+		t.Fatal("leaf has children")
+	}
+	res := simulate(t, g)
+	if res.Executed != 3 || res.ClassSeconds["A"] != 2 || res.ClassSeconds["B"] != 1 {
+		t.Fatalf("unexpected result %+v", res)
+	}
+}
+
+func TestConcurrentReplaysAgree(t *testing.T) {
+	// The acceptance property of the immutable-graph refactor: one
+	// lowered graph replayed from many goroutines (run under -race)
+	// yields identical results, repeatedly.
+	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
+	g := lower(t, plan, TaskLevel)
+	want := simulate(t, g)
+
+	const replays = 32
+	results := make([]Result, replays)
+	errs := make([]error, replays)
+	var wg sync.WaitGroup
+	for i := 0; i < replays; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = g.Simulate()
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < replays; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		got := results[i]
+		if got.IterTime != want.IterTime || got.Executed != want.Executed || got.FLOPs != want.FLOPs {
+			t.Fatalf("replay %d diverged: %+v vs %+v", i, got, want)
+		}
+		for class, sec := range want.ClassSeconds {
+			if got.ClassSeconds[class] != sec {
+				t.Fatalf("replay %d class %q = %g, want %g", i, class, got.ClassSeconds[class], sec)
+			}
+		}
+		for d := range want.ComputeBusy {
+			if got.ComputeBusy[d] != want.ComputeBusy[d] || got.CommBusy[d] != want.CommBusy[d] {
+				t.Fatalf("replay %d device %d busy time diverged", i, d)
+			}
+		}
 	}
 }
 

@@ -20,7 +20,7 @@ type Span struct {
 // SimulateTrace replays the graph like Simulate and additionally returns
 // the full execution timeline, suitable for Chrome-trace export.
 func (g *Graph) SimulateTrace() (Result, []Span, error) {
-	return g.simulate(true)
+	return g.replay(true)
 }
 
 // chromeEvent is one Chrome trace-event-format record ("X" complete event).

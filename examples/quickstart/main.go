@@ -2,6 +2,15 @@
 // 128-node (1,024 GPU) A100 cluster — the scenario of the paper's Fig. 1 —
 // and prints the predicted iteration time, utilization, and end-to-end
 // training projection for 300B tokens.
+//
+// Under the hood, core.Simulator runs the full pipeline per simulation:
+// opgraph.Build assembles the immutable operator graph (arena nodes, lazy
+// labels), taskgraph.Lower expands it through the profiler's
+// operator-to-task table into an immutable task graph via
+// taskgraph.Builder, and the Algorithm 1 replay engine walks that graph
+// with pooled scratch state. Results are memoized per (model, plan,
+// fidelity), so re-simulating this configuration is a cache hit. See
+// docs/ARCHITECTURE.md for the layer contracts.
 package main
 
 import (

@@ -24,7 +24,10 @@ import (
 	"vtrain/internal/taskgraph"
 )
 
-// Simulator predicts LLM training time on a cluster.
+// Simulator predicts LLM training time on a cluster. A Simulator is safe
+// for concurrent use: the profiler and the plan-level report cache are
+// internally synchronized, and the graphs built per simulation are
+// immutable.
 type Simulator struct {
 	cluster   hw.Cluster
 	device    *gpu.Device

@@ -1,0 +1,30 @@
+package opgraph
+
+const (
+	slabShift = 11
+	slabSize  = 1 << slabShift
+	slabMask  = slabSize - 1
+)
+
+// nodeArena stores nodes as plain values in fixed-size slabs. Growing the
+// arena appends one new slab (a single allocation per slabSize nodes);
+// already-placed nodes never move, so pointers handed out during
+// construction stay valid and no append-doubling copy is ever paid.
+type nodeArena struct {
+	slabs [][]Node
+	n     int
+}
+
+// alloc returns the next zeroed node and its ID.
+func (a *nodeArena) alloc() (*Node, int32) {
+	if a.n>>slabShift == len(a.slabs) {
+		a.slabs = append(a.slabs, make([]Node, slabSize))
+	}
+	id := int32(a.n)
+	nd := &a.slabs[a.n>>slabShift][a.n&slabMask]
+	a.n++
+	return nd, id
+}
+
+// at returns the node with the given ID. IDs are dense: 0 <= id < n.
+func (a *nodeArena) at(id int) *Node { return &a.slabs[id>>slabShift][id&slabMask] }

@@ -1,0 +1,436 @@
+package opgraph
+
+import (
+	"fmt"
+
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+	"vtrain/internal/profiler"
+)
+
+// builder accumulates nodes into the graph's arena through a small
+// append-only API (add/edge) and finalizes the recorded edge pairs into the
+// graph's CSR slices. All cross-references during construction are node
+// indices, never pointers; -1 means "absent".
+type builder struct {
+	g    *Graph
+	m    model.Config
+	plan parallel.Plan
+	c    hw.Cluster
+	nmb  int
+	v    int // virtual stages per device (1 = no interleaving)
+
+	// edges records (from, to) dependency pairs — "to depends on from" —
+	// in emission order; finalize turns them into CSR form.
+	edges [][2]int32
+
+	// fwdOut / bwdOut hold the terminal node of each emitted
+	// (virtual stage, micro) pass — the producers cross-stage P2P
+	// receives depend on. Indexed by virtualStage*nmb + micro; -1 until
+	// the pass is emitted (the emittability test of the deadlock check).
+	fwdOut []int32
+	bwdOut []int32
+	// lastBwdOfLayer, indexed by stage*Layers + layer, is the
+	// final-micro-batch backward operator producing the layer's gradients
+	// (gradient-bucket All-Reduce dependencies); -1 until emitted.
+	lastBwdOfLayer []int32
+}
+
+func newBuilder(m model.Config, plan parallel.Plan, c hw.Cluster, nmb int) *builder {
+	v := plan.VirtualStages
+	if v < 1 {
+		v = 1
+	}
+	b := &builder{
+		g:              &Graph{Stages: plan.Pipeline, Plan: plan, Model: m},
+		m:              m,
+		plan:           plan,
+		c:              c,
+		nmb:            nmb,
+		v:              v,
+		fwdOut:         make([]int32, plan.Pipeline*v*nmb),
+		bwdOut:         make([]int32, plan.Pipeline*v*nmb),
+		lastBwdOfLayer: make([]int32, plan.Pipeline*m.Layers),
+	}
+	fill(b.fwdOut, -1)
+	fill(b.bwdOut, -1)
+	fill(b.lastBwdOfLayer, -1)
+	return b
+}
+
+func fill(s []int32, v int32) {
+	for i := range s {
+		s[i] = v
+	}
+}
+
+// add places a node in the arena, assigning and returning its ID.
+func (b *builder) add(n Node) int32 {
+	nd, id := b.g.arena.alloc()
+	*nd = n
+	nd.ID = id
+	return id
+}
+
+// edge records that node to depends on node from; from < 0 is "no edge".
+func (b *builder) edge(from, to int32) {
+	if from >= 0 {
+		b.edges = append(b.edges, [2]int32{from, to})
+	}
+}
+
+// finalize builds the graph's CSR dependency slices from the recorded edge
+// pairs in two passes: count per-node degrees, then fill. Per-node
+// dependency order equals edge-recording order.
+func (b *builder) finalize() {
+	g := b.g
+	n := g.arena.n
+	g.depStart = make([]int32, n+1)
+	for _, e := range b.edges {
+		g.depStart[e[1]+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.depStart[i+1] += g.depStart[i]
+	}
+	g.deps = make([]int32, len(b.edges))
+	cursor := make([]int32, n)
+	copy(cursor, g.depStart[:n])
+	for _, e := range b.edges {
+		g.deps[cursor[e[1]]] = e[0]
+		cursor[e[1]]++
+	}
+	b.edges = nil
+}
+
+// out indexes fwdOut/bwdOut by (stage, chunk, micro).
+func (b *builder) out(stage, chunk, micro int) int {
+	return b.virtualStage(stage, chunk)*b.nmb + micro
+}
+
+// virtualStage flattens (chunk, device) into Megatron's virtual stage id.
+func (b *builder) virtualStage(stage, chunk int) int { return chunk*b.plan.Pipeline + stage }
+
+// virtualCoords inverts virtualStage.
+func (b *builder) virtualCoords(s int) (stage, chunk int) {
+	return s % b.plan.Pipeline, s / b.plan.Pipeline
+}
+
+// lastVirtual is the id of the final virtual stage.
+func (b *builder) lastVirtual() int { return b.plan.Pipeline*b.v - 1 }
+
+// activationBytes is the FP16 activation tensor crossing block and stage
+// boundaries: micro-batch x sequence x hidden.
+func (b *builder) activationBytes() float64 {
+	return 2 * float64(b.plan.MicroBatch) * float64(b.m.SeqLen) * float64(b.m.Hidden)
+}
+
+// tpIntraNode reports whether the tensor-parallel group fits on NVLink.
+func (b *builder) tpIntraNode() bool { return b.plan.Tensor <= b.c.Node.GPUsPerNode }
+
+// dpIntraNode reports whether a data-parallel group fits inside one node
+// (group stride t, size d, contiguous placement).
+func (b *builder) dpIntraNode() bool {
+	return b.plan.Tensor*b.plan.Data <= b.c.Node.GPUsPerNode
+}
+
+// devicesSameNode reports whether two pipeline devices share a server node
+// for the representative (tensor 0, data 0) replica.
+func (b *builder) devicesSameNode(a, bdev int) bool {
+	stride := b.plan.Tensor * b.plan.Data
+	gpn := b.c.Node.GPUsPerNode
+	return (a*stride)/gpn == (bdev*stride)/gpn
+}
+
+// chunkRange returns the global index of the first decoder layer of
+// (stage, chunk) and the number of layers it holds.
+func (b *builder) chunkRange(stage, chunk int) (first, count int) {
+	if b.v > 1 {
+		cl := b.m.Layers / (b.plan.Pipeline * b.v)
+		return b.virtualStage(stage, chunk) * cl, cl
+	}
+	for i := 0; i < stage; i++ {
+		first += b.plan.StageLayers(b.m, i)
+	}
+	return first, b.plan.StageLayers(b.m, stage)
+}
+
+func (b *builder) build() {
+	p := b.plan.Pipeline
+	// Per-stage index of the previous slot's terminal node: enforces the
+	// intra-GPU execution order of the schedule.
+	prevSlotEnd := make([]int32, p)
+	fill(prevSlotEnd, -1)
+
+	// Interleave construction stage-major but resolve cross-stage
+	// dependencies through fwdOut/bwdOut, which are filled in slot order.
+	// Build in global "schedule round" order so that a receive's
+	// dependency node already exists: construct per-stage slot lists and
+	// emit slots in topological waves.
+	type pending struct {
+		slots []slot
+		next  int
+	}
+	pend := make([]pending, p)
+	for i := 0; i < p; i++ {
+		pend[i] = pending{slots: scheduleSlots(b.plan, i, p, b.nmb)}
+	}
+	// Emit until all slots are placed. A slot is emittable when its
+	// cross-stage producer has been emitted: a forward needs the previous
+	// virtual stage's forward of the same micro-batch, a backward needs
+	// the next virtual stage's backward. Emitted passes are looked up by
+	// index in fwdOut/bwdOut (-1 = not yet emitted), so the deadlock
+	// check never touches node pointers.
+	remaining := 0
+	for i := range pend {
+		remaining += len(pend[i].slots)
+	}
+	for remaining > 0 {
+		progress := false
+		for i := 0; i < p; i++ {
+			for pend[i].next < len(pend[i].slots) {
+				s := pend[i].slots[pend[i].next]
+				vs := b.virtualStage(i, s.chunk)
+				if s.forward && vs > 0 {
+					if b.fwdOut[(vs-1)*b.nmb+s.micro] < 0 {
+						break
+					}
+				}
+				if !s.forward && vs < b.lastVirtual() {
+					if b.bwdOut[(vs+1)*b.nmb+s.micro] < 0 {
+						break
+					}
+				}
+				prevSlotEnd[i] = b.emitSlot(i, s, prevSlotEnd[i])
+				pend[i].next++
+				remaining--
+				progress = true
+			}
+		}
+		if !progress {
+			panic(fmt.Sprintf("opgraph: schedule deadlock building %s", b.plan))
+		}
+	}
+
+	b.emitGradientSync(prevSlotEnd)
+}
+
+// emitSlot builds the operator chain of one forward or backward slot and
+// returns the index of its terminal node.
+func (b *builder) emitSlot(stage int, s slot, prev int32) int32 {
+	if s.forward {
+		return b.emitForward(stage, s.chunk, s.micro, prev)
+	}
+	return b.emitBackward(stage, s.chunk, s.micro, prev)
+}
+
+// tpAllReduce chains a tensor-parallel All-Reduce after tail (a no-op when
+// t = 1) and returns the new tail index.
+func (b *builder) tpAllReduce(stage, chunk, micro, layer int, tail int32, lk labelKind) int32 {
+	if b.plan.Tensor <= 1 {
+		return tail
+	}
+	id := b.add(Node{
+		Kind:      AllReduceTP,
+		Stage:     int32(stage),
+		Micro:     int32(micro),
+		Chunk:     int32(chunk),
+		Layer:     int32(layer),
+		Bytes:     b.activationBytes(),
+		Group:     int32(b.plan.Tensor),
+		IntraNode: b.tpIntraNode(),
+		label:     lk,
+	})
+	b.edge(tail, id)
+	return id
+}
+
+// compute chains a computation operator after tail and returns its index.
+func (b *builder) compute(stage, chunk, micro, layer int, kind profiler.OpKind, tail int32, lk labelKind) int32 {
+	id := b.add(Node{
+		Kind:  Compute,
+		Stage: int32(stage),
+		Micro: int32(micro),
+		Chunk: int32(chunk),
+		Layer: int32(layer),
+		Op:    kind,
+		label: lk,
+	})
+	b.edge(tail, id)
+	return id
+}
+
+// recv emits the P2P vertex receiving an activation (or gradient) produced
+// by device from, sequenced after prev on the receiving device.
+func (b *builder) recv(stage, chunk, micro, from int, producer, prev int32, lk labelKind) int32 {
+	id := b.add(Node{
+		Kind:      P2P,
+		Stage:     int32(stage),
+		Micro:     int32(micro),
+		Chunk:     int32(chunk),
+		Bytes:     b.activationBytes(),
+		Group:     2,
+		IntraNode: b.devicesSameNode(from, stage),
+		label:     lk,
+	})
+	b.edge(producer, id)
+	b.edge(prev, id) // a stage cannot consume a future slot early
+	return id
+}
+
+func (b *builder) emitForward(stage, chunk, micro int, prev int32) int32 {
+	vs := b.virtualStage(stage, chunk)
+	tail := prev
+	if vs == 0 {
+		tail = b.compute(stage, chunk, micro, 0, profiler.FwdEmbedding, tail, lbFwdEmbedding)
+	} else {
+		ps, pc := b.virtualCoords(vs - 1)
+		tail = b.recv(stage, chunk, micro, ps, b.fwdOut[b.out(ps, pc, micro)], prev, lbRecvFwd)
+	}
+	first, layers := b.chunkRange(stage, chunk)
+	for l := 0; l < layers; l++ {
+		gl := first + l
+		tail = b.compute(stage, chunk, micro, gl, profiler.FwdMHA, tail, lbFwdMHA)
+		tail = b.tpAllReduce(stage, chunk, micro, gl, tail, lbARTPFwdMHA)
+		tail = b.compute(stage, chunk, micro, gl, profiler.FwdFFN, tail, lbFwdFFN)
+		tail = b.tpAllReduce(stage, chunk, micro, gl, tail, lbARTPFwdFFN)
+	}
+	if vs == b.lastVirtual() {
+		tail = b.compute(stage, chunk, micro, 0, profiler.FwdLMHead, tail, lbFwdLMHead)
+	}
+	b.fwdOut[b.out(stage, chunk, micro)] = tail
+	return tail
+}
+
+func (b *builder) emitBackward(stage, chunk, micro int, prev int32) int32 {
+	vs := b.virtualStage(stage, chunk)
+	tail := prev
+	if vs == b.lastVirtual() {
+		tail = b.compute(stage, chunk, micro, 0, profiler.BwdLMHead, tail, lbBwdLMHead)
+	} else {
+		ns, nc := b.virtualCoords(vs + 1)
+		tail = b.recv(stage, chunk, micro, ns, b.bwdOut[b.out(ns, nc, micro)], prev, lbRecvBwd)
+	}
+	// The backward of (chunk, micro) consumes its forward activations.
+	b.edge(b.fwdOut[b.out(stage, chunk, micro)], tail)
+	first, layers := b.chunkRange(stage, chunk)
+	for l := layers - 1; l >= 0; l-- {
+		gl := first + l
+		if b.plan.Recompute {
+			// Full activation recomputation: re-execute the layer's
+			// forward pass (including its tensor-parallel
+			// All-Reduces) from the checkpointed input before
+			// running its backward.
+			tail = b.compute(stage, chunk, micro, gl, profiler.FwdMHA, tail, lbRecompMHA)
+			tail = b.tpAllReduce(stage, chunk, micro, gl, tail, lbARTPRecompMHA)
+			tail = b.compute(stage, chunk, micro, gl, profiler.FwdFFN, tail, lbRecompFFN)
+			tail = b.tpAllReduce(stage, chunk, micro, gl, tail, lbARTPRecompFFN)
+		}
+		tail = b.compute(stage, chunk, micro, gl, profiler.BwdFFN, tail, lbBwdFFN)
+		tail = b.tpAllReduce(stage, chunk, micro, gl, tail, lbARTPBwdFFN)
+		tail = b.compute(stage, chunk, micro, gl, profiler.BwdMHA, tail, lbBwdMHA)
+		tail = b.tpAllReduce(stage, chunk, micro, gl, tail, lbARTPBwdMHA)
+		if micro == b.nmb-1 {
+			b.lastBwdOfLayer[stage*b.m.Layers+gl] = tail
+		}
+	}
+	if vs == 0 {
+		tail = b.compute(stage, chunk, micro, 0, profiler.BwdEmbedding, tail, lbBwdEmbedding)
+	}
+	b.bwdOut[b.out(stage, chunk, micro)] = tail
+	return tail
+}
+
+// stageLayerList returns the global layer indices a device owns, in
+// ascending-chunk order.
+func (b *builder) stageLayerList(stage int) []int {
+	var out []int
+	for c := 0; c < b.v; c++ {
+		first, count := b.chunkRange(stage, c)
+		for l := 0; l < count; l++ {
+			out = append(out, first+l)
+		}
+	}
+	return out
+}
+
+// emitGradientSync inserts the data-parallel gradient All-Reduce operators
+// (bucketed per Fig. 5a, or a single one per Fig. 5b) and the weight-update
+// operator on every stage.
+func (b *builder) emitGradientSync(lastSlotEnd []int32) {
+	h := uint64(b.m.Hidden)
+	perLayerParams := 12*h*h + 13*h
+	for stage := 0; stage < b.plan.Pipeline; stage++ {
+		layerList := b.stageLayerList(stage)
+		layers := len(layerList)
+		stageParams := uint64(layers) * perLayerParams
+		if stage == 0 || stage == b.plan.Pipeline-1 {
+			stageParams += uint64(b.m.Vocab) * h // embedding / tied LM head
+		}
+		shardParams := stageParams / uint64(b.plan.Tensor)
+
+		var syncs []int32
+		if b.plan.Data > 1 {
+			buckets := b.plan.GradientBuckets
+			if buckets <= 0 {
+				buckets = 1 // Fig. 5b: one All-Reduce at backward end
+			}
+			if b.v > 1 && buckets > 1 {
+				// Interleaved devices synchronize per model chunk.
+				buckets = b.v
+			}
+			if buckets > layers {
+				buckets = layers
+			}
+			// Partition the stage's layers into contiguous buckets.
+			// Buckets covering later layers become ready earlier in
+			// the backward pass (Fig. 5a) because backward visits
+			// layers in reverse.
+			for bk := 0; bk < buckets; bk++ {
+				lo := layerList[bk*layers/buckets]
+				hi := layerList[(bk+1)*layers/buckets-1] + 1
+				bucketParams := shardParams / uint64(buckets)
+				ar := b.add(Node{
+					Kind:      AllReduceDP,
+					Stage:     int32(stage),
+					Micro:     -1,
+					Layer:     int32(lo),
+					LayerEnd:  int32(hi),
+					Bucket:    int32(bk),
+					Bytes:     2 * float64(bucketParams), // FP16 gradients
+					Group:     int32(b.plan.Data),
+					IntraNode: b.dpIntraNode(),
+					label:     lbARDP,
+				})
+				// Ready when the earliest layer of the bucket has
+				// produced its gradient in the final micro-batch.
+				if n := b.lastBwdOfLayer[stage*b.m.Layers+lo]; n >= 0 {
+					b.edge(n, ar)
+				} else {
+					b.edge(lastSlotEnd[stage], ar)
+				}
+				syncs = append(syncs, ar)
+			}
+		}
+
+		wu := b.add(Node{
+			Kind:   Compute,
+			Stage:  int32(stage),
+			Micro:  -1,
+			Op:     profiler.WeightUpdate,
+			Params: maxU64(shardParams, 1),
+			label:  lbWeightUpdate,
+		})
+		b.edge(lastSlotEnd[stage], wu)
+		for _, ar := range syncs {
+			b.edge(ar, wu)
+		}
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -115,11 +115,12 @@ func TestInterleavedGraphBuilds(t *testing.T) {
 
 	// Embedding still on stage 0 (chunk 0), LM head on the last device
 	// (chunk v-1).
-	for _, n := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
 		if n.Kind != Compute {
 			continue
 		}
-		switch n.Op.Kind {
+		switch n.Op {
 		case profiler.FwdEmbedding:
 			if n.Stage != 0 || n.Chunk != 0 {
 				t.Fatalf("embedding on (stage %d, chunk %d)", n.Stage, n.Chunk)
@@ -138,9 +139,10 @@ func TestInterleavedLayerCoverage(t *testing.T) {
 	plan := interleavedPlan(2, 2, 2)
 	g := build(t, m, plan, 1)
 	fwdMHA := make(map[string]int)
-	for _, n := range g.Nodes {
-		if n.Kind == Compute && n.Op.Kind == profiler.FwdMHA {
-			fwdMHA[n.Label]++
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
+		if n.Kind == Compute && n.Op == profiler.FwdMHA {
+			fwdMHA[n.Label()]++
 		}
 	}
 	// 8 layers x 2 micro-batches of distinct labels, each once.
@@ -170,9 +172,9 @@ func TestInterleavedGraphAcyclicProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for _, n := range g.Nodes {
-			for _, d := range n.Deps {
-				if d >= n.ID {
+		for id := 0; id < g.NumNodes(); id++ {
+			for _, d := range g.Deps(id) {
+				if int(d) >= id {
 					return false
 				}
 			}

@@ -25,6 +25,19 @@
 // instantiates one logical device per pipeline stage: tensor parallelism
 // appears as sharded operator shapes plus intra-node All-Reduce vertices,
 // data parallelism as gradient All-Reduce vertices.
+//
+// # Representation
+//
+// The graph is built for the same sweep-heavy workload the replay engine in
+// internal/taskgraph serves: thousands of (t, d, p) plans constructed and
+// lowered back to back. Nodes are therefore plain values in a slab-grown
+// arena (no per-node heap allocation), dependency edges live in CSR-style
+// index slices finalized by a two-pass builder, and node labels are lazy —
+// a node carries only its (kind, op, stage, chunk, micro, layer)
+// coordinates, and Node.Label composes the human-readable string on demand
+// for trace rendering and tests. A built Graph is immutable: nothing in
+// this package mutates it after Build returns, so it is safe to share
+// across goroutines.
 package opgraph
 
 import (
@@ -67,143 +80,99 @@ func (k NodeKind) String() string {
 	}
 }
 
-// Node is one layer-node of the operator-granularity graph.
+// Node is one layer-node of the operator-granularity graph. Nodes are plain
+// values stored in the graph's slab arena; they carry no label string (see
+// Node.Label) and no adjacency (see Graph.Deps). A Node is immutable once
+// Build returns.
 type Node struct {
-	// ID is the index in Graph.Nodes.
-	ID int
+	// ID is the node's dense index in the graph: 0 <= ID < NumNodes().
+	ID int32
 	// Kind classifies the vertex.
 	Kind NodeKind
 	// Stage is the pipeline stage (logical device) executing the node.
-	Stage int
+	Stage int32
 	// Micro is the micro-batch index, or -1 for per-iteration nodes
 	// (gradient All-Reduce, weight update).
-	Micro int
+	Micro int32
 	// Chunk is the model-chunk index under interleaving (0 otherwise).
-	Chunk int
-	// Op is the computation operator (Kind == Compute).
-	Op profiler.Operator
+	Chunk int32
+	// Layer is the global decoder-layer index for per-layer nodes; for
+	// AllReduceDP nodes it is the first layer of the gradient bucket.
+	Layer int32
+	// LayerEnd is one past the last layer of an AllReduceDP bucket.
+	LayerEnd int32
+	// Bucket is the gradient-bucket index of an AllReduceDP node.
+	Bucket int32
+	// label selects the lazy label format (see label.go).
+	label labelKind
+	// Op is the computation operator kind (Kind == Compute). The full
+	// profiler.Operator is graph-wide state plus this kind and Params;
+	// Graph.OperatorOf composes it.
+	Op profiler.OpKind
+	// Params is the parameter-shard size of WeightUpdate nodes.
+	Params uint64
 	// Bytes is the transfer size of communication nodes.
 	Bytes float64
 	// Group is the participant count of collective nodes.
-	Group int
+	Group int32
 	// IntraNode reports whether the communication stays on NVLink.
 	IntraNode bool
-	// Deps are IDs of nodes that must finish before this one starts.
-	Deps []int
-	// Label is a human-readable tag for traces, e.g. "Fwd MHA L3 mb2".
-	Label string
 }
 
-// Graph is the operator-granularity execution graph of one iteration.
+// Graph is the operator-granularity execution graph of one iteration: a
+// value-typed node arena plus CSR-style dependency slices. Build returns it
+// fully finalized and it is never mutated afterwards, so one Graph may be
+// shared and lowered from any number of goroutines.
 type Graph struct {
-	// Nodes in insertion order; IDs index this slice.
-	Nodes []*Node
+	arena nodeArena
+	// CSR dependencies: the dependencies of node i are
+	// deps[depStart[i]:depStart[i+1]], in edge-insertion order.
+	depStart []int32
+	deps     []int32
+
 	// Stages is the number of logical devices (pipeline depth).
 	Stages int
-	// Plan and Model record what the graph was built from.
+	// Plan and Model record what the graph was built from; together with a
+	// node's Op and Params fields they determine the node's operator
+	// (see OperatorOf).
 	Plan  parallel.Plan
 	Model model.Config
 }
 
-func (g *Graph) add(n *Node) *Node {
-	n.ID = len(g.Nodes)
-	g.Nodes = append(g.Nodes, n)
-	return n
+// NumNodes returns the number of nodes; IDs are dense in [0, NumNodes).
+func (g *Graph) NumNodes() int { return g.arena.n }
+
+// Node returns the node with the given ID. The returned pointer aliases the
+// graph's arena and must be treated as read-only.
+func (g *Graph) Node(id int) *Node { return g.arena.at(id) }
+
+// Deps returns the IDs of the nodes that must finish before node id starts.
+// The slice aliases the graph's CSR storage and must not be modified. IDs
+// are topologically ordered: every dependency precedes its dependent.
+func (g *Graph) Deps(id int) []int32 {
+	return g.deps[g.depStart[id]:g.depStart[id+1]]
 }
 
-// dep appends a dependency edge from -> to (to depends on from).
-func dep(to *Node, from *Node) {
-	if from != nil {
-		to.Deps = append(to.Deps, from.ID)
-	}
-}
+// Label composes the human-readable label of node id on demand; see
+// Node.Label for the laziness contract.
+func (g *Graph) Label(id int) string { return g.arena.at(id).Label() }
 
-// slot identifies one schedule entry: a forward or backward pass of one
-// micro-batch of one model chunk on one stage.
-type slot struct {
-	forward bool
-	micro   int
-	chunk   int
-}
-
-// scheduleSlots returns the execution order of stage i under the plan's
-// pipeline schedule.
-func scheduleSlots(plan parallel.Plan, stage, stages, microBatches int) []slot {
-	if plan.Interleaved() {
-		return interleavedSlots(stage, stages, plan.VirtualStages, microBatches)
+// OperatorOf composes the full profiler operator of a Compute node from the
+// graph-wide model and plan plus the node's operator kind and parameter
+// count. All nodes of one graph share (model, micro-batch, tensor width),
+// so storing only the kind keeps nodes small.
+func (g *Graph) OperatorOf(n *Node) profiler.Operator {
+	return profiler.Operator{
+		Kind:       n.Op,
+		Model:      g.Model,
+		MicroBatch: g.Plan.MicroBatch,
+		Tensor:     g.Plan.Tensor,
+		Params:     n.Params,
 	}
-	slots := make([]slot, 0, 2*microBatches)
-	switch plan.Schedule {
-	case parallel.GPipe:
-		// All forwards, then all backwards in reverse micro-batch
-		// order (Fig. 7a).
-		for j := 0; j < microBatches; j++ {
-			slots = append(slots, slot{forward: true, micro: j})
-		}
-		for j := microBatches - 1; j >= 0; j-- {
-			slots = append(slots, slot{forward: false, micro: j})
-		}
-	default: // 1F1B
-		// Warm-up forwards fill the pipeline, then strict
-		// one-forward-one-backward alternation, then cool-down
-		// backwards (Fig. 7b).
-		warmup := stages - stage
-		if warmup > microBatches {
-			warmup = microBatches
-		}
-		for j := 0; j < warmup; j++ {
-			slots = append(slots, slot{forward: true, micro: j})
-		}
-		for j := warmup; j < microBatches; j++ {
-			slots = append(slots, slot{forward: false, micro: j - warmup})
-			slots = append(slots, slot{forward: true, micro: j})
-		}
-		for j := microBatches - warmup; j < microBatches; j++ {
-			slots = append(slots, slot{forward: false, micro: j})
-		}
-	}
-	return slots
-}
-
-// interleavedSlots generates Megatron-LM's interleaved 1F1B order for one
-// device: micro-batches advance in groups of p per model chunk, with
-// (p - stage - 1)·2 + (v-1)·p warm-up forward slots.
-func interleavedSlots(stage, p, v, microBatches int) []slot {
-	total := microBatches * v
-	fwdAt := func(k int) slot {
-		return slot{
-			forward: true,
-			micro:   (k/(p*v))*p + k%p,
-			chunk:   (k % (p * v)) / p,
-		}
-	}
-	bwdAt := func(k int) slot {
-		return slot{
-			forward: false,
-			micro:   (k/(p*v))*p + k%p,
-			chunk:   v - 1 - (k%(p*v))/p,
-		}
-	}
-	warmup := 2*(p-stage-1) + (v-1)*p
-	if warmup > total {
-		warmup = total
-	}
-	slots := make([]slot, 0, 2*total)
-	for k := 0; k < warmup; k++ {
-		slots = append(slots, fwdAt(k))
-	}
-	for k := warmup; k < total; k++ {
-		slots = append(slots, fwdAt(k))
-		slots = append(slots, bwdAt(k-warmup))
-	}
-	for k := total - warmup; k < total; k++ {
-		slots = append(slots, bwdAt(k))
-	}
-	return slots
 }
 
 // Build constructs the execution graph for one training iteration of m
-// under plan on cluster c.
+// under plan on cluster c. The returned graph is immutable.
 func Build(m model.Config, plan parallel.Plan, c hw.Cluster) (*Graph, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
@@ -218,376 +187,6 @@ func Build(m model.Config, plan parallel.Plan, c hw.Cluster) (*Graph, error) {
 
 	b := newBuilder(m, plan, c, nmb)
 	b.build()
+	b.finalize()
 	return b.g, nil
-}
-
-// key addresses one (stage, chunk, micro) pass.
-type key struct{ stage, chunk, micro int }
-
-type builder struct {
-	g    *Graph
-	m    model.Config
-	plan parallel.Plan
-	c    hw.Cluster
-	nmb  int
-	v    int // virtual stages per device (1 = no interleaving)
-
-	// fwdOut / bwdOut are the boundary nodes cross-stage P2P receives
-	// depend on.
-	fwdOut map[key]*Node
-	bwdOut map[key]*Node
-	// lastBwdOfLayer[stage][layer] is the final-micro-batch backward
-	// operator producing the layer's gradients (bucket All-Reduce deps).
-	lastBwdOfLayer map[[2]int]*Node
-}
-
-func newBuilder(m model.Config, plan parallel.Plan, c hw.Cluster, nmb int) *builder {
-	v := plan.VirtualStages
-	if v < 1 {
-		v = 1
-	}
-	return &builder{
-		g:              &Graph{Stages: plan.Pipeline, Plan: plan, Model: m},
-		m:              m,
-		plan:           plan,
-		c:              c,
-		nmb:            nmb,
-		v:              v,
-		fwdOut:         make(map[key]*Node),
-		bwdOut:         make(map[key]*Node),
-		lastBwdOfLayer: make(map[[2]int]*Node),
-	}
-}
-
-// virtualStage flattens (chunk, device) into Megatron's virtual stage id.
-func (b *builder) virtualStage(stage, chunk int) int { return chunk*b.plan.Pipeline + stage }
-
-// virtualCoords inverts virtualStage.
-func (b *builder) virtualCoords(s int) (stage, chunk int) {
-	return s % b.plan.Pipeline, s / b.plan.Pipeline
-}
-
-// lastVirtual is the id of the final virtual stage.
-func (b *builder) lastVirtual() int { return b.plan.Pipeline*b.v - 1 }
-
-// activationBytes is the FP16 activation tensor crossing block and stage
-// boundaries: micro-batch x sequence x hidden.
-func (b *builder) activationBytes() float64 {
-	return 2 * float64(b.plan.MicroBatch) * float64(b.m.SeqLen) * float64(b.m.Hidden)
-}
-
-// tpIntraNode reports whether the tensor-parallel group fits on NVLink.
-func (b *builder) tpIntraNode() bool { return b.plan.Tensor <= b.c.Node.GPUsPerNode }
-
-// dpIntraNode reports whether a data-parallel group fits inside one node
-// (group stride t, size d, contiguous placement).
-func (b *builder) dpIntraNode() bool {
-	return b.plan.Tensor*b.plan.Data <= b.c.Node.GPUsPerNode
-}
-
-// devicesSameNode reports whether two pipeline devices share a server node
-// for the representative (tensor 0, data 0) replica.
-func (b *builder) devicesSameNode(a, bdev int) bool {
-	stride := b.plan.Tensor * b.plan.Data
-	gpn := b.c.Node.GPUsPerNode
-	return (a*stride)/gpn == (bdev*stride)/gpn
-}
-
-// chunkRange returns the global index of the first decoder layer of
-// (stage, chunk) and the number of layers it holds.
-func (b *builder) chunkRange(stage, chunk int) (first, count int) {
-	if b.v > 1 {
-		cl := b.m.Layers / (b.plan.Pipeline * b.v)
-		return b.virtualStage(stage, chunk) * cl, cl
-	}
-	for i := 0; i < stage; i++ {
-		first += b.plan.StageLayers(b.m, i)
-	}
-	return first, b.plan.StageLayers(b.m, stage)
-}
-
-func (b *builder) op(kind profiler.OpKind, params uint64) profiler.Operator {
-	return profiler.Operator{
-		Kind:       kind,
-		Model:      b.m,
-		MicroBatch: b.plan.MicroBatch,
-		Tensor:     b.plan.Tensor,
-		Params:     params,
-	}
-}
-
-func (b *builder) build() {
-	p := b.plan.Pipeline
-	// Per-stage pointer to the previous slot's terminal node: enforces
-	// the intra-GPU execution order of the schedule.
-	prevSlotEnd := make([]*Node, p)
-
-	// Interleave construction stage-major but resolve cross-stage
-	// dependencies through fwdOut/bwdOut, which are filled in slot order.
-	// Build in global "schedule round" order so that a receive's
-	// dependency node already exists: construct per-stage slot lists and
-	// emit slots in topological waves.
-	type pending struct {
-		slots []slot
-		next  int
-	}
-	pend := make([]pending, p)
-	for i := 0; i < p; i++ {
-		pend[i] = pending{slots: scheduleSlots(b.plan, i, p, b.nmb)}
-	}
-	// Emit until all slots are placed. A slot is emittable when its
-	// cross-stage producer has been emitted: a forward needs the previous
-	// virtual stage's forward of the same micro-batch, a backward needs
-	// the next virtual stage's backward.
-	remaining := 0
-	for i := range pend {
-		remaining += len(pend[i].slots)
-	}
-	for remaining > 0 {
-		progress := false
-		for i := 0; i < p; i++ {
-			for pend[i].next < len(pend[i].slots) {
-				s := pend[i].slots[pend[i].next]
-				vs := b.virtualStage(i, s.chunk)
-				if s.forward && vs > 0 {
-					ps, pc := b.virtualCoords(vs - 1)
-					if _, ok := b.fwdOut[key{ps, pc, s.micro}]; !ok {
-						break
-					}
-				}
-				if !s.forward && vs < b.lastVirtual() {
-					ns, nc := b.virtualCoords(vs + 1)
-					if _, ok := b.bwdOut[key{ns, nc, s.micro}]; !ok {
-						break
-					}
-				}
-				prevSlotEnd[i] = b.emitSlot(i, s, prevSlotEnd[i])
-				pend[i].next++
-				remaining--
-				progress = true
-			}
-		}
-		if !progress {
-			panic(fmt.Sprintf("opgraph: schedule deadlock building %s", b.plan))
-		}
-	}
-
-	b.emitGradientSync(prevSlotEnd)
-}
-
-// emitSlot builds the operator chain of one forward or backward slot and
-// returns its terminal node.
-func (b *builder) emitSlot(stage int, s slot, prev *Node) *Node {
-	if s.forward {
-		return b.emitForward(stage, s.chunk, s.micro, prev)
-	}
-	return b.emitBackward(stage, s.chunk, s.micro, prev)
-}
-
-// chain links n to run after the current tail and returns n.
-func (b *builder) chain(tail *Node, n *Node) *Node {
-	dep(n, tail)
-	return n
-}
-
-func (b *builder) tpAllReduce(stage, chunk, micro int, tail *Node, label string) *Node {
-	if b.plan.Tensor <= 1 {
-		return tail
-	}
-	n := b.g.add(&Node{
-		Kind:      AllReduceTP,
-		Stage:     stage,
-		Micro:     micro,
-		Chunk:     chunk,
-		Bytes:     b.activationBytes(),
-		Group:     b.plan.Tensor,
-		IntraNode: b.tpIntraNode(),
-		Label:     label,
-	})
-	return b.chain(tail, n)
-}
-
-func (b *builder) compute(stage, chunk, micro int, kind profiler.OpKind, tail *Node, label string) *Node {
-	n := b.g.add(&Node{
-		Kind:  Compute,
-		Stage: stage,
-		Micro: micro,
-		Chunk: chunk,
-		Op:    b.op(kind, 0),
-		Label: label,
-	})
-	return b.chain(tail, n)
-}
-
-// recv emits the P2P vertex receiving an activation (or gradient) produced
-// by device from, sequenced after prev on the receiving device.
-func (b *builder) recv(stage, chunk, micro, from int, producer, prev *Node, label string) *Node {
-	n := b.g.add(&Node{
-		Kind:      P2P,
-		Stage:     stage,
-		Micro:     micro,
-		Chunk:     chunk,
-		Bytes:     b.activationBytes(),
-		Group:     2,
-		IntraNode: b.devicesSameNode(from, stage),
-		Label:     label,
-	})
-	dep(n, producer)
-	dep(n, prev) // a stage cannot consume a future slot early
-	return n
-}
-
-func (b *builder) emitForward(stage, chunk, micro int, prev *Node) *Node {
-	vs := b.virtualStage(stage, chunk)
-	tail := prev
-	if vs == 0 {
-		tail = b.compute(stage, chunk, micro, profiler.FwdEmbedding, tail, fmt.Sprintf("Fwd Embedding mb%d", micro))
-	} else {
-		ps, pc := b.virtualCoords(vs - 1)
-		tail = b.recv(stage, chunk, micro, ps, b.fwdOut[key{ps, pc, micro}], prev,
-			fmt.Sprintf("Recv Fwd c%d mb%d", chunk, micro))
-	}
-	first, layers := b.chunkRange(stage, chunk)
-	for l := 0; l < layers; l++ {
-		gl := first + l
-		tail = b.compute(stage, chunk, micro, profiler.FwdMHA, tail, fmt.Sprintf("Fwd MHA L%d mb%d", gl, micro))
-		tail = b.tpAllReduce(stage, chunk, micro, tail, fmt.Sprintf("AR-TP Fwd MHA L%d mb%d", gl, micro))
-		tail = b.compute(stage, chunk, micro, profiler.FwdFFN, tail, fmt.Sprintf("Fwd FFN L%d mb%d", gl, micro))
-		tail = b.tpAllReduce(stage, chunk, micro, tail, fmt.Sprintf("AR-TP Fwd FFN L%d mb%d", gl, micro))
-	}
-	if vs == b.lastVirtual() {
-		tail = b.compute(stage, chunk, micro, profiler.FwdLMHead, tail, fmt.Sprintf("Fwd LMHead mb%d", micro))
-	}
-	b.fwdOut[key{stage, chunk, micro}] = tail
-	return tail
-}
-
-func (b *builder) emitBackward(stage, chunk, micro int, prev *Node) *Node {
-	vs := b.virtualStage(stage, chunk)
-	tail := prev
-	if vs == b.lastVirtual() {
-		tail = b.compute(stage, chunk, micro, profiler.BwdLMHead, tail, fmt.Sprintf("Bwd LMHead mb%d", micro))
-	} else {
-		ns, nc := b.virtualCoords(vs + 1)
-		tail = b.recv(stage, chunk, micro, ns, b.bwdOut[key{ns, nc, micro}], prev,
-			fmt.Sprintf("Recv Bwd c%d mb%d", chunk, micro))
-	}
-	// The backward of (chunk, micro) consumes its forward activations.
-	dep(tail, b.fwdOut[key{stage, chunk, micro}])
-	first, layers := b.chunkRange(stage, chunk)
-	for l := layers - 1; l >= 0; l-- {
-		gl := first + l
-		if b.plan.Recompute {
-			// Full activation recomputation: re-execute the layer's
-			// forward pass (including its tensor-parallel
-			// All-Reduces) from the checkpointed input before
-			// running its backward.
-			tail = b.compute(stage, chunk, micro, profiler.FwdMHA, tail, fmt.Sprintf("Recompute Fwd MHA L%d mb%d", gl, micro))
-			tail = b.tpAllReduce(stage, chunk, micro, tail, fmt.Sprintf("AR-TP Recompute MHA L%d mb%d", gl, micro))
-			tail = b.compute(stage, chunk, micro, profiler.FwdFFN, tail, fmt.Sprintf("Recompute Fwd FFN L%d mb%d", gl, micro))
-			tail = b.tpAllReduce(stage, chunk, micro, tail, fmt.Sprintf("AR-TP Recompute FFN L%d mb%d", gl, micro))
-		}
-		tail = b.compute(stage, chunk, micro, profiler.BwdFFN, tail, fmt.Sprintf("Bwd FFN L%d mb%d", gl, micro))
-		tail = b.tpAllReduce(stage, chunk, micro, tail, fmt.Sprintf("AR-TP Bwd FFN L%d mb%d", gl, micro))
-		tail = b.compute(stage, chunk, micro, profiler.BwdMHA, tail, fmt.Sprintf("Bwd MHA L%d mb%d", gl, micro))
-		tail = b.tpAllReduce(stage, chunk, micro, tail, fmt.Sprintf("AR-TP Bwd MHA L%d mb%d", gl, micro))
-		if micro == b.nmb-1 {
-			b.lastBwdOfLayer[[2]int{stage, gl}] = tail
-		}
-	}
-	if vs == 0 {
-		tail = b.compute(stage, chunk, micro, profiler.BwdEmbedding, tail, fmt.Sprintf("Bwd Embedding mb%d", micro))
-	}
-	b.bwdOut[key{stage, chunk, micro}] = tail
-	return tail
-}
-
-// stageLayerList returns the global layer indices a device owns, in
-// ascending-chunk order.
-func (b *builder) stageLayerList(stage int) []int {
-	var out []int
-	for c := 0; c < b.v; c++ {
-		first, count := b.chunkRange(stage, c)
-		for l := 0; l < count; l++ {
-			out = append(out, first+l)
-		}
-	}
-	return out
-}
-
-// emitGradientSync inserts the data-parallel gradient All-Reduce operators
-// (bucketed per Fig. 5a, or a single one per Fig. 5b) and the weight-update
-// operator on every stage.
-func (b *builder) emitGradientSync(lastSlotEnd []*Node) {
-	h := uint64(b.m.Hidden)
-	perLayerParams := 12*h*h + 13*h
-	for stage := 0; stage < b.plan.Pipeline; stage++ {
-		layerList := b.stageLayerList(stage)
-		layers := len(layerList)
-		stageParams := uint64(layers) * perLayerParams
-		if stage == 0 || stage == b.plan.Pipeline-1 {
-			stageParams += uint64(b.m.Vocab) * h // embedding / tied LM head
-		}
-		shardParams := stageParams / uint64(b.plan.Tensor)
-
-		var syncs []*Node
-		if b.plan.Data > 1 {
-			buckets := b.plan.GradientBuckets
-			if buckets <= 0 {
-				buckets = 1 // Fig. 5b: one All-Reduce at backward end
-			}
-			if b.v > 1 && buckets > 1 {
-				// Interleaved devices synchronize per model chunk.
-				buckets = b.v
-			}
-			if buckets > layers {
-				buckets = layers
-			}
-			// Partition the stage's layers into contiguous buckets.
-			// Buckets covering later layers become ready earlier in
-			// the backward pass (Fig. 5a) because backward visits
-			// layers in reverse.
-			for bk := 0; bk < buckets; bk++ {
-				lo := layerList[bk*layers/buckets]
-				hi := layerList[(bk+1)*layers/buckets-1] + 1
-				bucketParams := shardParams / uint64(buckets)
-				ar := b.g.add(&Node{
-					Kind:      AllReduceDP,
-					Stage:     stage,
-					Micro:     -1,
-					Bytes:     2 * float64(bucketParams), // FP16 gradients
-					Group:     b.plan.Data,
-					IntraNode: b.dpIntraNode(),
-					Label:     fmt.Sprintf("AR-DP bucket%d L[%d,%d) s%d", bk, lo, hi, stage),
-				})
-				// Ready when the earliest layer of the bucket has
-				// produced its gradient in the final micro-batch.
-				if n := b.lastBwdOfLayer[[2]int{stage, lo}]; n != nil {
-					dep(ar, n)
-				} else {
-					dep(ar, lastSlotEnd[stage])
-				}
-				syncs = append(syncs, ar)
-			}
-		}
-
-		wu := b.g.add(&Node{
-			Kind:  Compute,
-			Stage: stage,
-			Micro: -1,
-			Op:    b.op(profiler.WeightUpdate, maxU64(shardParams, 1)),
-			Label: fmt.Sprintf("WeightUpdate s%d", stage),
-		})
-		dep(wu, lastSlotEnd[stage])
-		for _, ar := range syncs {
-			dep(wu, ar)
-		}
-	}
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

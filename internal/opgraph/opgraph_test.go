@@ -26,8 +26,8 @@ func build(t *testing.T, m model.Config, plan parallel.Plan, nodes int) *Graph {
 
 func count(g *Graph, kind NodeKind) int {
 	n := 0
-	for _, nd := range g.Nodes {
-		if nd.Kind == kind {
+	for id := 0; id < g.NumNodes(); id++ {
+		if g.Node(id).Kind == kind {
 			n++
 		}
 	}
@@ -38,10 +38,10 @@ func count(g *Graph, kind NodeKind) int {
 // its dependent), which implies acyclicity.
 func checkAcyclic(t *testing.T, g *Graph) {
 	t.Helper()
-	for _, n := range g.Nodes {
-		for _, d := range n.Deps {
-			if d >= n.ID {
-				t.Fatalf("node %d (%s) depends on later node %d", n.ID, n.Label, d)
+	for id := 0; id < g.NumNodes(); id++ {
+		for _, d := range g.Deps(id) {
+			if int(d) >= id {
+				t.Fatalf("node %d (%s) depends on later node %d", id, g.Label(id), d)
 			}
 		}
 	}
@@ -79,12 +79,13 @@ func TestBucketOverlapDependencies(t *testing.T) {
 	plan := parallel.Plan{Tensor: 1, Data: 4, Pipeline: 1, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
 	g := build(t, m, plan, 1)
 	var arIDs []int
-	lastComputeID := -1
-	for _, n := range g.Nodes {
+	lastComputeID := int32(-1)
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
 		if n.Kind == AllReduceDP {
-			arIDs = append(arIDs, n.ID)
+			arIDs = append(arIDs, id)
 		}
-		if n.Kind == Compute && n.Op.Kind != profiler.WeightUpdate {
+		if n.Kind == Compute && n.Op != profiler.WeightUpdate {
 			lastComputeID = n.ID
 		}
 	}
@@ -92,7 +93,7 @@ func TestBucketOverlapDependencies(t *testing.T) {
 	// backward pass fully completes: its dependency ID < lastComputeID.
 	early := false
 	for _, id := range arIDs {
-		for _, d := range g.Nodes[id].Deps {
+		for _, d := range g.Deps(id) {
 			if d < lastComputeID {
 				early = true
 			}
@@ -160,18 +161,19 @@ func TestEmbeddingAndHeadPlacement(t *testing.T) {
 	m := tinyModel()
 	plan := parallel.Plan{Tensor: 1, Data: 1, Pipeline: 4, MicroBatch: 1, GlobalBatch: 2}
 	g := build(t, m, plan, 1)
-	for _, n := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
 		if n.Kind != Compute {
 			continue
 		}
-		switch n.Op.Kind {
+		switch n.Op {
 		case profiler.FwdEmbedding, profiler.BwdEmbedding:
 			if n.Stage != 0 {
-				t.Fatalf("%v on stage %d, want 0", n.Op.Kind, n.Stage)
+				t.Fatalf("%v on stage %d, want 0", n.Op, n.Stage)
 			}
 		case profiler.FwdLMHead, profiler.BwdLMHead:
-			if n.Stage != plan.Pipeline-1 {
-				t.Fatalf("%v on stage %d, want %d", n.Op.Kind, n.Stage, plan.Pipeline-1)
+			if int(n.Stage) != plan.Pipeline-1 {
+				t.Fatalf("%v on stage %d, want %d", n.Op, n.Stage, plan.Pipeline-1)
 			}
 		}
 	}
@@ -182,19 +184,20 @@ func TestWeightUpdatePerStage(t *testing.T) {
 	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 4, MicroBatch: 1, GlobalBatch: 4, GradientBuckets: 1}
 	g := build(t, m, plan, 8)
 	wu := 0
-	for _, n := range g.Nodes {
-		if n.Kind == Compute && n.Op.Kind == profiler.WeightUpdate {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
+		if n.Kind == Compute && n.Op == profiler.WeightUpdate {
 			wu++
 			// Weight update must wait for the stage's gradient
 			// All-Reduce.
 			foundAR := false
-			for _, d := range n.Deps {
-				if g.Nodes[d].Kind == AllReduceDP {
+			for _, d := range g.Deps(id) {
+				if g.Node(int(d)).Kind == AllReduceDP {
 					foundAR = true
 				}
 			}
 			if !foundAR {
-				t.Fatalf("weight update %d lacks gradient All-Reduce dependency", n.ID)
+				t.Fatalf("weight update %d lacks gradient All-Reduce dependency", id)
 			}
 		}
 	}
@@ -326,9 +329,9 @@ func TestGraphAcyclicProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		for _, n := range g.Nodes {
-			for _, d := range n.Deps {
-				if d >= n.ID {
+		for id := 0; id < g.NumNodes(); id++ {
+			for _, d := range g.Deps(id) {
+				if int(d) >= id {
 					return false
 				}
 			}
@@ -345,16 +348,17 @@ func TestCrossStageDependencies(t *testing.T) {
 	plan := parallel.Plan{Tensor: 1, Data: 1, Pipeline: 2, MicroBatch: 1, GlobalBatch: 2}
 	g := build(t, m, plan, 1)
 	// Every forward receive on stage 1 must depend on a stage-0 node.
-	for _, n := range g.Nodes {
-		if n.Kind == P2P && n.Stage == 1 && strings.HasPrefix(n.Label, "Recv Fwd") {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
+		if n.Kind == P2P && n.Stage == 1 && strings.HasPrefix(n.Label(), "Recv Fwd") {
 			ok := false
-			for _, d := range n.Deps {
-				if g.Nodes[d].Stage == 0 {
+			for _, d := range g.Deps(id) {
+				if g.Node(int(d)).Stage == 0 {
 					ok = true
 				}
 			}
 			if !ok {
-				t.Fatalf("forward receive %q lacks cross-stage dependency", n.Label)
+				t.Fatalf("forward receive %q lacks cross-stage dependency", n.Label())
 			}
 		}
 	}
@@ -366,7 +370,8 @@ func TestCommScopes(t *testing.T) {
 	// stage boundaries are inter-node.
 	plan := parallel.Plan{Tensor: 8, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 4, GradientBuckets: 1}
 	g := build(t, m, plan, 4)
-	for _, n := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
 		switch n.Kind {
 		case AllReduceTP:
 			if !n.IntraNode {
@@ -385,7 +390,8 @@ func TestCommScopes(t *testing.T) {
 	// t=2,d=2: everything in one node for the representative replica.
 	plan = parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 4, GradientBuckets: 1}
 	g = build(t, m, plan, 4)
-	for _, n := range g.Nodes {
+	for id := 0; id < g.NumNodes(); id++ {
+		n := g.Node(id)
 		if n.Kind == AllReduceDP && !n.IntraNode {
 			t.Fatal("t=2,d=2 DP All-Reduce should be intra-node")
 		}

@@ -1,0 +1,87 @@
+package opgraph
+
+import "vtrain/internal/parallel"
+
+// slot identifies one schedule entry: a forward or backward pass of one
+// micro-batch of one model chunk on one stage.
+type slot struct {
+	forward bool
+	micro   int
+	chunk   int
+}
+
+// scheduleSlots returns the execution order of stage i under the plan's
+// pipeline schedule.
+func scheduleSlots(plan parallel.Plan, stage, stages, microBatches int) []slot {
+	if plan.Interleaved() {
+		return interleavedSlots(stage, stages, plan.VirtualStages, microBatches)
+	}
+	slots := make([]slot, 0, 2*microBatches)
+	switch plan.Schedule {
+	case parallel.GPipe:
+		// All forwards, then all backwards in reverse micro-batch
+		// order (Fig. 7a).
+		for j := 0; j < microBatches; j++ {
+			slots = append(slots, slot{forward: true, micro: j})
+		}
+		for j := microBatches - 1; j >= 0; j-- {
+			slots = append(slots, slot{forward: false, micro: j})
+		}
+	default: // 1F1B
+		// Warm-up forwards fill the pipeline, then strict
+		// one-forward-one-backward alternation, then cool-down
+		// backwards (Fig. 7b).
+		warmup := stages - stage
+		if warmup > microBatches {
+			warmup = microBatches
+		}
+		for j := 0; j < warmup; j++ {
+			slots = append(slots, slot{forward: true, micro: j})
+		}
+		for j := warmup; j < microBatches; j++ {
+			slots = append(slots, slot{forward: false, micro: j - warmup})
+			slots = append(slots, slot{forward: true, micro: j})
+		}
+		for j := microBatches - warmup; j < microBatches; j++ {
+			slots = append(slots, slot{forward: false, micro: j})
+		}
+	}
+	return slots
+}
+
+// interleavedSlots generates Megatron-LM's interleaved 1F1B order for one
+// device: micro-batches advance in groups of p per model chunk, with
+// (p - stage - 1)·2 + (v-1)·p warm-up forward slots.
+func interleavedSlots(stage, p, v, microBatches int) []slot {
+	total := microBatches * v
+	fwdAt := func(k int) slot {
+		return slot{
+			forward: true,
+			micro:   (k/(p*v))*p + k%p,
+			chunk:   (k % (p * v)) / p,
+		}
+	}
+	bwdAt := func(k int) slot {
+		return slot{
+			forward: false,
+			micro:   (k/(p*v))*p + k%p,
+			chunk:   v - 1 - (k%(p*v))/p,
+		}
+	}
+	warmup := 2*(p-stage-1) + (v-1)*p
+	if warmup > total {
+		warmup = total
+	}
+	slots := make([]slot, 0, 2*total)
+	for k := 0; k < warmup; k++ {
+		slots = append(slots, fwdAt(k))
+	}
+	for k := warmup; k < total; k++ {
+		slots = append(slots, fwdAt(k))
+		slots = append(slots, bwdAt(k-warmup))
+	}
+	for k := total - warmup; k < total; k++ {
+		slots = append(slots, bwdAt(k))
+	}
+	return slots
+}

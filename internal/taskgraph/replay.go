@@ -94,7 +94,7 @@ func (g *Graph) replay(capture bool) (Result, []Span, error) {
 		res.FLOPs += u.FLOPs
 		executed++
 		if capture {
-			spans = append(spans, Span{Device: u.Device, Stream: u.Stream, Start: start, End: finish, Label: u.DisplayLabel()})
+			spans = append(spans, Span{Device: u.Device, Stream: u.Stream, Start: start, End: finish, Label: g.TaskLabel(int(id))})
 		}
 		for _, cid := range g.Children(int(id)) {
 			if finish > sc.ready[cid] {

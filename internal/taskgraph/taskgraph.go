@@ -71,28 +71,26 @@ type Task struct {
 	// ("FwdMHA", "WeightUpdate", ...) or the communication kind
 	// ("AllReduceTP", "AllReduceDP", "P2P").
 	Class string
-	// Label is inherited from the operator graph for traces.
+	// Label is an optional eager label for hand-built graphs. Lower
+	// leaves it empty: lowered tasks resolve their labels lazily through
+	// the source operator graph (see Graph.TaskLabel), so the simulation
+	// hot path never formats a string.
 	Label string
 	// Kernel is the kernel name for task-granularity lowering (empty at
-	// operator granularity). Kept separate from Label so the hot path
-	// never concatenates strings; DisplayLabel joins them for traces.
+	// operator granularity). Kept separate from the label so the hot path
+	// never concatenates strings; TaskLabel joins them for traces.
 	Kernel string
-}
-
-// DisplayLabel is the task's human-readable trace tag: the operator label,
-// qualified by the kernel name at task granularity.
-func (t *Task) DisplayLabel() string {
-	if t.Kernel == "" {
-		return t.Label
-	}
-	return t.Label + "/" + t.Kernel
 }
 
 // Graph is the task-granularity execution graph: a value-typed task arena
 // plus CSR-style flat adjacency. Once built it is never mutated, so it is
 // safe to share across goroutines and replay any number of times.
 type Graph struct {
-	Tasks   []Task
+	// Tasks is the value-typed task arena in ID order. Read-only after
+	// Build; replay never mutates it.
+	Tasks []Task
+	// Devices is the number of logical devices (pipeline stages), each
+	// owning one compute and one communication stream.
 	Devices int
 
 	// CSR adjacency: the children of task i are
@@ -109,11 +107,31 @@ type Graph struct {
 	// of a map.
 	classes []string
 	classOf []int32
+	// labelOf lazily resolves a task's base label from its Source node in
+	// the originating operator graph; nil for hand-built graphs, which
+	// fall back to Task.Label. Only trace capture calls it.
+	labelOf func(source int) string
 }
 
 // Children returns the dependent task IDs of task id.
 func (g *Graph) Children(id int) []int32 {
 	return g.children[g.childStart[id]:g.childStart[id+1]]
+}
+
+// TaskLabel composes the human-readable trace tag of task id: the source
+// operator's (lazily rendered) label, qualified by the kernel name at task
+// granularity. Labels are formatted only when this is called — plain
+// Simulate replays never pay for them.
+func (g *Graph) TaskLabel(id int) string {
+	t := &g.Tasks[id]
+	base := t.Label
+	if base == "" && g.labelOf != nil {
+		base = g.labelOf(t.Source)
+	}
+	if t.Kernel == "" {
+		return base
+	}
+	return base + "/" + t.Kernel
 }
 
 // Builder accumulates tasks and dependency edges and finalizes them into an
@@ -160,6 +178,13 @@ func (b *Builder) AddEdge(from, to int) {
 	b.edges = append(b.edges, [2]int32{int32(from), int32(to)})
 }
 
+// SetLabeler installs a lazy label resolver mapping a task's Source ID to
+// its base label; Lower points it at the operator graph. Tasks with a
+// non-empty Label keep their eager label.
+func (b *Builder) SetLabeler(f func(source int) string) {
+	b.g.labelOf = f
+}
+
 // Build finalizes the accumulated tasks and edges into CSR form. The
 // builder must not be reused afterwards.
 func (b *Builder) Build() *Graph {
@@ -203,68 +228,74 @@ var _ CommTimer = (*comm.Model)(nil)
 // model cm.
 func Lower(g *opgraph.Graph, prof *profiler.Profiler, cm CommTimer, fid Fidelity) *Graph {
 	b := NewBuilder(g.Stages)
+	// Lowered tasks resolve labels lazily through the operator graph: no
+	// label string exists until a trace is rendered.
+	b.SetLabeler(g.Label)
+	nNodes := g.NumNodes()
 	// Pre-count tasks and edges so the arena and edge list are allocated
 	// exactly once; Profile results are cached by the profiler, so the
 	// extra pass costs lookups, not profiling work.
 	nTasks, nEdges := 0, 0
-	for _, n := range g.Nodes {
+	for id := 0; id < nNodes; id++ {
+		n := g.Node(id)
 		k := 1
 		if n.Kind == opgraph.Compute && fid == TaskLevel {
-			k = len(prof.Profile(n.Op))
+			k = len(prof.Profile(g.OperatorOf(n)))
 		}
 		nTasks += k
-		nEdges += k - 1 + len(n.Deps)
+		nEdges += k - 1 + len(g.Deps(id))
 	}
 	b.Reserve(nTasks, nEdges)
 	// first/last task of each operator-graph node, for edge translation.
-	firstTask := make([]int, len(g.Nodes))
-	lastTask := make([]int, len(g.Nodes))
+	firstTask := make([]int, nNodes)
+	lastTask := make([]int, nNodes)
 
-	for _, n := range g.Nodes {
+	for nid := 0; nid < nNodes; nid++ {
+		n := g.Node(nid)
 		switch n.Kind {
 		case opgraph.Compute:
-			tasks := prof.Profile(n.Op)
-			class := n.Op.Kind.String()
+			tasks := prof.Profile(g.OperatorOf(n))
+			class := n.Op.String()
 			if fid == OperatorLevel || len(tasks) == 1 {
 				var dur, flops float64
 				for _, k := range tasks {
 					dur += k.Duration
 					flops += k.Kernel.FLOPs
 				}
-				id := b.AddTask(Task{Device: n.Stage, Stream: ComputeStream, Duration: dur, FLOPs: flops, Source: n.ID, Class: class, Label: n.Label})
-				firstTask[n.ID], lastTask[n.ID] = id, id
+				id := b.AddTask(Task{Device: int(n.Stage), Stream: ComputeStream, Duration: dur, FLOPs: flops, Source: nid, Class: class})
+				firstTask[nid], lastTask[nid] = id, id
 			} else {
 				prev := -1
 				for i, k := range tasks {
 					id := b.AddTask(Task{
-						Device: n.Stage, Stream: ComputeStream,
+						Device: int(n.Stage), Stream: ComputeStream,
 						Duration: k.Duration, FLOPs: k.Kernel.FLOPs,
-						Source: n.ID, Class: class,
-						Label: n.Label, Kernel: k.Kernel.Name,
+						Source: nid, Class: class,
+						Kernel: k.Kernel.Name,
 					})
 					if i == 0 {
-						firstTask[n.ID] = id
+						firstTask[nid] = id
 					} else {
 						b.AddEdge(prev, id)
 					}
 					prev = id
 				}
-				lastTask[n.ID] = prev
+				lastTask[nid] = prev
 			}
 		case opgraph.AllReduceTP, opgraph.AllReduceDP:
-			dur := cm.AllReduce(n.Bytes, n.Group, n.IntraNode)
-			id := b.AddTask(Task{Device: n.Stage, Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: n.ID, Class: n.Kind.String(), Label: n.Label})
-			firstTask[n.ID], lastTask[n.ID] = id, id
+			dur := cm.AllReduce(n.Bytes, int(n.Group), n.IntraNode)
+			id := b.AddTask(Task{Device: int(n.Stage), Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: nid, Class: n.Kind.String()})
+			firstTask[nid], lastTask[nid] = id, id
 		case opgraph.P2P:
 			dur := cm.SendRecv(n.Bytes, n.IntraNode)
-			id := b.AddTask(Task{Device: n.Stage, Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: n.ID, Class: n.Kind.String(), Label: n.Label})
-			firstTask[n.ID], lastTask[n.ID] = id, id
+			id := b.AddTask(Task{Device: int(n.Stage), Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: nid, Class: n.Kind.String()})
+			firstTask[nid], lastTask[nid] = id, id
 		default:
 			panic(fmt.Sprintf("taskgraph: unknown node kind %v", n.Kind))
 		}
 		// Operator-graph edges: node starts after all its deps finish.
-		for _, d := range n.Deps {
-			b.AddEdge(lastTask[d], firstTask[n.ID])
+		for _, d := range g.Deps(nid) {
+			b.AddEdge(lastTask[d], firstTask[nid])
 		}
 	}
 	return b.Build()

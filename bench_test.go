@@ -546,8 +546,11 @@ func BenchmarkTable4(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures raw Algorithm 1 replay speed on a
 // large task graph (an engineering metric, not a paper exhibit). The
-// plan-level cache is disabled so every iteration rebuilds and replays the
-// graph — the uncached cost a sweep pays per distinct configuration.
+// plan-level report cache is disabled so every iteration binds durations
+// and replays; the structural graph is lowered once and served from the
+// shape-keyed cache thereafter, so this is the marginal cost a sweep pays
+// per plan whose shape is already resident (the cold per-shape cost shows
+// up in BenchmarkDSESweep's lowerings metric).
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	sim, err := core.New(hw.PaperCluster(64), core.WithCacheSize(0)) // TaskLevel fidelity
 	if err != nil {
@@ -565,6 +568,62 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		tasks = rep.Tasks
 	}
 	b.ReportMetric(float64(tasks), "tasks_per_iteration")
+}
+
+// dseSweepSpace is the BenchmarkDSESweep search space: a realistic
+// multi-hundred-point (t, d, p, m) grid over Megatron 39.1B. Many plans
+// share a structural shape — the same (schedule, pipeline depth,
+// micro-batch count, layer split) with different tensor/data widths — which
+// is exactly the redundancy the simulator's shape-keyed structural cache
+// exploits.
+func dseSweepSpace() dse.Space {
+	return dse.Space{
+		TensorWidths:    []int{1, 2, 4, 8, 16},
+		DataWidths:      []int{1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64},
+		PipelineDepths:  []int{1, 2, 4, 6, 8, 12},
+		MicroBatches:    []int{1, 2, 3, 4},
+		GlobalBatch:     384,
+		GradientBuckets: 2,
+		MaxMicroBatches: 64,
+	}
+}
+
+// BenchmarkDSESweep measures one cold design-space sweep end to end: a
+// fresh simulator (empty caches) evaluating every plan of dseSweepSpace with
+// the plan-level report cache disabled, so each point pays its true
+// simulation cost. One op = one whole sweep. The structural-cache metrics
+// pin the shape-sharing win: lowerings counts the graphs actually lowered
+// per sweep, struct_hit_pct the fraction of points served a shared
+// structure.
+func BenchmarkDSESweep(b *testing.B) {
+	m := model.Megatron39_1B()
+	cluster := hw.PaperCluster(256)
+	var points []dse.Point
+	var sim *core.Simulator
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		sim, err = core.New(cluster, core.WithFidelity(taskgraph.OperatorLevel), core.WithCacheSize(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		points, err = dse.Explore(sim, m, dseSweepSpace())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := sim.CacheStats()
+	lowerings := float64(st.StructMisses)
+	b.ReportMetric(float64(len(points)), "design_points")
+	b.ReportMetric(lowerings, "lowerings")
+	b.ReportMetric(100*float64(st.StructHits)/float64(st.StructHits+st.StructMisses), "struct_hit_pct")
+	// The refactor's acceptance bar: structural sharing must cut lowering
+	// invocations at least 3x versus one lowering per design point.
+	if ratio := float64(len(points)) / lowerings; ratio < 3 {
+		b.Fatalf("structural cache only saved %.1fx lowerings (%d points, %.0f lowerings), want >= 3x",
+			ratio, len(points), lowerings)
+	}
 }
 
 // BenchmarkSimulatorThroughputCached measures the same configuration served
@@ -586,8 +645,8 @@ func BenchmarkSimulatorThroughputCached(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
-	_, misses := sim.CacheStats()
-	if misses != 1 {
-		b.Fatalf("cached benchmark re-simulated: %d misses, want 1 (the warm-up)", misses)
+	st := sim.CacheStats()
+	if st.ReportMisses != 1 {
+		b.Fatalf("cached benchmark re-simulated: %d misses, want 1 (the warm-up)", st.ReportMisses)
 	}
 }

@@ -54,13 +54,18 @@ func main() {
 
 	start := time.Now()
 	// Stream the sweep so long explorations show progress; points arrive
-	// in completion order and are ranked afterwards.
+	// in completion order and are ranked afterwards. The cache lines keep
+	// the two levels of reuse visible: reports deduplicate repeated
+	// (model, plan) configurations, structures deduplicate plans sharing a
+	// topology — the shape-keyed lowering cache.
 	var points []dse.Point
 	err = dse.ExploreFunc(sim, m, space, func(p dse.Point) {
 		points = append(points, p)
 		if len(points)%1000 == 0 {
-			fmt.Fprintf(os.Stderr, "... %d points evaluated (%v)\n",
-				len(points), time.Since(start).Round(time.Millisecond))
+			st := sim.CacheStats()
+			fmt.Fprintf(os.Stderr, "... %d points evaluated (%v) — reports %d hit / %d miss, structures %d hit / %d lowered\n",
+				len(points), time.Since(start).Round(time.Millisecond),
+				st.ReportHits, st.ReportMisses, st.StructHits, st.StructMisses)
 		}
 	})
 	if err != nil {
@@ -68,7 +73,10 @@ func main() {
 	}
 	sort.Slice(points, func(i, j int) bool { return points[i].Better(points[j]) })
 	elapsed := time.Since(start)
-	fmt.Printf("explored %d design points in %v\n\n", len(points), elapsed.Round(time.Millisecond))
+	st := sim.CacheStats()
+	fmt.Printf("explored %d design points in %v (%d graphs lowered, %.1f%% structural-cache hit rate)\n\n",
+		len(points), elapsed.Round(time.Millisecond),
+		st.StructMisses, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
 
 	fmt.Printf("%-28s %8s %8s %7s %8s %10s %9s\n",
 		"plan", "GPUs", "iter(s)", "util%", "days", "$/hour", "$total(M)")

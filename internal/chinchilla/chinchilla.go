@@ -135,6 +135,10 @@ type Result struct {
 
 // Search reproduces Table IV: evaluate every candidate on the full cluster
 // and pick the largest model that trains its 20·N tokens within budgetDays.
+// Each candidate model runs a full design-space exploration; within one
+// candidate the sweep's plans share structural shapes through the
+// simulator's lowering cache (shapes are model-keyed, so candidates never
+// share graphs, only the profiler's kernel table).
 func Search(sim *core.Simulator, gpus, globalBatch int, budgetDays float64) (Result, error) {
 	c := Budget(gpus, budgetDays, sim.Cluster().Node.GPU.PeakTensorFLOPS)
 	res := Result{}

@@ -111,7 +111,12 @@ func (p *Profile) MinSize() int {
 }
 
 // BuildProfile computes the offline throughput profile of one model class
-// under the given system, across the allocation sizes.
+// under the given system, across the allocation sizes. Profile building is
+// where the simulator's caches earn their keep: the VTrainEnabled sweeps
+// revisit overlapping (model, plan) points across allocation sizes (report
+// cache), and the many plans of each sweep share a handful of structural
+// shapes (shape-keyed lowering cache), so only duration binding and replay
+// scale with the sweep size.
 func BuildProfile(sim *core.Simulator, system System, m model.Config, globalBatch int, allocs []int) (*Profile, error) {
 	prof := &Profile{
 		Model:       m,

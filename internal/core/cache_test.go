@@ -24,16 +24,16 @@ func TestCacheHitReturnsIdenticalReport(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	hits0, misses0 := s.CacheStats()
-	if hits0 != 0 || misses0 != 1 {
-		t.Fatalf("after one simulation: hits %d misses %d, want 0/1", hits0, misses0)
+	st := s.CacheStats()
+	if st.ReportHits != 0 || st.ReportMisses != 1 {
+		t.Fatalf("after one simulation: hits %d misses %d, want 0/1", st.ReportHits, st.ReportMisses)
 	}
 	second, err := s.Simulate(m, cachePlan(2))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if hits, _ := s.CacheStats(); hits != 1 {
-		t.Fatalf("second simulation missed the cache (hits = %d)", hits)
+	if st := s.CacheStats(); st.ReportHits != 1 {
+		t.Fatalf("second simulation missed the cache (hits = %d)", st.ReportHits)
 	}
 	if !reflect.DeepEqual(first, second) {
 		t.Fatalf("cache hit differs from the simulated report:\n%+v\n%+v", first, second)
@@ -48,8 +48,8 @@ func TestCacheDisabled(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if hits, misses := s.CacheStats(); hits != 0 || misses != 0 {
-		t.Fatalf("disabled cache recorded traffic: hits %d misses %d", hits, misses)
+	if st := s.CacheStats(); st.ReportHits != 0 || st.ReportMisses != 0 {
+		t.Fatalf("disabled cache recorded traffic: hits %d misses %d", st.ReportHits, st.ReportMisses)
 	}
 }
 
@@ -64,14 +64,14 @@ func TestCacheEvictsFIFOWhenFull(t *testing.T) {
 	if _, err := s.Simulate(m, cachePlan(3)); err != nil { // still resident
 		t.Fatal(err)
 	}
-	if hits, _ := s.CacheStats(); hits != 1 {
-		t.Fatalf("resident entry missed (hits = %d)", hits)
+	if st := s.CacheStats(); st.ReportHits != 1 {
+		t.Fatalf("resident entry missed (hits = %d)", st.ReportHits)
 	}
 	if _, err := s.Simulate(m, cachePlan(1)); err != nil { // evicted: re-simulated
 		t.Fatal(err)
 	}
-	if _, misses := s.CacheStats(); misses != 4 {
-		t.Fatalf("evicted entry served from cache (misses = %d, want 4)", misses)
+	if st := s.CacheStats(); st.ReportMisses != 4 {
+		t.Fatalf("evicted entry served from cache (misses = %d, want 4)", st.ReportMisses)
 	}
 }
 
@@ -165,12 +165,12 @@ func TestConcurrentSimulateSharesCacheRaceFree(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	hits, misses := s.CacheStats()
-	if misses != 4 {
-		t.Fatalf("concurrent load re-simulated cached plans: %d misses, want 4", misses)
+	st := s.CacheStats()
+	if st.ReportMisses != 4 {
+		t.Fatalf("concurrent load re-simulated cached plans: %d misses, want 4", st.ReportMisses)
 	}
-	if hits != goroutines*8 {
-		t.Fatalf("hits = %d, want %d", hits, goroutines*8)
+	if st.ReportHits != goroutines*8 {
+		t.Fatalf("hits = %d, want %d", st.ReportHits, goroutines*8)
 	}
 }
 

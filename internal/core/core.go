@@ -29,13 +29,15 @@ import (
 // internally synchronized, and the graphs built per simulation are
 // immutable.
 type Simulator struct {
-	cluster   hw.Cluster
-	device    *gpu.Device
-	profiler  *profiler.Profiler
-	comm      taskgraph.CommTimer
-	fidelity  taskgraph.Fidelity
-	cacheSize int
-	cache     *reportCache
+	cluster    hw.Cluster
+	device     *gpu.Device
+	profiler   *profiler.Profiler
+	comm       taskgraph.CommTimer
+	fidelity   taskgraph.Fidelity
+	cacheSize  int
+	cache      *reportCache
+	structSize int
+	structs    *structCache
 }
 
 // Option configures a Simulator.
@@ -67,6 +69,15 @@ func WithCacheSize(n int) Option {
 	return func(s *Simulator) { s.cacheSize = n }
 }
 
+// WithStructCacheSize bounds the shape-keyed structural-graph cache to n
+// entries (DefaultStructCacheSize if the option is not given). n <= 0
+// disables structural sharing: every simulation lowers its own graph, the
+// pre-cache behavior — useful for one-shot simulators, or as the reference
+// side of equivalence tests.
+func WithStructCacheSize(n int) Option {
+	return func(s *Simulator) { s.structSize = n }
+}
+
 // New builds a simulator for the cluster, profiling its intra-node fabric.
 func New(c hw.Cluster, opts ...Option) (*Simulator, error) {
 	if err := c.Validate(); err != nil {
@@ -74,30 +85,50 @@ func New(c hw.Cluster, opts ...Option) (*Simulator, error) {
 	}
 	dev := gpu.NewDevice(c.Node.GPU)
 	s := &Simulator{
-		cluster:   c,
-		device:    dev,
-		profiler:  profiler.New(dev),
-		comm:      comm.NewModel(c),
-		fidelity:  taskgraph.TaskLevel,
-		cacheSize: DefaultCacheSize,
+		cluster:    c,
+		device:     dev,
+		profiler:   profiler.New(dev),
+		comm:       comm.NewModel(c),
+		fidelity:   taskgraph.TaskLevel,
+		cacheSize:  DefaultCacheSize,
+		structSize: DefaultStructCacheSize,
 	}
 	for _, o := range opts {
 		o(s)
 	}
-	// The cache is created after the options so every entry reflects the
+	// The caches are created after the options so every entry reflects the
 	// final device, communication model, and fidelity; each Simulator has
-	// its own cache, so differently-configured simulators can never serve
-	// each other's reports.
+	// its own caches, so differently-configured simulators can never serve
+	// each other's reports or structural graphs.
 	s.cache = newReportCache(s.cacheSize)
+	s.structs = newStructCache(s.structSize)
 	return s, nil
 }
 
-// CacheStats reports plan-level result cache hits and misses.
-func (s *Simulator) CacheStats() (hits, misses uint64) {
-	if s.cache == nil {
-		return 0, 0
+// CacheStats summarizes the simulator's two caches: the plan-level report
+// cache (one entry per simulated configuration) and the shape-keyed
+// structural cache (one lowered graph per plan topology). StructMisses is
+// exactly the number of lowering invocations performed so far; in a
+// design-space sweep the hit rate shows how many plans shared a structure.
+type CacheStats struct {
+	// ReportHits / ReportMisses count plan-level result cache lookups.
+	ReportHits, ReportMisses uint64
+	// StructHits / StructMisses count structural-graph cache lookups;
+	// both are zero while the report cache absorbs a repeated plan.
+	StructHits, StructMisses uint64
+}
+
+// CacheStats reports hit/miss counters for the report cache and the
+// structural cache.
+func (s *Simulator) CacheStats() CacheStats {
+	var st CacheStats
+	if s.cache != nil {
+		st.ReportHits, st.ReportMisses = s.cache.stats()
 	}
-	return s.cache.stats()
+	if s.structs != nil {
+		st.StructHits, st.StructMisses = s.structs.stats()
+	}
+	return st
 }
 
 // Cluster returns the simulated cluster description.
@@ -163,24 +194,50 @@ func (s *Simulator) SimulateTrace(m model.Config, plan parallel.Plan) (Report, [
 }
 
 func (s *Simulator) simulate(m model.Config, plan parallel.Plan, capture bool) (Report, []taskgraph.Span, error) {
-	og, err := opgraph.Build(m, plan, s.cluster)
+	tg, err := s.structural(m, plan)
 	if err != nil {
 		return Report{}, nil, err
 	}
-	tg := taskgraph.Lower(og, s.profiler, s.comm, s.fidelity)
+	// Bind the per-plan numbers — operator durations from the profiler,
+	// collective and P2P times from the communication model — onto the
+	// (possibly shared) structure, then replay. Binding allocates only the
+	// pooled table; the structure itself is reused untouched.
+	tbl := tg.Bind(s.profiler, s.comm, plan, s.cluster)
+	defer tbl.Release()
 	var (
 		res   taskgraph.Result
 		spans []taskgraph.Span
 	)
 	if capture {
-		res, spans, err = tg.SimulateTrace()
+		res, spans, err = tg.ReplayTrace(tbl)
 	} else {
-		res, err = tg.Simulate()
+		res, err = tg.Replay(tbl)
 	}
 	if err != nil {
 		return Report{}, nil, fmt.Errorf("core: simulating %s under %s: %w", m.Name, plan, err)
 	}
 	return s.assembleReport(m, plan, res), spans, nil
+}
+
+// structural returns the structural task graph for (m, plan) at the
+// simulator's fidelity, serving it from the shape-keyed cache when enabled.
+// The plan is fully validated on every call — a cache hit must not skip the
+// per-plan checks that Build would perform.
+func (s *Simulator) structural(m model.Config, plan parallel.Plan) (*taskgraph.Graph, error) {
+	build := func() (*taskgraph.Graph, error) {
+		og, err := opgraph.Build(m, plan, s.cluster)
+		if err != nil {
+			return nil, err
+		}
+		return taskgraph.Lower(og, s.profiler, s.fidelity), nil
+	}
+	if s.structs == nil {
+		return build()
+	}
+	if err := opgraph.Validate(m, plan, s.cluster); err != nil {
+		return nil, err
+	}
+	return s.structs.get(shapeOf(m, plan, s.fidelity), build)
 }
 
 // assembleReport derives the Report quantities from a replay result.

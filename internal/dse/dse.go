@@ -8,6 +8,13 @@
 // full activation recomputation (exactly what a practitioner would do);
 // plans that still do not fit are excluded during enumeration, so every
 // explored point is memory-feasible.
+//
+// A sweep's cost structure leans on the simulator's two cache levels: the
+// plan-level report cache dedupes repeated (model, plan) configurations,
+// and the shape-keyed structural cache lets the thousands of enumerated
+// plans share a few dozen lowered task graphs — each point then pays only
+// duration binding and replay, not graph construction. Simulator.CacheStats
+// exposes both hit rates for sweep diagnostics.
 package dse
 
 import (
@@ -165,8 +172,9 @@ func (p Point) Better(q Point) bool {
 // incrementally — keep a running best, feed a top-k heap — without holding
 // every point in memory. Completion order is nondeterministic; use
 // Point.Better for deterministic ranking. The workers share the simulator's
-// plan-level cache, so repeated configurations across sweeps cost one
-// simulation.
+// caches: repeated configurations across sweeps cost one simulation, and
+// plans sharing a structural shape lower one task graph between them
+// (concurrent first requests for a shape single-flight onto one lowering).
 func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) error {
 	plans := s.Enumerate(m, sim)
 	if len(plans) == 0 {

@@ -268,6 +268,7 @@ func (b *builder) recv(stage, chunk, micro, from int, producer, prev int32, lk l
 		Stage:     int32(stage),
 		Micro:     int32(micro),
 		Chunk:     int32(chunk),
+		FromStage: int32(from),
 		Bytes:     b.activationBytes(),
 		Group:     2,
 		IntraNode: b.devicesSameNode(from, stage),
@@ -391,16 +392,18 @@ func (b *builder) emitGradientSync(lastSlotEnd []int32) {
 				hi := layerList[(bk+1)*layers/buckets-1] + 1
 				bucketParams := shardParams / uint64(buckets)
 				ar := b.add(Node{
-					Kind:      AllReduceDP,
-					Stage:     int32(stage),
-					Micro:     -1,
-					Layer:     int32(lo),
-					LayerEnd:  int32(hi),
-					Bucket:    int32(bk),
-					Bytes:     2 * float64(bucketParams), // FP16 gradients
-					Group:     int32(b.plan.Data),
-					IntraNode: b.dpIntraNode(),
-					label:     lbARDP,
+					Kind:        AllReduceDP,
+					Stage:       int32(stage),
+					Micro:       -1,
+					Layer:       int32(lo),
+					LayerEnd:    int32(hi),
+					Bucket:      int32(bk),
+					Buckets:     int32(buckets),
+					StageParams: stageParams,
+					Bytes:       2 * float64(bucketParams), // FP16 gradients
+					Group:       int32(b.plan.Data),
+					IntraNode:   b.dpIntraNode(),
+					label:       lbARDP,
 				})
 				// Ready when the earliest layer of the bucket has
 				// produced its gradient in the final micro-batch.
@@ -414,23 +417,17 @@ func (b *builder) emitGradientSync(lastSlotEnd []int32) {
 		}
 
 		wu := b.add(Node{
-			Kind:   Compute,
-			Stage:  int32(stage),
-			Micro:  -1,
-			Op:     profiler.WeightUpdate,
-			Params: maxU64(shardParams, 1),
-			label:  lbWeightUpdate,
+			Kind:        Compute,
+			Stage:       int32(stage),
+			Micro:       -1,
+			Op:          profiler.WeightUpdate,
+			Params:      max(shardParams, 1),
+			StageParams: stageParams,
+			label:       lbWeightUpdate,
 		})
 		b.edge(lastSlotEnd[stage], wu)
 		for _, ar := range syncs {
 			b.edge(ar, wu)
 		}
 	}
-}
-
-func maxU64(a, b uint64) uint64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -68,41 +68,75 @@ var labelSpecs = [...]struct {
 	lbWeightUpdate:  {"WeightUpdate ", formS},
 }
 
-// Label composes the node's human-readable tag, e.g. "Fwd MHA L3 mb2".
-// Labels are lazy: nothing is formatted at graph-construction time, and the
-// output is byte-identical to the eager fmt.Sprintf labels earlier versions
-// stored on every node. Only trace rendering and tests should call this; the
-// simulation hot path never does.
-func (n *Node) Label() string {
-	sp := &labelSpecs[n.label]
+// labelRec is the complete coordinate set a label renders: the one-byte
+// format selector plus the node fields the formats reference. It exists so
+// labels can outlive the graph (see Graph.LabelSnapshot) at a few bytes per
+// node instead of retaining the whole arena.
+type labelRec struct {
+	label                                        labelKind
+	stage, micro, chunk, layer, layerEnd, bucket int32
+}
+
+// rec extracts the node's label coordinates.
+func (n *Node) rec() labelRec {
+	return labelRec{
+		label: n.label,
+		stage: n.Stage, micro: n.Micro, chunk: n.Chunk,
+		layer: n.Layer, layerEnd: n.LayerEnd, bucket: n.Bucket,
+	}
+}
+
+// compose renders the record's human-readable label.
+func (r labelRec) compose() string {
+	sp := &labelSpecs[r.label]
 	buf := make([]byte, 0, 48)
 	buf = append(buf, sp.prefix...)
 	switch sp.form {
 	case formMB:
 		buf = append(buf, 'm', 'b')
-		buf = strconv.AppendInt(buf, int64(n.Micro), 10)
+		buf = strconv.AppendInt(buf, int64(r.micro), 10)
 	case formCMB:
 		buf = append(buf, 'c')
-		buf = strconv.AppendInt(buf, int64(n.Chunk), 10)
+		buf = strconv.AppendInt(buf, int64(r.chunk), 10)
 		buf = append(buf, ' ', 'm', 'b')
-		buf = strconv.AppendInt(buf, int64(n.Micro), 10)
+		buf = strconv.AppendInt(buf, int64(r.micro), 10)
 	case formLMB:
 		buf = append(buf, 'L')
-		buf = strconv.AppendInt(buf, int64(n.Layer), 10)
+		buf = strconv.AppendInt(buf, int64(r.layer), 10)
 		buf = append(buf, ' ', 'm', 'b')
-		buf = strconv.AppendInt(buf, int64(n.Micro), 10)
+		buf = strconv.AppendInt(buf, int64(r.micro), 10)
 	case formS:
 		buf = append(buf, 's')
-		buf = strconv.AppendInt(buf, int64(n.Stage), 10)
+		buf = strconv.AppendInt(buf, int64(r.stage), 10)
 	case formBucket:
 		buf = append(buf, "bucket"...)
-		buf = strconv.AppendInt(buf, int64(n.Bucket), 10)
+		buf = strconv.AppendInt(buf, int64(r.bucket), 10)
 		buf = append(buf, ' ', 'L', '[')
-		buf = strconv.AppendInt(buf, int64(n.Layer), 10)
+		buf = strconv.AppendInt(buf, int64(r.layer), 10)
 		buf = append(buf, ',')
-		buf = strconv.AppendInt(buf, int64(n.LayerEnd), 10)
+		buf = strconv.AppendInt(buf, int64(r.layerEnd), 10)
 		buf = append(buf, ')', ' ', 's')
-		buf = strconv.AppendInt(buf, int64(n.Stage), 10)
+		buf = strconv.AppendInt(buf, int64(r.stage), 10)
 	}
 	return string(buf)
+}
+
+// Label composes the node's human-readable tag, e.g. "Fwd MHA L3 mb2".
+// Labels are lazy: nothing is formatted at graph-construction time, and the
+// output is byte-identical to the eager fmt.Sprintf labels earlier versions
+// stored on every node. Only trace rendering and tests should call this; the
+// simulation hot path never does.
+func (n *Node) Label() string { return n.rec().compose() }
+
+// LabelSnapshot returns a label resolver equivalent to Graph.Label that
+// does not retain the graph: it copies the per-node label coordinates
+// (a labelRec per node) and composes strings from those on demand. Callers
+// that cache lowered task graphs long-term use it so the cached structure
+// does not pin the operator graph's arena and CSR storage.
+func (g *Graph) LabelSnapshot() func(id int) string {
+	recs := make([]labelRec, g.NumNodes())
+	for i := range recs {
+		recs[i] = g.arena.at(i).rec()
+	}
+	return func(id int) string { return recs[id].compose() }
 }

@@ -103,19 +103,40 @@ type Node struct {
 	LayerEnd int32
 	// Bucket is the gradient-bucket index of an AllReduceDP node.
 	Bucket int32
+	// Buckets is the gradient-bucket count of the node's stage (AllReduceDP
+	// nodes). Together with StageParams it lets a lowering price the bucket
+	// for any plan sharing this graph's structural shape.
+	Buckets int32
+	// FromStage is the producing pipeline stage of a P2P node. Unlike
+	// IntraNode (which bakes in this plan's tensor/data widths), the stage
+	// pair is shape-invariant, so duration binding can re-derive node
+	// placement for any plan sharing the structure.
+	FromStage int32
 	// label selects the lazy label format (see label.go).
 	label labelKind
 	// Op is the computation operator kind (Kind == Compute). The full
 	// profiler.Operator is graph-wide state plus this kind and Params;
 	// Graph.OperatorOf composes it.
 	Op profiler.OpKind
-	// Params is the parameter-shard size of WeightUpdate nodes.
+	// Params is the parameter-shard size of WeightUpdate nodes, already
+	// divided by this plan's tensor width. Valid only for the plan the
+	// graph was built from; shape-sharing lowerings derive the shard from
+	// StageParams instead.
 	Params uint64
-	// Bytes is the transfer size of communication nodes.
+	// StageParams is the unsharded parameter count of the node's whole
+	// pipeline stage (WeightUpdate and AllReduceDP nodes): the
+	// tensor-width-independent quantity from which any plan sharing this
+	// graph's structure derives its shard and gradient-bucket sizes.
+	StageParams uint64
+	// Bytes is the transfer size of communication nodes. Like Params it
+	// bakes in the plan the graph was built from (micro-batch size, tensor
+	// width); duration binding for other plans of the same shape recomputes
+	// it from StageParams / the activation shape.
 	Bytes float64
 	// Group is the participant count of collective nodes.
 	Group int32
-	// IntraNode reports whether the communication stays on NVLink.
+	// IntraNode reports whether the communication stays on NVLink under the
+	// plan the graph was built from.
 	IntraNode bool
 }
 
@@ -171,21 +192,31 @@ func (g *Graph) OperatorOf(n *Node) profiler.Operator {
 	}
 }
 
+// Validate checks (m, plan, c) exactly as Build does, without constructing
+// the graph. Callers that skip Build — e.g. a structural-graph cache serving
+// a plan whose shape was already lowered — use it so invalid plans are still
+// rejected per plan, not per shape.
+func Validate(m model.Config, plan parallel.Plan, c hw.Cluster) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if err := plan.Validate(m, c); err != nil {
+		return err
+	}
+	if plan.MicroBatches() < 1 {
+		return fmt.Errorf("opgraph: plan %s yields zero micro-batches", plan)
+	}
+	return nil
+}
+
 // Build constructs the execution graph for one training iteration of m
 // under plan on cluster c. The returned graph is immutable.
 func Build(m model.Config, plan parallel.Plan, c hw.Cluster) (*Graph, error) {
-	if err := m.Validate(); err != nil {
+	if err := Validate(m, plan, c); err != nil {
 		return nil, err
-	}
-	if err := plan.Validate(m, c); err != nil {
-		return nil, err
-	}
-	nmb := plan.MicroBatches()
-	if nmb < 1 {
-		return nil, fmt.Errorf("opgraph: plan %s yields zero micro-batches", plan)
 	}
 
-	b := newBuilder(m, plan, c, nmb)
+	b := newBuilder(m, plan, c, plan.MicroBatches())
 	b.build()
 	b.finalize()
 	return b.g, nil

@@ -1,0 +1,207 @@
+package taskgraph
+
+import (
+	"sync"
+
+	"vtrain/internal/hw"
+	"vtrain/internal/parallel"
+	"vtrain/internal/profiler"
+)
+
+// descKind classifies duration descriptors.
+type descKind uint8
+
+const (
+	// descOperator prices a whole computation operator (the summed kernel
+	// durations — operator-level fidelity, or a single-kernel operator).
+	descOperator descKind = iota
+	// descKernel prices one kernel of a multi-kernel operator.
+	descKernel
+	// descAllReduceTP prices the tensor-parallel activation All-Reduce.
+	descAllReduceTP
+	// descAllReduceDP prices one data-parallel gradient-bucket All-Reduce.
+	descAllReduceDP
+	// descP2P prices a pipeline Send-Receive between two stages.
+	descP2P
+)
+
+// durDesc is one entry of a structural graph's duration-descriptor table:
+// everything needed to price a task for any plan sharing the graph's shape,
+// expressed in shape-invariant terms. Descriptors are value-comparable and
+// deduplicated during lowering, so the table stays tiny (one entry per
+// operator kind / kernel index / stage-parameter class / stage pair) even
+// for graphs with tens of thousands of tasks.
+type durDesc struct {
+	kind descKind
+	// op is the computation operator kind (descOperator, descKernel).
+	op profiler.OpKind
+	// kernel is the kernel index within the operator (descKernel).
+	kernel int32
+	// stageParams is the unsharded parameter count of the task's pipeline
+	// stage (WeightUpdate operators and gradient All-Reduces); the bound
+	// plan's tensor width derives the shard from it.
+	stageParams uint64
+	// buckets is the gradient-bucket count of the stage (descAllReduceDP).
+	buckets int32
+	// from and to are the producer and consumer stages (descP2P), from
+	// which binding derives node placement for the bound plan.
+	from, to int32
+}
+
+// DurationTable holds the per-plan numbers of one (structural graph, plan)
+// binding: a flat duration and FLOPs value per task ID. The table is
+// read-only during replay, so one shared structural graph can be bound to
+// many plans and replayed concurrently, each replay combining the immutable
+// structure with its own table.
+type DurationTable struct {
+	dur   []float64
+	flops []float64
+
+	// Binding context, retained so trace capture can resolve the
+	// plan-dependent parts of task labels (kernel symbols embed tensor
+	// shapes) lazily.
+	prof *profiler.Profiler
+	plan parallel.Plan
+}
+
+// Duration returns the bound execution time of task id in seconds.
+func (t *DurationTable) Duration(id int) float64 { return t.dur[id] }
+
+// Len returns the number of bound tasks.
+func (t *DurationTable) Len() int { return len(t.dur) }
+
+// tablePool recycles DurationTables across Bind/Release cycles, keeping
+// sweep workers allocation-lean: a worker that binds thousands of plans
+// reuses the same slices.
+var tablePool = sync.Pool{New: func() any { return new(DurationTable) }}
+
+// tableFor returns a pooled table sized for n tasks.
+func tableFor(n int) *DurationTable {
+	t := tablePool.Get().(*DurationTable)
+	if cap(t.dur) < n {
+		t.dur = make([]float64, n)
+		t.flops = make([]float64, n)
+	}
+	t.dur = t.dur[:n]
+	t.flops = t.flops[:n]
+	return t
+}
+
+// Release returns the table to the binding pool. Callers that are done with
+// a bound replay should release its table; using the table afterwards is a
+// bug. Release is optional — an unreleased table is ordinary garbage.
+func (t *DurationTable) Release() {
+	if t == nil {
+		return
+	}
+	t.prof = nil
+	t.plan = parallel.Plan{}
+	tablePool.Put(t)
+}
+
+// operatorFor composes the profiler operator of a compute descriptor for
+// one concrete plan, reproducing exactly the parameter arithmetic the
+// per-plan graph builder uses (integer shard division, minimum 1).
+func (d *durDesc) operatorFor(g *Graph, plan parallel.Plan) profiler.Operator {
+	op := profiler.Operator{
+		Kind:       d.op,
+		Model:      g.Model,
+		MicroBatch: plan.MicroBatch,
+		Tensor:     plan.Tensor,
+	}
+	if d.stageParams != 0 {
+		op.Params = max(d.stageParams/uint64(plan.Tensor), 1)
+	}
+	return op
+}
+
+// Bind resolves the graph's duration descriptors against the profiler and
+// the communication model for one concrete plan, producing the per-task
+// DurationTable that Replay combines with the shared structure.
+//
+// Binding never mutates the graph, so many goroutines may bind one shared
+// structural graph concurrently — the property shape-keyed caching relies
+// on. Compute descriptors are priced once per distinct descriptor (the
+// profiler memoizes kernel decompositions per operator shape);
+// communication tasks are priced individually in task-ID order, preserving
+// the call sequence a from-scratch lowering would present to a stateful
+// CommTimer.
+//
+// On a hand-built graph (no descriptors) Bind copies the tasks' eager
+// durations, so Replay behaves identically to Simulate.
+func (g *Graph) Bind(prof *profiler.Profiler, cm CommTimer, plan parallel.Plan, c hw.Cluster) *DurationTable {
+	n := len(g.Tasks)
+	tbl := tableFor(n)
+	tbl.prof = prof
+	tbl.plan = plan
+	if g.descs == nil {
+		for i := range g.Tasks {
+			tbl.dur[i] = g.Tasks[i].Duration
+			tbl.flops[i] = g.Tasks[i].FLOPs
+		}
+		return tbl
+	}
+
+	// Price the pure compute descriptors once each.
+	type val struct{ dur, flops float64 }
+	vals := make([]val, len(g.descs))
+	for i := range g.descs {
+		d := &g.descs[i]
+		switch d.kind {
+		case descOperator:
+			var dur, flops float64
+			for _, k := range prof.Profile(d.operatorFor(g, plan)) {
+				dur += k.Duration
+				flops += k.Kernel.FLOPs
+			}
+			vals[i] = val{dur, flops}
+		case descKernel:
+			k := prof.Profile(d.operatorFor(g, plan))[d.kernel]
+			vals[i] = val{k.Duration, k.Kernel.FLOPs}
+		}
+	}
+
+	// Fan out to tasks, pricing communication per task in ID order. The
+	// arithmetic mirrors the operator-graph builder exactly (multiplication
+	// order included) so bound durations are bit-identical to a from-scratch
+	// lowering of the same plan.
+	gpn := c.Node.GPUsPerNode
+	stride := plan.Tensor * plan.Data
+	actBytes := 2 * float64(plan.MicroBatch) * float64(g.Model.SeqLen) * float64(g.Model.Hidden)
+	for i := range g.Tasks {
+		d := &g.descs[g.durIdx[i]]
+		switch d.kind {
+		case descOperator, descKernel:
+			v := vals[g.durIdx[i]]
+			tbl.dur[i] = v.dur
+			tbl.flops[i] = v.flops
+		case descAllReduceTP:
+			tbl.dur[i] = cm.AllReduce(actBytes, plan.Tensor, plan.Tensor <= gpn)
+			tbl.flops[i] = 0
+		case descAllReduceDP:
+			bucketParams := d.stageParams / uint64(plan.Tensor) / uint64(d.buckets)
+			tbl.dur[i] = cm.AllReduce(2*float64(bucketParams), plan.Data, stride <= gpn)
+			tbl.flops[i] = 0
+		case descP2P:
+			same := (int(d.from)*stride)/gpn == (int(d.to)*stride)/gpn
+			tbl.dur[i] = cm.SendRecv(actBytes, same)
+			tbl.flops[i] = 0
+		}
+	}
+	return tbl
+}
+
+// taskLabel composes the trace label of task id under this binding: the
+// structural base label qualified by the bound plan's kernel symbol for
+// kernel-granularity tasks. Only trace capture calls it.
+func (t *DurationTable) taskLabel(g *Graph, id int) string {
+	base := g.TaskLabel(id)
+	if g.descs == nil {
+		return base
+	}
+	d := &g.descs[g.durIdx[id]]
+	if d.kind != descKernel {
+		return base
+	}
+	return base + "/" + t.prof.Profile(d.operatorFor(g, t.plan))[d.kernel].Kernel.Name
+}

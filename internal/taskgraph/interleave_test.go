@@ -17,8 +17,8 @@ func deepModel() model.Config {
 	return model.Config{Name: "deep8", Hidden: 256, Layers: 8, SeqLen: 128, Heads: 4, Vocab: 1024}
 }
 
-// lowerDeep lowers a plan over the 8-layer model.
-func lowerDeep(t *testing.T, plan parallel.Plan, fid Fidelity) *Graph {
+// lowerDeep lowers a plan over the 8-layer model and binds its durations.
+func lowerDeep(t *testing.T, plan parallel.Plan, fid Fidelity) boundGraph {
 	t.Helper()
 	c := hw.PaperCluster(8)
 	og, err := opgraph.Build(deepModel(), plan, c)
@@ -26,7 +26,8 @@ func lowerDeep(t *testing.T, plan parallel.Plan, fid Fidelity) *Graph {
 		t.Fatal(err)
 	}
 	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
-	return Lower(og, prof, comm.NewModel(c), fid)
+	g := Lower(og, prof, fid)
+	return boundGraph{g: g, tbl: g.Bind(prof, comm.NewModel(c), plan, c)}
 }
 
 // bubbleFraction runs a plan and returns the mean compute-idle fraction.

@@ -55,9 +55,24 @@ func (sc *scratch) reset(n, devices, classes int) {
 }
 
 // replay runs Algorithm 1 over the immutable graph using pooled scratch
-// state. It never writes to g, so concurrent replays of one graph are safe.
-func (g *Graph) replay(capture bool) (Result, []Span, error) {
+// state. It never writes to g (or tbl), so concurrent replays of one graph
+// are safe. tbl supplies the per-plan durations of a structural graph; for
+// hand-built graphs it may be nil, falling back to the tasks' eager values.
+func (g *Graph) replay(tbl *DurationTable, capture bool) (Result, []Span, error) {
 	n := len(g.Tasks)
+	if n == 0 {
+		return Result{}, nil, fmt.Errorf("taskgraph: graph has no tasks")
+	}
+	if g.descs != nil && tbl == nil {
+		return Result{}, nil, fmt.Errorf("taskgraph: structural graph has no durations; Bind a DurationTable and use Replay")
+	}
+	var durs, flops []float64
+	if tbl != nil {
+		if len(tbl.dur) != n {
+			return Result{}, nil, fmt.Errorf("taskgraph: duration table binds %d tasks, graph has %d", len(tbl.dur), n)
+		}
+		durs, flops = tbl.dur, tbl.flops
+	}
 	sc := scratchPool.Get().(*scratch)
 	sc.reset(n, g.Devices, len(g.classes))
 
@@ -77,24 +92,34 @@ func (g *Graph) replay(capture bool) (Result, []Span, error) {
 	for head := 0; head < len(queue); head++ {
 		id := queue[head] // fetch in FIFO order
 		u := &g.Tasks[id]
+		dur, fl := u.Duration, u.FLOPs
+		if durs != nil {
+			dur, fl = durs[id], flops[id]
+		}
 		start := sc.ready[id]
 		slot := 2*u.Device + int(u.Stream)
 		if f := sc.free[slot]; f > start {
 			start = f
 		}
-		finish := start + u.Duration
+		finish := start + dur
 		sc.free[slot] = finish // proceed the timeline
 		switch u.Stream {
 		case ComputeStream:
-			res.ComputeBusy[u.Device] += u.Duration
+			res.ComputeBusy[u.Device] += dur
 		case CommStream:
-			res.CommBusy[u.Device] += u.Duration
+			res.CommBusy[u.Device] += dur
 		}
-		sc.classSec[g.classOf[id]] += u.Duration
-		res.FLOPs += u.FLOPs
+		sc.classSec[g.classOf[id]] += dur
+		res.FLOPs += fl
 		executed++
 		if capture {
-			spans = append(spans, Span{Device: u.Device, Stream: u.Stream, Start: start, End: finish, Label: g.TaskLabel(int(id))})
+			label := ""
+			if tbl != nil {
+				label = tbl.taskLabel(g, int(id))
+			} else {
+				label = g.TaskLabel(int(id))
+			}
+			spans = append(spans, Span{Device: u.Device, Stream: u.Stream, Start: start, End: finish, Label: label})
 		}
 		for _, cid := range g.Children(int(id)) {
 			if finish > sc.ready[cid] {

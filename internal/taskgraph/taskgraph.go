@@ -11,9 +11,26 @@
 // overlap backward computation (Fig. 5a) while tensor-parallel All-Reduces
 // remain serialized through their dependency edges.
 //
+// # Structure vs. timing
+//
+// Lowering is split into two phases so design-space sweeps can share work
+// across plans:
+//
+//   - Lower builds the structural graph: tasks, dependency edges, and a
+//     compact duration descriptor per task — but no numbers. The structure
+//     depends only on the plan's shape (schedule, pipeline depth,
+//     micro-batch count, interleaving, layer split, fidelity), so one
+//     structural graph serves every (t, d, micro-batch-size) variant of
+//     that shape.
+//   - Bind resolves each descriptor against the profiler and the
+//     communication model for one concrete plan, producing a DurationTable:
+//     a flat per-task duration (and FLOPs) array that Replay combines with
+//     the shared structure.
+//
 // A lowered Graph is immutable: all per-replay state (dependency reference
 // counts, earliest-start times, resource timelines) lives in a pooled
-// scratch structure, so one graph can be replayed repeatedly and from many
+// scratch structure, and all per-plan numbers live in the DurationTable,
+// so one graph can be bound and replayed repeatedly and from many
 // goroutines concurrently — the property design-space sweeps rely on.
 package taskgraph
 
@@ -21,6 +38,7 @@ import (
 	"fmt"
 
 	"vtrain/internal/comm"
+	"vtrain/internal/model"
 	"vtrain/internal/opgraph"
 	"vtrain/internal/profiler"
 )
@@ -52,6 +70,11 @@ const (
 // Task is one vertex of the task-granularity execution graph. Tasks are
 // plain values stored in the graph's arena; they carry no mutable replay
 // state.
+//
+// Lowered (structural) graphs leave Duration, FLOPs, CommBytes, and Kernel
+// at their zero values: those quantities depend on the concrete plan and
+// are bound per plan into a DurationTable. The fields remain for hand-built
+// graphs, whose eager values Replay falls back to when no table is given.
 type Task struct {
 	// ID indexes Graph.Tasks.
 	ID int
@@ -59,11 +82,14 @@ type Task struct {
 	Device int
 	// Stream is the device resource the task occupies.
 	Stream Stream
-	// Duration is the execution time in seconds.
+	// Duration is the execution time in seconds (hand-built graphs only;
+	// structural graphs bind durations per plan — see Graph.Bind).
 	Duration float64
-	// FLOPs is the arithmetic work (zero for communication).
+	// FLOPs is the arithmetic work (zero for communication; hand-built
+	// graphs only, like Duration).
 	FLOPs float64
-	// CommBytes is the transfer size (zero for computation).
+	// CommBytes is the transfer size (zero for computation; hand-built
+	// graphs only).
 	CommBytes float64
 	// Source is the originating operator-graph node ID.
 	Source int
@@ -76,9 +102,10 @@ type Task struct {
 	// the source operator graph (see Graph.TaskLabel), so the simulation
 	// hot path never formats a string.
 	Label string
-	// Kernel is the kernel name for task-granularity lowering (empty at
-	// operator granularity). Kept separate from the label so the hot path
-	// never concatenates strings; TaskLabel joins them for traces.
+	// Kernel is an optional eager kernel name for hand-built graphs. Lower
+	// leaves it empty: a structural task's kernel name depends on the bound
+	// plan (kernel symbols embed tensor shapes), so traces resolve it
+	// through the DurationTable.
 	Kernel string
 }
 
@@ -92,6 +119,10 @@ type Graph struct {
 	// Devices is the number of logical devices (pipeline stages), each
 	// owning one compute and one communication stream.
 	Devices int
+	// Model is the model the graph was lowered from (zero for hand-built
+	// graphs). The model is part of the structural shape — the layer split
+	// depends on it — so Bind prices operators against it directly.
+	Model model.Config
 
 	// CSR adjacency: the children of task i are
 	// children[childStart[i]:childStart[i+1]], in edge-insertion order.
@@ -107,11 +138,21 @@ type Graph struct {
 	// of a map.
 	classes []string
 	classOf []int32
+	// descs is the compact duration-descriptor table of a structural
+	// graph (nil for hand-built graphs): every distinct way a task can be
+	// priced, deduplicated. durIdx maps each task to its descriptor. Bind
+	// resolves descriptors into concrete per-task durations for one plan.
+	descs  []durDesc
+	durIdx []int32
 	// labelOf lazily resolves a task's base label from its Source node in
 	// the originating operator graph; nil for hand-built graphs, which
 	// fall back to Task.Label. Only trace capture calls it.
 	labelOf func(source int) string
 }
+
+// Structural reports whether the graph was lowered without durations and
+// therefore needs a Bind-produced DurationTable to replay.
+func (g *Graph) Structural() bool { return g.descs != nil }
 
 // Children returns the dependent task IDs of task id.
 func (g *Graph) Children(id int) []int32 {
@@ -141,6 +182,7 @@ type Builder struct {
 	g       Graph
 	edges   [][2]int32
 	classID map[string]int32
+	descID  map[durDesc]int32
 }
 
 // NewBuilder starts a graph over the given number of logical devices.
@@ -157,6 +199,25 @@ func (b *Builder) Reserve(tasks, edges int) {
 	b.g.Tasks = make([]Task, 0, tasks)
 	b.g.classOf = make([]int32, 0, tasks)
 	b.edges = make([][2]int32, 0, edges)
+}
+
+// addTaskDesc appends a task together with its interned duration
+// descriptor — the structural-lowering path. A builder must use either
+// AddTask (eager durations) or addTaskDesc (descriptors) exclusively.
+func (b *Builder) addTaskDesc(t Task, d durDesc) int {
+	id := b.AddTask(t)
+	if b.descID == nil {
+		b.descID = make(map[durDesc]int32)
+		b.g.durIdx = make([]int32, 0, cap(b.g.Tasks))
+	}
+	di, ok := b.descID[d]
+	if !ok {
+		di = int32(len(b.g.descs))
+		b.g.descs = append(b.g.descs, d)
+		b.descID[d] = di
+	}
+	b.g.durIdx = append(b.g.durIdx, di)
+	return id
 }
 
 // AddTask appends a task to the arena, assigning and returning its ID.
@@ -190,6 +251,9 @@ func (b *Builder) SetLabeler(f func(source int) string) {
 func (b *Builder) Build() *Graph {
 	g := &b.g
 	n := len(g.Tasks)
+	if g.descs != nil && len(g.durIdx) != n {
+		panic("taskgraph: builder mixed eager tasks with duration descriptors")
+	}
 	g.childStart = make([]int32, n+1)
 	g.indeg = make([]int32, n)
 	for _, e := range b.edges {
@@ -214,8 +278,10 @@ func (b *Builder) Build() *Graph {
 	return g
 }
 
-// CommTimer prices communication operators during lowering. *comm.Model
-// implements it; the testbed wraps it with contention effects.
+// CommTimer prices communication operators during duration binding.
+// *comm.Model implements it; the testbed wraps it with contention effects.
+// Bind calls it once per communication task in task-ID order, so stateful
+// implementations see the same call sequence a from-scratch lowering would.
 type CommTimer interface {
 	AllReduce(bytes float64, n int, intraNode bool) float64
 	SendRecv(bytes float64, sameNode bool) float64
@@ -223,14 +289,23 @@ type CommTimer interface {
 
 var _ CommTimer = (*comm.Model)(nil)
 
-// Lower translates the operator graph into a task graph using the
-// operator-to-task lookup table maintained by prof and the communication
-// model cm.
-func Lower(g *opgraph.Graph, prof *profiler.Profiler, cm CommTimer, fid Fidelity) *Graph {
+// Lower translates the operator graph into a structural task graph: tasks,
+// dependency edges, and one duration descriptor per task — no durations.
+// The result depends only on the plan's structural shape (schedule,
+// pipeline depth, micro-batch count, interleaving, layer split, fidelity),
+// so it can be cached and shared across every plan of that shape; Bind
+// resolves the descriptors into per-plan durations.
+//
+// prof is consulted only for the kernel count of each operator (fixed per
+// operator kind), never for durations.
+func Lower(g *opgraph.Graph, prof *profiler.Profiler, fid Fidelity) *Graph {
 	b := NewBuilder(g.Stages)
-	// Lowered tasks resolve labels lazily through the operator graph: no
-	// label string exists until a trace is rendered.
-	b.SetLabeler(g.Label)
+	// Lowered tasks resolve labels lazily through a snapshot of the
+	// operator graph's label coordinates: no label string exists until a
+	// trace is rendered, and the (cacheable, long-lived) task graph does
+	// not pin the operator graph's storage.
+	b.SetLabeler(g.LabelSnapshot())
+	b.g.Model = g.Model
 	nNodes := g.NumNodes()
 	// Pre-count tasks and edges so the arena and edge list are allocated
 	// exactly once; Profile results are cached by the profiler, so the
@@ -254,25 +329,24 @@ func Lower(g *opgraph.Graph, prof *profiler.Profiler, cm CommTimer, fid Fidelity
 		n := g.Node(nid)
 		switch n.Kind {
 		case opgraph.Compute:
-			tasks := prof.Profile(g.OperatorOf(n))
 			class := n.Op.String()
-			if fid == OperatorLevel || len(tasks) == 1 {
-				var dur, flops float64
-				for _, k := range tasks {
-					dur += k.Duration
-					flops += k.Kernel.FLOPs
-				}
-				id := b.AddTask(Task{Device: int(n.Stage), Stream: ComputeStream, Duration: dur, FLOPs: flops, Source: nid, Class: class})
+			kernels := 1
+			if fid == TaskLevel {
+				kernels = len(prof.Profile(g.OperatorOf(n)))
+			}
+			if kernels == 1 {
+				id := b.addTaskDesc(
+					Task{Device: int(n.Stage), Stream: ComputeStream, Source: nid, Class: class},
+					durDesc{kind: descOperator, op: n.Op, stageParams: n.StageParams},
+				)
 				firstTask[nid], lastTask[nid] = id, id
 			} else {
 				prev := -1
-				for i, k := range tasks {
-					id := b.AddTask(Task{
-						Device: int(n.Stage), Stream: ComputeStream,
-						Duration: k.Duration, FLOPs: k.Kernel.FLOPs,
-						Source: nid, Class: class,
-						Kernel: k.Kernel.Name,
-					})
+				for i := 0; i < kernels; i++ {
+					id := b.addTaskDesc(
+						Task{Device: int(n.Stage), Stream: ComputeStream, Source: nid, Class: class},
+						durDesc{kind: descKernel, op: n.Op, kernel: int32(i), stageParams: n.StageParams},
+					)
 					if i == 0 {
 						firstTask[nid] = id
 					} else {
@@ -282,13 +356,23 @@ func Lower(g *opgraph.Graph, prof *profiler.Profiler, cm CommTimer, fid Fidelity
 				}
 				lastTask[nid] = prev
 			}
-		case opgraph.AllReduceTP, opgraph.AllReduceDP:
-			dur := cm.AllReduce(n.Bytes, int(n.Group), n.IntraNode)
-			id := b.AddTask(Task{Device: int(n.Stage), Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: nid, Class: n.Kind.String()})
+		case opgraph.AllReduceTP:
+			id := b.addTaskDesc(
+				Task{Device: int(n.Stage), Stream: CommStream, Source: nid, Class: n.Kind.String()},
+				durDesc{kind: descAllReduceTP},
+			)
+			firstTask[nid], lastTask[nid] = id, id
+		case opgraph.AllReduceDP:
+			id := b.addTaskDesc(
+				Task{Device: int(n.Stage), Stream: CommStream, Source: nid, Class: n.Kind.String()},
+				durDesc{kind: descAllReduceDP, stageParams: n.StageParams, buckets: n.Buckets},
+			)
 			firstTask[nid], lastTask[nid] = id, id
 		case opgraph.P2P:
-			dur := cm.SendRecv(n.Bytes, n.IntraNode)
-			id := b.AddTask(Task{Device: int(n.Stage), Stream: CommStream, Duration: dur, CommBytes: n.Bytes, Source: nid, Class: n.Kind.String()})
+			id := b.addTaskDesc(
+				Task{Device: int(n.Stage), Stream: CommStream, Source: nid, Class: n.Kind.String()},
+				durDesc{kind: descP2P, from: n.FromStage, to: n.Stage},
+			)
 			firstTask[nid], lastTask[nid] = id, id
 		default:
 			panic(fmt.Sprintf("taskgraph: unknown node kind %v", n.Kind))
@@ -322,7 +406,19 @@ type Result struct {
 // per-device timelines (split into compute and communication streams), and
 // dependency reference counts. It is deterministic, does not mutate the
 // graph, and is safe to call concurrently on one Graph.
+//
+// Simulate uses the tasks' eager durations and therefore only works on
+// hand-built graphs; a structural graph (produced by Lower) must be bound
+// to a plan first and replayed with Replay.
 func (g *Graph) Simulate() (Result, error) {
-	res, _, err := g.replay(false)
+	res, _, err := g.replay(nil, false)
+	return res, err
+}
+
+// Replay simulates the graph using the per-plan durations bound in tbl.
+// The graph and table are both read-only during replay, so one shared
+// structural graph may be replayed under many tables concurrently.
+func (g *Graph) Replay(tbl *DurationTable) (Result, error) {
+	res, _, err := g.replay(tbl, false)
 	return res, err
 }

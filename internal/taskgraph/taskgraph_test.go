@@ -19,7 +19,14 @@ func tinyModel() model.Config {
 	return model.Config{Name: "tiny", Hidden: 256, Layers: 4, SeqLen: 128, Heads: 4, Vocab: 1024}
 }
 
-func lower(t *testing.T, plan parallel.Plan, fid Fidelity) *Graph {
+// boundGraph pairs a structural graph with the duration table bound for
+// the plan it was lowered from — the unit most tests replay.
+type boundGraph struct {
+	g   *Graph
+	tbl *DurationTable
+}
+
+func lower(t *testing.T, plan parallel.Plan, fid Fidelity) boundGraph {
 	t.Helper()
 	c := hw.PaperCluster(8)
 	og, err := opgraph.Build(tinyModel(), plan, c)
@@ -27,12 +34,13 @@ func lower(t *testing.T, plan parallel.Plan, fid Fidelity) *Graph {
 		t.Fatal(err)
 	}
 	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
-	return Lower(og, prof, comm.NewModel(c), fid)
+	g := Lower(og, prof, fid)
+	return boundGraph{g: g, tbl: g.Bind(prof, comm.NewModel(c), plan, c)}
 }
 
-func simulate(t *testing.T, g *Graph) Result {
+func simulate(t *testing.T, b boundGraph) Result {
 	t.Helper()
-	res, err := g.Simulate()
+	res, err := b.g.Replay(b.tbl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,8 +172,8 @@ func TestZeroCommStillSimulates(t *testing.T) {
 		t.Fatal(err)
 	}
 	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
-	g := Lower(og, prof, zeroComm{}, OperatorLevel)
-	res := simulate(t, g)
+	g := Lower(og, prof, OperatorLevel)
+	res := simulate(t, boundGraph{g: g, tbl: g.Bind(prof, zeroComm{}, plan, c)})
 	if res.IterTime <= 0 {
 		t.Fatal("zero-comm simulation produced non-positive time")
 	}
@@ -181,14 +189,19 @@ func TestSimulationMonotoneInKernelDurations(t *testing.T) {
 		t.Fatal(err)
 	}
 	cm := comm.NewModel(c)
+	run := func(dev *gpu.Device) (Result, error) {
+		prof := profiler.New(dev)
+		g := Lower(og, prof, OperatorLevel)
+		return g.Replay(g.Bind(prof, cm, plan, c))
+	}
 	f := func(slowdown8 uint8) bool {
 		slow := 1 + float64(slowdown8)/64
 		fast := gpu.NewDevice(c.Node.GPU)
 		slower := gpu.NewDevice(c.Node.GPU)
 		slower.MaxTensorEff = fast.MaxTensorEff / slow
 		slower.MemEff = fast.MemEff / slow
-		rFast, err1 := Lower(og, profiler.New(fast), cm, OperatorLevel).Simulate()
-		rSlow, err2 := Lower(og, profiler.New(slower), cm, OperatorLevel).Simulate()
+		rFast, err1 := run(fast)
+		rSlow, err2 := run(slower)
 		return err1 == nil && err2 == nil && rSlow.IterTime >= rFast.IterTime-1e-12
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
@@ -200,8 +213,82 @@ func TestAllTasksExecuted(t *testing.T) {
 	plan := parallel.Plan{Tensor: 1, Data: 2, Pipeline: 4, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2, Recompute: true}
 	g := lower(t, plan, TaskLevel)
 	res := simulate(t, g)
-	if res.Executed != len(g.Tasks) {
-		t.Fatalf("executed %d of %d tasks", res.Executed, len(g.Tasks))
+	if res.Executed != len(g.g.Tasks) {
+		t.Fatalf("executed %d of %d tasks", res.Executed, len(g.g.Tasks))
+	}
+}
+
+func TestZeroTaskGraphErrors(t *testing.T) {
+	// Regression: a graph with no tasks used to replay "successfully" into
+	// an all-zero Result, which core then dressed up as a plausible
+	// all-zero Report. It must be an explicit error on every replay path.
+	g := NewBuilder(1).Build()
+	if _, err := g.Simulate(); err == nil {
+		t.Fatal("Simulate on a zero-task graph must error")
+	}
+	if _, _, err := g.SimulateTrace(); err == nil {
+		t.Fatal("SimulateTrace on a zero-task graph must error")
+	}
+	if _, err := g.Replay(nil); err == nil {
+		t.Fatal("Replay on a zero-task graph must error")
+	}
+}
+
+func TestStructuralGraphRequiresBinding(t *testing.T) {
+	// A structural graph has no durations of its own: replaying it without
+	// a bound table (or with a table of the wrong size) must fail loudly
+	// rather than simulate every task at zero seconds.
+	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
+	b := lower(t, plan, OperatorLevel)
+	if !b.g.Structural() {
+		t.Fatal("Lower produced a non-structural graph")
+	}
+	if _, err := b.g.Simulate(); err == nil {
+		t.Fatal("Simulate on an unbound structural graph must error")
+	}
+	if _, err := b.g.Replay(nil); err == nil {
+		t.Fatal("Replay(nil) on a structural graph must error")
+	}
+	other := lower(t, parallel.Plan{Tensor: 1, Data: 1, Pipeline: 1, MicroBatch: 1, GlobalBatch: 2}, OperatorLevel)
+	if _, err := b.g.Replay(other.tbl); err == nil {
+		t.Fatal("Replay with a mismatched table must error")
+	}
+}
+
+func TestBindSharedGraphAcrossPlans(t *testing.T) {
+	// One structural graph, two bindings: the plan with double the tensor
+	// width must see different durations through the same structure, and
+	// binding must leave the graph untouched.
+	c := hw.PaperCluster(8)
+	base := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
+	wide := parallel.Plan{Tensor: 4, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
+	og, err := opgraph.Build(tinyModel(), base, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
+	g := Lower(og, prof, OperatorLevel)
+	cm := comm.NewModel(c)
+
+	rBase, err := g.Replay(g.Bind(prof, cm, base, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWide, err := g.Replay(g.Bind(prof, cm, wide, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rWide.IterTime == rBase.IterTime || rWide.FLOPs == rBase.FLOPs {
+		t.Fatalf("t=4 binding should differ from t=2: iter %.6g vs %.6g", rWide.IterTime, rBase.IterTime)
+	}
+	// Rebinding the first plan reproduces its result exactly: nothing about
+	// the wide binding leaked into the shared structure.
+	rAgain, err := g.Replay(g.Bind(prof, cm, base, c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rAgain.IterTime != rBase.IterTime || rAgain.FLOPs != rBase.FLOPs {
+		t.Fatalf("re-binding diverged: %.9g vs %.9g", rAgain.IterTime, rBase.IterTime)
 	}
 }
 
@@ -231,7 +318,10 @@ func TestBuilderAdjacency(t *testing.T) {
 	if len(g.Children(c)) != 0 {
 		t.Fatal("leaf has children")
 	}
-	res := simulate(t, g)
+	res, err := g.Simulate()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.Executed != 3 || res.ClassSeconds["A"] != 2 || res.ClassSeconds["B"] != 1 {
 		t.Fatalf("unexpected result %+v", res)
 	}
@@ -253,7 +343,7 @@ func TestConcurrentReplaysAgree(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = g.Simulate()
+			results[i], errs[i] = g.g.Replay(g.tbl)
 		}(i)
 	}
 	wg.Wait()

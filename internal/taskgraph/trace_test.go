@@ -9,11 +9,11 @@ import (
 	"vtrain/internal/parallel"
 )
 
-func traceGraph(t *testing.T) (*Graph, Result, []Span) {
+func traceGraph(t *testing.T) (boundGraph, Result, []Span) {
 	t.Helper()
 	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
 	g := lower(t, plan, TaskLevel)
-	res, spans, err := g.SimulateTrace()
+	res, spans, err := g.g.ReplayTrace(g.tbl)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +22,7 @@ func traceGraph(t *testing.T) (*Graph, Result, []Span) {
 
 func TestSimulateTraceMatchesSimulate(t *testing.T) {
 	g, res, spans := traceGraph(t)
-	plain, err := g.Simulate()
+	plain, err := g.g.Replay(g.tbl)
 	if err != nil {
 		t.Fatal(err)
 	}

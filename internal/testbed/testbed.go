@@ -169,13 +169,18 @@ func (t *Testbed) measure(m model.Config, plan parallel.Plan) (float64, error) {
 
 	// One-shot simulator: the drifted device and stateful contended comm
 	// model are unique to this measurement, so plan-level caching would
-	// only hold stale entries — disable it.
+	// only hold stale entries and a structural cache would only retain a
+	// graph nobody revisits — disable both. The contended model's noise
+	// stays reproducible because duration binding prices communication
+	// tasks in task order, the same rng-draw sequence a from-scratch
+	// lowering presents.
 	cc := &contendedComm{base: t.base, cfg: t.cfg, interferer: interferer, rng: rng}
 	sim, err := core.New(t.cluster,
 		core.WithDevice(dev),
 		core.WithCommTimer(cc),
 		core.WithFidelity(taskgraph.OperatorLevel),
 		core.WithCacheSize(0),
+		core.WithStructCacheSize(0),
 	)
 	if err != nil {
 		return 0, err

@@ -155,11 +155,13 @@ func Run(cluster hw.Cluster, cases []Case, tbCfg testbed.Config, seed uint64) (R
 func RunCalibrated(cluster hw.Cluster, cases []Case, tbCfg testbed.Config, seed uint64) (Result, error) {
 	base := comm.NewModel(cluster)
 	return runWith(cluster, cases, tbCfg, seed, func(c Case) (*core.Simulator, error) {
-		// One-shot per-case simulator: nothing repeats, skip the cache.
+		// One-shot per-case simulator: nothing repeats, skip both the
+		// report cache and the structural cache.
 		return core.New(cluster,
 			core.WithFidelity(taskgraph.OperatorLevel),
 			core.WithCommTimer(comm.DefaultCalibration(base, c.Plan.Tensor)),
 			core.WithCacheSize(0),
+			core.WithStructCacheSize(0),
 		)
 	})
 }

@@ -1,0 +1,219 @@
+// Command vtrain-clusterdse runs the joint cluster-design exploration: it
+// sweeps (GPU generation x node count x interconnect x parallel plan) for a
+// model, prices every candidate with the hardware catalog, and prints the
+// cost-ranked candidates, the (cost, days) Pareto frontier, and — given a
+// deadline — the cheapest cluster that meets it. This is the paper's
+// Table II question ("which cluster should train this model?") opened into
+// a search instead of a hand comparison.
+//
+// Usage:
+//
+//	vtrain-clusterdse -model megatron-18.4b -batch 1024 -tokens 300e9 \
+//	    -nodes 4,8,16,32 [-offerings all] [-deadline 30] [-cross-interconnects] \
+//	    [-top 10] [-csv points.csv]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"vtrain/internal/clusterdse"
+	"vtrain/internal/core"
+	"vtrain/internal/descfile"
+	"vtrain/internal/hw"
+	"vtrain/internal/taskgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vtrain-clusterdse: ")
+
+	preset := flag.String("model", "megatron-18.4b", "model preset (see descfile presets)")
+	batch := flag.Int("batch", 1024, "global batch size in sequences")
+	tokens := flag.Float64("tokens", 300e9, "total training tokens for cost projection")
+	nodesList := flag.String("nodes", "4,8,16,32", "comma-separated cluster sizes to provision, in nodes")
+	offerings := flag.String("offerings", "all", `comma-separated catalog offerings, or "all"`)
+	cross := flag.Bool("cross-interconnects", false, "also try every node type with every interconnect tier")
+	deadline := flag.Float64("deadline", 0, "training deadline in days (0 = no deadline)")
+	top := flag.Int("top", 10, "how many cheapest configurations to print")
+	csvPath := flag.String("csv", "", "write every design point to this CSV file")
+	flag.Parse()
+
+	m, err := descfile.LookupModel(*preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodeCounts, err := parseInts(*nodesList)
+	if err != nil {
+		log.Fatal(err)
+	}
+	offs, err := selectOfferings(*offerings, *cross)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	space := clusterdse.DefaultSpace(m, *batch, uint64(*tokens), nodeCounts)
+	space.Offerings = offs
+
+	sim, err := clusterdse.NewSimulator(space, core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	var points []clusterdse.Point
+	err = clusterdse.ExploreFunc(sim, m, space, func(p clusterdse.Point) {
+		points = append(points, p)
+		if len(points)%1000 == 0 {
+			st := sim.CacheStats()
+			fmt.Fprintf(os.Stderr, "... %d points evaluated (%v) — structures %d hit / %d lowered\n",
+				len(points), time.Since(start).Round(time.Millisecond), st.StructHits, st.StructMisses)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sorted := append([]clusterdse.Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Better(sorted[j]) })
+	st := sim.CacheStats()
+	fmt.Printf("explored %d (offering x nodes x plan) points across %d hardware candidates in %v\n",
+		len(points), len(offs)*len(nodeCounts), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("structural cache: %d graphs lowered, %.1f%% hit rate — hardware variants of a shape share one lowering\n\n",
+		st.StructMisses, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
+
+	fmt.Printf("%d cheapest configurations for %s (%.0fB tokens):\n", *top, m, *tokens/1e9)
+	printHeader()
+	for i, p := range sorted {
+		if i >= *top {
+			break
+		}
+		printPoint(p)
+	}
+
+	front := clusterdse.ParetoFrontier(sorted)
+	fmt.Printf("\nPareto frontier — no cluster is both cheaper and faster (%d points):\n", len(front))
+	printHeader()
+	for _, p := range front {
+		printPoint(p)
+	}
+
+	if *deadline > 0 {
+		if best, ok := clusterdse.CheapestWithinDeadline(sorted, *deadline); ok {
+			fmt.Printf("\ncheapest cluster meeting the %.0f-day deadline:\n", *deadline)
+			printHeader()
+			printPoint(best)
+		} else {
+			fmt.Printf("\nno configuration trains %s within %.0f days — add nodes or offerings\n", m.Name, *deadline)
+		}
+	}
+
+	if *csvPath != "" {
+		if err := dumpCSV(*csvPath, sorted, m.Name); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %d points to %s\n", len(sorted), *csvPath)
+	}
+}
+
+func printHeader() {
+	fmt.Printf("  %-14s %6s %6s %-24s %8s %7s %8s %9s %10s\n",
+		"offering", "nodes", "GPUs", "plan", "iter(s)", "util%", "days", "$/hour", "$total(M)")
+}
+
+func printPoint(p clusterdse.Point) {
+	fmt.Printf("  %-14s %6d %6d %-24s %8.2f %7.2f %8.2f %9.0f %10.2f\n",
+		p.Offering.Name, p.Nodes, p.GPUs(), p.Plan,
+		p.Report.IterTime, 100*p.Report.Utilization,
+		p.Training.Days, p.Training.DollarsPerHour, p.Training.TotalDollars/1e6)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad node count %q: %w", f, err)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no node counts given")
+	}
+	return out, nil
+}
+
+func selectOfferings(names string, cross bool) ([]hw.Offering, error) {
+	var base []hw.Offering
+	if names == "all" {
+		base = hw.Catalog()
+	} else {
+		for _, n := range strings.Split(names, ",") {
+			o, err := hw.LookupOffering(strings.TrimSpace(n))
+			if err != nil {
+				return nil, err
+			}
+			base = append(base, o)
+		}
+	}
+	if !cross {
+		return base, nil
+	}
+	// Cross every node type with every fabric tier (keeping the node's
+	// price): the "same machines, different network" axis.
+	var out []hw.Offering
+	for _, o := range base {
+		out = append(out, o)
+		for _, ic := range hw.Interconnects() {
+			if ic.Name == o.Interconnect.Name {
+				continue
+			}
+			out = append(out, o.WithInterconnect(ic))
+		}
+	}
+	return out, nil
+}
+
+func dumpCSV(path string, points []clusterdse.Point, name string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.Write([]string{"model", "offering", "interconnect", "nodes", "gpus",
+		"t", "d", "p", "m", "iter_s", "util", "days", "gpu_hours", "dollars"}); err != nil {
+		return err
+	}
+	for _, p := range points {
+		rec := []string{
+			name, p.Offering.Name, p.Offering.Interconnect.Name,
+			strconv.Itoa(p.Nodes), strconv.Itoa(p.GPUs()),
+			strconv.Itoa(p.Plan.Tensor), strconv.Itoa(p.Plan.Data),
+			strconv.Itoa(p.Plan.Pipeline), strconv.Itoa(p.Plan.MicroBatch),
+			strconv.FormatFloat(p.Report.IterTime, 'f', 4, 64),
+			strconv.FormatFloat(p.Report.Utilization, 'f', 4, 64),
+			strconv.FormatFloat(p.Training.Days, 'f', 2, 64),
+			strconv.FormatFloat(p.Training.GPUHours, 'f', 0, 64),
+			strconv.FormatFloat(p.Training.TotalDollars, 'f', 0, 64),
+		}
+		if err := w.Write(rec); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

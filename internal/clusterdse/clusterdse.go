@@ -1,0 +1,240 @@
+// Package clusterdse performs joint cluster-design exploration — the
+// question behind the paper's third case study (Section V-C, Table II):
+// which cluster trains a model most cost-effectively, and which is the
+// cheapest that still meets a deadline?
+//
+// Where internal/dse sweeps the parallel-plan axes (t, d, p, m) on one
+// fixed cluster, this package additionally sweeps the hardware axes of the
+// catalog in internal/hw: GPU generation, node count, and interconnect
+// tier, each candidate carrying its own per-GPU-hour price. Every candidate
+// cluster is required to be fully used (the plan's t·d·p equals the
+// cluster's GPU count, as in Table II's 64/256/512-GPU comparisons), so a
+// candidate's training cost is the price of the whole provisioned cluster
+// for the whole run.
+//
+// The sweep's cost structure leans on the structure/timing split: task-graph
+// structure is hardware-invariant, so all hardware variants of one plan
+// shape share a single lowered graph. ExploreFunc derives one sibling
+// simulator per candidate cluster from a single root via
+// core.Simulator.ForCluster — they share the shape-keyed structural cache —
+// and a hardware-only sweep therefore pays for exactly one lowering no
+// matter how many clusters it compares (pinned by the package tests and
+// BenchmarkClusterSweep).
+package clusterdse
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vtrain/internal/core"
+	"vtrain/internal/cost"
+	"vtrain/internal/dse"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+)
+
+// Space describes a joint (hardware x plan) sweep.
+type Space struct {
+	// Offerings are the hardware candidates: GPU generation + node type +
+	// interconnect tier + price (see hw.Catalog).
+	Offerings []hw.Offering
+	// NodeCounts are the cluster sizes to provision, in nodes.
+	NodeCounts []int
+	// Plans carries the parallel-plan axes swept inside each candidate
+	// cluster. Its ExactGPUs field is overwritten per candidate so every
+	// plan uses the whole provisioned cluster; MaxGPUs is ignored.
+	Plans dse.Space
+	// TotalTokens is the training-run length the costs are projected over.
+	TotalTokens uint64
+}
+
+// DefaultSpace sweeps the full catalog over the given node counts with the
+// standard plan space of dse.DefaultSpace.
+func DefaultSpace(m model.Config, globalBatch int, totalTokens uint64, nodeCounts []int) Space {
+	plans := dse.DefaultSpace(m, globalBatch)
+	plans.MaxMicroBatches = 512
+	return Space{
+		Offerings:   hw.Catalog(),
+		NodeCounts:  nodeCounts,
+		Plans:       plans,
+		TotalTokens: totalTokens,
+	}
+}
+
+// Candidate is one hardware configuration of the sweep.
+type Candidate struct {
+	Offering hw.Offering
+	Nodes    int
+}
+
+// Cluster materializes the candidate.
+func (c Candidate) Cluster() hw.Cluster { return c.Offering.Cluster(c.Nodes) }
+
+// GPUs returns the candidate's total GPU count.
+func (c Candidate) GPUs() int { return c.Nodes * c.Offering.Node.GPUsPerNode }
+
+// String implements fmt.Stringer.
+func (c Candidate) String() string {
+	return fmt.Sprintf("%s x%d nodes (%d GPUs, %s)", c.Offering.Name, c.Nodes, c.GPUs(), c.Offering.Interconnect.Name)
+}
+
+// Point is one evaluated (hardware, plan) design point. Every streamed
+// point is feasible: infeasible plans are excluded during enumeration, and
+// candidates the model cannot run on at all are skipped.
+type Point struct {
+	Candidate
+	Plan     parallel.Plan
+	Report   core.Report
+	Training cost.Training
+}
+
+// Better reports whether p should rank ahead of q: lower training cost,
+// then fewer days, then the (offering, nodes, t, d, p, m) tuple as a
+// deterministic tie-break — the ranking analogue of dse.Point.Better, with
+// cost in iteration time's role.
+func (p Point) Better(q Point) bool {
+	if p.Training.TotalDollars != q.Training.TotalDollars {
+		return p.Training.TotalDollars < q.Training.TotalDollars
+	}
+	if p.Training.Days != q.Training.Days {
+		return p.Training.Days < q.Training.Days
+	}
+	if p.Offering.Name != q.Offering.Name {
+		return p.Offering.Name < q.Offering.Name
+	}
+	if p.Nodes != q.Nodes {
+		return p.Nodes < q.Nodes
+	}
+	a, b := p.Plan, q.Plan
+	switch {
+	case a.Tensor != b.Tensor:
+		return a.Tensor < b.Tensor
+	case a.Data != b.Data:
+		return a.Data < b.Data
+	case a.Pipeline != b.Pipeline:
+		return a.Pipeline < b.Pipeline
+	default:
+		return a.MicroBatch < b.MicroBatch
+	}
+}
+
+// NewSimulator builds the root simulator a sweep derives its per-cluster
+// siblings from, using the space's first candidate as the root cluster.
+// Pass core.WithFidelity(taskgraph.OperatorLevel) for sweep-speed fidelity;
+// the option set otherwise mirrors core.New.
+func NewSimulator(s Space, opts ...core.Option) (*core.Simulator, error) {
+	if len(s.Offerings) == 0 || len(s.NodeCounts) == 0 {
+		return nil, fmt.Errorf("clusterdse: space needs at least one offering and one node count")
+	}
+	return core.New(s.Offerings[0].Cluster(s.NodeCounts[0]), opts...)
+}
+
+// ExploreFunc evaluates every feasible (offering, node count, plan)
+// configuration of the space and streams each Point to fn as it completes.
+// Calls to fn are serialized; completion order within one candidate is
+// nondeterministic (bounded worker pool), so rank with Point.Better.
+//
+// All candidates are simulated through siblings of sim (see
+// core.Simulator.ForCluster) so they share one structural cache: the
+// hardware axes add design points but no lowerings. sim.CacheStats reports
+// the shared structural counters after the sweep.
+//
+// Candidates on which the model has no valid, memory-feasible plan are
+// skipped; if every candidate is skipped the sweep returns an error.
+func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) error {
+	if len(s.Offerings) == 0 || len(s.NodeCounts) == 0 {
+		return fmt.Errorf("clusterdse: space needs at least one offering and one node count")
+	}
+	if s.TotalTokens == 0 {
+		return fmt.Errorf("clusterdse: space needs TotalTokens to price training runs")
+	}
+	streamed := 0
+	for _, off := range s.Offerings {
+		if err := off.Validate(); err != nil {
+			return fmt.Errorf("clusterdse: %w", err)
+		}
+		// Derive the offering's node-count variants from its first sibling
+		// rather than the root: ForCluster reuses the parent's profiler for
+		// an identical GPU spec, so one offering profiles its operators once
+		// across all cluster sizes.
+		parent := sim
+		for _, nodes := range s.NodeCounts {
+			cand := Candidate{Offering: off, Nodes: nodes}
+			cl := cand.Cluster()
+			sib, err := parent.ForCluster(cl)
+			if err != nil {
+				return fmt.Errorf("clusterdse: %s: %w", cand, err)
+			}
+			parent = sib
+			ps := s.Plans
+			ps.MaxGPUs = 0
+			ps.ExactGPUs = cl.TotalGPUs()
+			err = dse.ExploreFunc(sib, m, ps, func(dp dse.Point) {
+				tr := cost.Train(m, dp.Plan.GlobalBatch, dp.Report.IterTime, dp.Plan.GPUs(), s.TotalTokens, cl)
+				streamed++
+				fn(Point{Candidate: cand, Plan: dp.Plan, Report: dp.Report, Training: tr})
+			})
+			if errors.Is(err, dse.ErrNoValidPlan) {
+				continue // this hardware cannot run the model at this size
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	if streamed == 0 {
+		return fmt.Errorf("clusterdse: no feasible (offering, node count, plan) configuration for %s", m.Name)
+	}
+	return nil
+}
+
+// Explore runs the sweep and returns every point ranked cheapest-first
+// (see Point.Better).
+func Explore(sim *core.Simulator, m model.Config, s Space) ([]Point, error) {
+	var points []Point
+	if err := ExploreFunc(sim, m, s, func(p Point) { points = append(points, p) }); err != nil {
+		return nil, err
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Better(points[j]) })
+	return points, nil
+}
+
+// ParetoFrontier returns the (training cost, training days) frontier: the
+// cost-ascending sequence of points with strictly decreasing days, i.e. for
+// every point no other point is at most as expensive AND at most as slow
+// with one of the two strict. Ties resolve by Point.Better, so the frontier
+// is deterministic regardless of input order.
+func ParetoFrontier(points []Point) []Point {
+	if len(points) == 0 {
+		return nil
+	}
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Better(sorted[j]) })
+	var front []Point
+	bestDays := sorted[0].Training.Days + 1
+	for _, p := range sorted {
+		if p.Training.Days < bestDays {
+			front = append(front, p)
+			bestDays = p.Training.Days
+		}
+	}
+	return front
+}
+
+// CheapestWithinDeadline returns the cheapest point whose end-to-end
+// training time does not exceed maxDays, ranking candidates by Point.Better
+// (so equal-cost ties break deterministically). ok is false when no point
+// meets the deadline.
+func CheapestWithinDeadline(points []Point, maxDays float64) (best Point, ok bool) {
+	for _, p := range points {
+		if p.Training.Days > maxDays {
+			continue
+		}
+		if !ok || p.Better(best) {
+			best, ok = p, true
+		}
+	}
+	return best, ok
+}

@@ -1,0 +1,310 @@
+package clusterdse
+
+import (
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"vtrain/internal/core"
+	"vtrain/internal/dse"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+	"vtrain/internal/taskgraph"
+)
+
+func tinyModel() model.Config {
+	return model.Config{Name: "cd-tiny", Hidden: 512, Layers: 4, SeqLen: 256, Heads: 8, Vocab: 8192}
+}
+
+// testSpace is a small joint sweep: the full catalog (4 offerings, 3 GPU generations) at
+// two cluster sizes with a handful of plans per candidate.
+func testSpace() Space {
+	return Space{
+		Offerings:  hw.Catalog(),
+		NodeCounts: []int{1, 2},
+		Plans: dse.Space{
+			TensorWidths:    []int{1, 2},
+			DataWidths:      []int{1, 2, 4},
+			PipelineDepths:  []int{1, 2},
+			MicroBatches:    []int{1},
+			GlobalBatch:     8,
+			GradientBuckets: 2,
+		},
+		TotalTokens: 10e9,
+	}
+}
+
+func newTestSim(t *testing.T, s Space) *core.Simulator {
+	t.Helper()
+	sim, err := NewSimulator(s, core.WithFidelity(taskgraph.OperatorLevel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sim
+}
+
+// TestJointSweepGolden pins the sweep's ranking contract: the returned
+// order is exactly the Point.Better order, repeated sweeps (fresh simulator
+// each time, nondeterministic worker completion inside) are byte-identical,
+// and the points cover every hardware generation and cluster size.
+func TestJointSweepGolden(t *testing.T) {
+	m, s := tinyModel(), testSpace()
+
+	run := func() []Point {
+		points, err := Explore(newTestSim(t, s), m, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return points
+	}
+	points := run()
+	if len(points) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].Better(points[i-1]) {
+			t.Fatalf("point %d ranks above its predecessor; sort does not follow Better", i)
+		}
+	}
+	again := run()
+	if !reflect.DeepEqual(points, again) {
+		t.Error("repeated sweeps disagree; ranking is not deterministic")
+	}
+
+	offerings, sizes := map[string]bool{}, map[int]bool{}
+	for _, p := range points {
+		offerings[p.Offering.Name] = true
+		sizes[p.Nodes] = true
+		if p.Plan.GPUs() != p.GPUs() {
+			t.Fatalf("plan %s uses %d GPUs on a %d-GPU cluster; candidates must be fully used",
+				p.Plan, p.Plan.GPUs(), p.GPUs())
+		}
+		if p.Training.TotalDollars <= 0 || p.Training.Days <= 0 {
+			t.Fatalf("non-positive economics: %+v", p.Training)
+		}
+		wantRate := float64(p.GPUs()) * p.Offering.DollarsPerGPUHour
+		if p.Training.DollarsPerHour != wantRate {
+			t.Fatalf("%s priced at $%g/h, want %g (catalog rate x GPUs)",
+				p.Candidate, p.Training.DollarsPerHour, wantRate)
+		}
+	}
+	if len(offerings) < 3 {
+		t.Errorf("sweep covered %d GPU generations, want >= 3", len(offerings))
+	}
+	if len(sizes) != 2 {
+		t.Errorf("sweep covered %d cluster sizes, want 2", len(sizes))
+	}
+}
+
+// TestParetoFrontierGolden pins the frontier semantics: cost strictly
+// ascending, days strictly descending, no frontier point dominated, every
+// non-frontier point dominated by a frontier point, and the computation
+// independent of input order.
+func TestParetoFrontierGolden(t *testing.T) {
+	m, s := tinyModel(), testSpace()
+	points, err := Explore(newTestSim(t, s), m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFrontier(points)
+	if len(front) == 0 {
+		t.Fatal("empty frontier from a non-empty sweep")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].Training.TotalDollars <= front[i-1].Training.TotalDollars {
+			t.Errorf("frontier cost not strictly ascending at %d", i)
+		}
+		if front[i].Training.Days >= front[i-1].Training.Days {
+			t.Errorf("frontier days not strictly descending at %d", i)
+		}
+	}
+	dominated := func(p Point) bool {
+		for _, q := range front {
+			if q.Training.TotalDollars <= p.Training.TotalDollars && q.Training.Days <= p.Training.Days &&
+				(q.Training.TotalDollars < p.Training.TotalDollars || q.Training.Days < p.Training.Days) {
+				return true
+			}
+		}
+		return false
+	}
+	onFront := func(p Point) bool {
+		for _, q := range front {
+			if q.Candidate == p.Candidate && q.Plan == p.Plan {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range points {
+		if !onFront(p) && !dominated(p) {
+			t.Errorf("point %s ($%.0f, %.2fd) is neither on the frontier nor dominated",
+				p.Candidate, p.Training.TotalDollars, p.Training.Days)
+		}
+	}
+	// Input order must not matter.
+	shuffled := append([]Point(nil), points...)
+	sort.Slice(shuffled, func(i, j int) bool { return shuffled[j].Better(shuffled[i]) }) // reversed
+	if !reflect.DeepEqual(ParetoFrontier(shuffled), front) {
+		t.Error("frontier depends on input order")
+	}
+}
+
+// TestCheapestWithinDeadline pins the deadline selection against a
+// brute-force reference and covers the no-feasible-deadline path.
+func TestCheapestWithinDeadline(t *testing.T) {
+	m, s := tinyModel(), testSpace()
+	points, err := Explore(newTestSim(t, s), m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Use the median days as the deadline so both branches are exercised.
+	days := make([]float64, len(points))
+	for i, p := range points {
+		days[i] = p.Training.Days
+	}
+	sort.Float64s(days)
+	deadline := days[len(days)/2]
+
+	best, ok := CheapestWithinDeadline(points, deadline)
+	if !ok {
+		t.Fatal("no point within the median deadline")
+	}
+	var ref Point
+	refOK := false
+	for _, p := range points {
+		if p.Training.Days <= deadline && (!refOK || p.Better(ref)) {
+			ref, refOK = p, true
+		}
+	}
+	if best.Candidate != ref.Candidate || best.Plan != ref.Plan {
+		t.Errorf("CheapestWithinDeadline = %s, brute force says %s", best.Candidate, ref.Candidate)
+	}
+	if best.Training.Days > deadline {
+		t.Errorf("winner misses the deadline: %.2f > %.2f days", best.Training.Days, deadline)
+	}
+	// Input order must not change the winner (Better tie-breaks).
+	reversed := append([]Point(nil), points...)
+	for i, j := 0, len(reversed)-1; i < j; i, j = i+1, j-1 {
+		reversed[i], reversed[j] = reversed[j], reversed[i]
+	}
+	if again, _ := CheapestWithinDeadline(reversed, deadline); again.Candidate != best.Candidate || again.Plan != best.Plan {
+		t.Error("deadline winner depends on input order")
+	}
+	if _, ok := CheapestWithinDeadline(points, days[0]/2); ok {
+		t.Error("impossible deadline reported a winner")
+	}
+}
+
+// TestBetterTieBreakStable pins the documented tie-break chain on
+// hand-built points with identical economics.
+func TestBetterTieBreakStable(t *testing.T) {
+	mk := func(name string, nodes, tensor int) Point {
+		p := Point{Candidate: Candidate{Offering: hw.Offering{Name: name}, Nodes: nodes}}
+		p.Plan = parallel.Plan{Tensor: tensor, Data: 1, Pipeline: 1, MicroBatch: 1}
+		p.Training.TotalDollars = 100
+		p.Training.Days = 10
+		return p
+	}
+	a, b := mk("a100", 2, 1), mk("h100", 2, 1)
+	if !a.Better(b) || b.Better(a) {
+		t.Error("offering-name tie-break not lexicographic and strict")
+	}
+	c, d := mk("a100", 2, 1), mk("a100", 4, 1)
+	if !c.Better(d) {
+		t.Error("node-count tie-break not ascending")
+	}
+	e, f := mk("a100", 2, 1), mk("a100", 2, 2)
+	if !e.Better(f) {
+		t.Error("plan-tuple tie-break not ascending")
+	}
+	cheaper := mk("z-worst-name", 8, 8)
+	cheaper.Training.TotalDollars = 99
+	if !cheaper.Better(a) {
+		t.Error("cost must dominate every tie-break")
+	}
+}
+
+// TestHardwareOnlySweepLowersOnce is the cache-invariant the subsystem is
+// built on: one plan shape across every catalog cluster performs exactly
+// one lowering, no matter how many hardware candidates are compared.
+func TestHardwareOnlySweepLowersOnce(t *testing.T) {
+	m := tinyModel()
+	s := testSpace()
+	s.NodeCounts = []int{1}
+	s.Plans.TensorWidths = []int{2}
+	s.Plans.DataWidths = []int{2}
+	s.Plans.PipelineDepths = []int{2}
+
+	sim := newTestSim(t, s)
+	points, err := Explore(sim, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(s.Offerings); len(points) != want {
+		t.Fatalf("hardware-only sweep yielded %d points, want %d (one per offering)", len(points), want)
+	}
+	st := sim.CacheStats()
+	if st.StructMisses != 1 {
+		t.Errorf("hardware-only sweep lowered %d graphs, want exactly 1", st.StructMisses)
+	}
+	if want := uint64(len(points) - 1); st.StructHits != want {
+		t.Errorf("StructHits = %d, want %d", st.StructHits, want)
+	}
+}
+
+// TestZeroFeasibleConfigs pins the error paths: a model no candidate can
+// run, an empty space, and an unpriced space all fail loudly instead of
+// returning an empty ranking.
+func TestZeroFeasibleConfigs(t *testing.T) {
+	s := testSpace()
+	sim := newTestSim(t, s)
+
+	// MT-NLG 530B cannot fit 8-16 GPUs even with recomputation: every
+	// candidate is skipped, and the sweep must say so.
+	_, err := Explore(sim, model.MTNLG530B(), s)
+	if err == nil || !strings.Contains(err.Error(), "no feasible") {
+		t.Errorf("oversized model: err = %v, want 'no feasible ...'", err)
+	}
+
+	empty := s
+	empty.Offerings = nil
+	if _, err := Explore(sim, tinyModel(), empty); err == nil {
+		t.Error("empty offering list accepted")
+	}
+	unpriced := s
+	unpriced.TotalTokens = 0
+	if _, err := Explore(sim, tinyModel(), unpriced); err == nil {
+		t.Error("zero TotalTokens accepted")
+	}
+	malformed := s
+	malformed.Offerings = []hw.Offering{{Name: "freebie", Node: hw.DGXA100(), Interconnect: hw.IBHDRx4()}}
+	if _, err := Explore(sim, tinyModel(), malformed); err == nil {
+		t.Error("unpriced offering accepted")
+	}
+}
+
+// TestNewerGPUFasterSameCluster sanity-checks the threaded generation
+// knobs end to end: on identical cluster shapes and plans, H100 trains in
+// fewer days than A100, which beats V100.
+func TestNewerGPUFasterSameCluster(t *testing.T) {
+	m := tinyModel()
+	s := testSpace()
+	s.NodeCounts = []int{2}
+	sim := newTestSim(t, s)
+	points, err := Explore(sim, m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestDays := map[string]float64{}
+	for _, p := range points {
+		if d, ok := bestDays[p.Offering.Name]; !ok || p.Training.Days < d {
+			bestDays[p.Offering.Name] = p.Training.Days
+		}
+	}
+	if !(bestDays["h100-sxm-80gb"] < bestDays["a100-sxm-80gb"] &&
+		bestDays["a100-sxm-80gb"] < bestDays["v100-sxm-32gb"]) {
+		t.Errorf("generation ordering violated: %v", bestDays)
+	}
+}

@@ -12,6 +12,13 @@
 //   - pipeline Send-Receive uses a simple point-to-point transfer model;
 //     as the paper notes, inter-stage latency is small and insensitive to
 //     bandwidth.
+//
+// The model is generation-agnostic: every per-link quantity — NVLink-tier
+// bandwidth and hop latency, per-HCA rate and link count — arrives through
+// the hw.Node / hw.Cluster description, so the hardware catalog's V100,
+// A100, and H100 fabrics (NVLink 2/NVSwitch/NVLink 4, EDR through NDR
+// InfiniBand) each profile and price collectives with their own numbers
+// (pinned by TestFabricGenerationsOrdered).
 package comm
 
 import (

@@ -175,3 +175,32 @@ func TestAllReduceGrowsWithParticipants(t *testing.T) {
 		t.Fatal("2(n-1)/n factor must grow with n")
 	}
 }
+
+// TestFabricGenerationsOrdered threads the catalog's per-link NVLink tiers
+// through the profiled fabric: a large intra-node All-Reduce must get
+// strictly faster from NVLink 2 (DGX-1V) through NVSwitch (DGX A100) to
+// NVLink 4 (DGX H100), and the inter-node model must follow the
+// interconnect tiers the same way.
+func TestFabricGenerationsOrdered(t *testing.T) {
+	s := 256.0 * (1 << 20)
+	v := NVSwitchFabric{Node: hw.DGX1V()}.AllReduce(s, 8)
+	a := NVSwitchFabric{Node: hw.DGXA100()}.AllReduce(s, 8)
+	h := NVSwitchFabric{Node: hw.DGXH100()}.AllReduce(s, 8)
+	if !(h < a && a < v) {
+		t.Fatalf("intra-node All-Reduce not ordered H100 < A100 < V100: %g, %g, %g", h, a, v)
+	}
+
+	off, err := hw.LookupOffering("a100-sxm-80gb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := NewModel(off.Cluster(4))
+	fast := NewModel(off.WithInterconnect(hw.IBNDRx8()).Cluster(4))
+	if fast.AllReduceInter(s, 32) >= slow.AllReduceInter(s, 32) {
+		t.Fatal("8xNDR inter-node All-Reduce not faster than 4xHDR")
+	}
+	// The intra-node profile must be untouched by the interconnect tier.
+	if fast.AllReduceIntra(s, 8) != slow.AllReduceIntra(s, 8) {
+		t.Fatal("interconnect tier leaked into the intra-node profile")
+	}
+}

@@ -42,8 +42,8 @@ type reportCache struct {
 	entries map[cacheKey]Report
 	// order is a FIFO ring of the inserted keys; head indexes the next
 	// victim once the cache is full.
-	order []cacheKey
-	head  int
+	order        []cacheKey
+	head         int
 	hits, misses uint64
 }
 
@@ -98,7 +98,10 @@ func (c *reportCache) stats() (hits, misses uint64) {
 // task-graph topology of a plan, and nothing that only determines its
 // durations. Two plans with equal shapeKeys lower to identical structural
 // graphs; their tensor width, data width, and micro-batch size differ only
-// in the DurationTable bound at replay.
+// in the DurationTable bound at replay. The key deliberately contains no
+// hardware fields: structural graphs are hardware-invariant (pinned by
+// taskgraph.TestStructureHardwareInvariance), which is what lets
+// ForCluster siblings share one structural cache across clusters.
 type shapeKey struct {
 	// model matters structurally through its layer count (the per-stage
 	// layer split) and, conservatively, its other fields: a simulator may

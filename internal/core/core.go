@@ -99,10 +99,67 @@ func New(c hw.Cluster, opts ...Option) (*Simulator, error) {
 	// The caches are created after the options so every entry reflects the
 	// final device, communication model, and fidelity; each Simulator has
 	// its own caches, so differently-configured simulators can never serve
-	// each other's reports or structural graphs.
+	// each other's reports or structural graphs — except siblings derived
+	// with ForCluster, which deliberately share the structural cache
+	// (structural graphs are hardware-invariant; see ForCluster).
 	s.cache = newReportCache(s.cacheSize)
 	s.structs = newStructCache(s.structSize)
 	return s, nil
+}
+
+// ForCluster derives a sibling simulator for cluster c that shares s's
+// shape-keyed structural cache while owning its own device timing model,
+// profiler, communication model, and plan-level report cache.
+//
+// Sharing is sound because a structural graph is hardware-invariant: Lower
+// emits tasks, dependency edges, and duration descriptors only, and
+// consults the profiler solely for each operator's kernel count, which is
+// fixed per operator kind across GPU generations. Everything a cluster
+// changes — kernel durations, collective latencies, link placement, price —
+// is bound per plan by Graph.Bind against the sibling's own profiler and
+// communication model. This is what makes a joint (hardware x plan) sweep
+// cheap: all hardware variants of one plan shape replay a single lowered
+// graph (see internal/clusterdse).
+//
+// Options may tune the sibling's report cache, communication model, or
+// device, but must not change the fidelity or the structural cache size:
+// both are properties of the shared cache, so a mismatch is an error.
+// CacheStats on any sibling reports the shared structural counters.
+func (s *Simulator) ForCluster(c hw.Cluster, opts ...Option) (*Simulator, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	// Siblings for the same GPU specification (e.g. node-count or
+	// interconnect variants of one offering) reuse the parent's device and
+	// profiler: the operator-to-task table depends only on the GPU, and the
+	// profiler is internally synchronized, so sharing it skips re-profiling
+	// every operator shape per candidate.
+	dev, prof := s.device, s.profiler
+	if c.Node.GPU != s.cluster.Node.GPU {
+		dev = gpu.NewDevice(c.Node.GPU)
+		prof = profiler.New(dev)
+	}
+	sib := &Simulator{
+		cluster:    c,
+		device:     dev,
+		profiler:   prof,
+		comm:       comm.NewModel(c),
+		fidelity:   s.fidelity,
+		cacheSize:  s.cacheSize,
+		structSize: s.structSize,
+	}
+	for _, o := range opts {
+		o(sib)
+	}
+	if sib.fidelity != s.fidelity {
+		return nil, fmt.Errorf("core: ForCluster cannot change fidelity: the shared structural cache is keyed by the parent's")
+	}
+	if sib.structSize != s.structSize {
+		return nil, fmt.Errorf("core: ForCluster cannot resize the structural cache: it is shared with the parent")
+	}
+	sib.cache = newReportCache(sib.cacheSize)
+	sib.structs = s.structs
+	return sib, nil
 }
 
 // CacheStats summarizes the simulator's two caches: the plan-level report

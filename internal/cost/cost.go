@@ -1,7 +1,11 @@
 // Package cost converts simulated iteration times into the quantities the
 // paper's case studies optimize: end-to-end wall-clock training time, GPU
-// compute utilization, and monetary training cost (priced per Table I using
-// AWS EC2 P4d instances as the proxy, $5 per GPU-hour).
+// compute utilization, and monetary training cost. Pricing follows the
+// paper's AWS-proxy method (Table I: EC2 P4d at $5 per GPU-hour) but is not
+// fixed to it: every cluster carries its own per-GPU-hour rate, and the
+// hardware catalog in internal/hw pins one per GPU generation, so the same
+// arithmetic prices V100, A100, and H100 clusters for cluster-design
+// exploration.
 package cost
 
 import (
@@ -40,6 +44,8 @@ type Training struct {
 	Days float64
 	// GPUs is the compute budget consumed.
 	GPUs int
+	// GPUHours is the total GPU time rented: GPUs x wall-clock hours.
+	GPUHours float64
 	// DollarsPerHour is the cluster rental rate.
 	DollarsPerHour float64
 	// TotalDollars is the full training cost.
@@ -61,6 +67,7 @@ func Train(m model.Config, batchSeqs int, iterTime float64, gpus int, totalToken
 		TotalSeconds:   total,
 		Days:           total / SecondsPerDay,
 		GPUs:           gpus,
+		GPUHours:       float64(gpus) * total / 3600,
 		DollarsPerHour: perHour,
 		TotalDollars:   total / 3600 * perHour,
 		Utilization:    Utilization(m, batchSeqs, iterTime, gpus, c.Node.GPU),

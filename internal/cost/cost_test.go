@@ -83,3 +83,20 @@ func TestDuration(t *testing.T) {
 		t.Fatalf("Duration(1.5) = %v", got)
 	}
 }
+
+// TestGPUHoursAndCatalogPricing checks GPUHours accounting and that the
+// same training run is priced per the cluster's own catalog rate.
+func TestGPUHoursAndCatalogPricing(t *testing.T) {
+	m := model.MTNLG530B()
+	for _, off := range hw.Catalog() {
+		c := off.Cluster(10)
+		tr := Train(m, 1920, 60.0, c.TotalGPUs(), 270e9, c)
+		wantHours := float64(c.TotalGPUs()) * tr.TotalSeconds / 3600
+		if math.Abs(tr.GPUHours-wantHours) > 1e-6*wantHours {
+			t.Errorf("%s: GPUHours = %g, want %g", off.Name, tr.GPUHours, wantHours)
+		}
+		if want := tr.GPUHours * off.DollarsPerGPUHour; math.Abs(tr.TotalDollars-want) > 1e-6*want {
+			t.Errorf("%s: TotalDollars = %g, want GPU-hours x catalog rate = %g", off.Name, tr.TotalDollars, want)
+		}
+	}
+}

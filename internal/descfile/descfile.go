@@ -5,9 +5,12 @@
 // Model and cluster sections accept either a preset name (the paper's
 // catalog) or explicit hyperparameters:
 //
+// The cluster section defaults to the paper's A100 testbed; "offering"
+// selects any hardware-catalog entry (hw.Catalog) instead:
+//
 //	{
 //	  "model":  {"preset": "mt-nlg-530b"},
-//	  "cluster":{"nodes": 280},
+//	  "cluster":{"nodes": 280, "offering": "a100-sxm-80gb"},
 //	  "plan":   {"tensor": 8, "data": 8, "pipeline": 35,
 //	             "micro_batch": 1, "global_batch": 1920,
 //	             "schedule": "1f1b", "gradient_buckets": 2,
@@ -50,6 +53,9 @@ type ModelSection struct {
 // ClusterSection selects the training system.
 type ClusterSection struct {
 	Nodes int `json:"nodes"`
+	// Offering names a hardware-catalog offering (see hw.Catalog) to
+	// materialize instead of the paper's default A100 testbed.
+	Offering string `json:"offering"`
 	// Alpha overrides the bandwidth-effectiveness factor when nonzero.
 	Alpha float64 `json:"alpha"`
 	// DollarsPerGPUHour overrides pricing when nonzero.
@@ -145,6 +151,13 @@ func (d Description) Resolve() (model.Config, parallel.Plan, hw.Cluster, error) 
 		return model.Config{}, parallel.Plan{}, hw.Cluster{}, fmt.Errorf("descfile: cluster.nodes must be positive")
 	}
 	c := hw.PaperCluster(nodes)
+	if d.Cluster.Offering != "" {
+		off, err := hw.LookupOffering(d.Cluster.Offering)
+		if err != nil {
+			return model.Config{}, parallel.Plan{}, hw.Cluster{}, fmt.Errorf("descfile: %w", err)
+		}
+		c = off.Cluster(nodes)
+	}
 	if d.Cluster.Alpha > 0 {
 		c.Alpha = d.Cluster.Alpha
 	}

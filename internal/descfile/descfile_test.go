@@ -174,3 +174,45 @@ func TestPresetsComplete(t *testing.T) {
 		t.Fatal("preset lookup must be case-insensitive")
 	}
 }
+
+// TestClusterOffering selects a hardware-catalog offering in the cluster
+// section and checks the materialized cluster carries the offering's GPU,
+// fabric, and price; overrides still apply on top.
+func TestClusterOffering(t *testing.T) {
+	const doc = `{
+	  "model":  {"preset": "megatron-3.6b"},
+	  "cluster":{"nodes": 4, "offering": "h100-sxm-80gb"},
+	  "plan":   {"tensor": 2, "data": 8, "pipeline": 2,
+	             "micro_batch": 1, "global_batch": 512}
+	}`
+	d, err := Parse(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, c, err := d.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Node.GPU.Name != "H100-SXM5-80GB" {
+		t.Errorf("GPU = %q, want the offering's H100", c.Node.GPU.Name)
+	}
+	if c.InterNodeBandwidth != 400e9 {
+		t.Errorf("InterNodeBandwidth = %g, want 400e9 (8xNDR)", c.InterNodeBandwidth)
+	}
+	if c.DollarsPerGPUHour != 12.29 {
+		t.Errorf("price = %v, want the catalog's 12.29", c.DollarsPerGPUHour)
+	}
+
+	d.Cluster.DollarsPerGPUHour = 9.99
+	if _, _, c, err = d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	if c.DollarsPerGPUHour != 9.99 {
+		t.Errorf("price override ignored: %v", c.DollarsPerGPUHour)
+	}
+
+	d.Cluster.Offering = "tpu-v5"
+	if _, _, _, err := d.Resolve(); err == nil {
+		t.Error("unknown offering accepted")
+	}
+}

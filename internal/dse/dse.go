@@ -18,6 +18,7 @@
 package dse
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -83,6 +84,12 @@ func DefaultSpace(m model.Config, globalBatch int) Space {
 		GradientBuckets: 2,
 	}
 }
+
+// ErrNoValidPlan is returned (wrapped) by ExploreFunc when the search space
+// contains no plan that validates and fits memory on the simulator's
+// cluster. Multi-cluster searches (internal/clusterdse) detect it with
+// errors.Is to skip hardware candidates the model cannot run on at all.
+var ErrNoValidPlan = errors.New("no valid plan in the search space")
 
 // Point is one evaluated design point.
 type Point struct {
@@ -178,7 +185,7 @@ func (p Point) Better(q Point) bool {
 func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) error {
 	plans := s.Enumerate(m, sim)
 	if len(plans) == 0 {
-		return fmt.Errorf("dse: no valid plan in the search space for %s", m.Name)
+		return fmt.Errorf("dse: %s: %w", m.Name, ErrNoValidPlan)
 	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(plans) {

@@ -1,6 +1,8 @@
-// Package gpu is the simulated silicon: an analytical timing model of an
-// NVIDIA A100-class device that stands in for the real GPU the paper's
-// profiling module (CUPTI) measures.
+// Package gpu is the simulated silicon: an analytical timing model of
+// NVIDIA data-center GPUs (V100, A100, H100 — selected by hw.GPU.Arch)
+// that stands in for the real GPU the paper's profiling module (CUPTI)
+// measures. The model is calibrated on the paper's A100; other generations
+// reuse its structure with generation-specific efficiency knobs.
 //
 // The model preserves the structure that drives vTrain's results:
 //
@@ -59,17 +61,48 @@ type Device struct {
 	// kernel; kChunk is the K depth at which the multiply-accumulate
 	// pipeline reaches half its asymptotic efficiency.
 	tileM, tileN, kChunk int
+	// gemmKernel is the architecture's GEMM kernel-symbol prefix.
+	gemmKernel string
 }
 
-// NewDevice builds the timing model for a GPU specification.
+// archKnobs are the generation-dependent empirical factors of the GEMM
+// model: how close to peak a perfect GEMM gets, the CTA tile the
+// generation's cuBLAS kernels use (tile/wave quantization granularity), the
+// K depth hiding the MMA pipeline, and the kernel-symbol family. The
+// ampere row reproduces the paper's A100 calibration exactly; volta and
+// hopper extend it with that generation's published cuBLAS behavior
+// (1st-gen tensor cores sustain a lower fraction of peak; Hopper's larger
+// wgmma tiles need deeper K to fill their pipeline).
+type archKnobs struct {
+	maxTensorEff, memEff float64
+	tileM, tileN, kChunk int
+	gemmKernel           string
+}
+
+func knobsFor(a hw.Arch) archKnobs {
+	switch a {
+	case hw.Volta:
+		return archKnobs{0.72, 0.75, 64, 64, 32, "volta_fp16_s884gemm_fp16"}
+	case hw.Hopper:
+		return archKnobs{0.80, 0.80, 128, 256, 96, "hopper_fp16_s64x128gemm_fp16"}
+	default: // Ampere, and the zero value for hand-built specs
+		return archKnobs{0.82, 0.78, 128, 128, 64, "ampere_fp16_s16816gemm_fp16"}
+	}
+}
+
+// NewDevice builds the timing model for a GPU specification, selecting the
+// efficiency knobs of its architecture generation (Spec.Arch; the zero
+// value models Ampere, the paper's generation).
 func NewDevice(spec hw.GPU) *Device {
+	k := knobsFor(spec.Arch)
 	return &Device{
 		Spec:         spec,
-		MaxTensorEff: 0.82,
-		MemEff:       0.78,
-		tileM:        128,
-		tileN:        128,
-		kChunk:       64,
+		MaxTensorEff: k.maxTensorEff,
+		MemEff:       k.memEff,
+		tileM:        k.tileM,
+		tileN:        k.tileN,
+		kChunk:       k.kChunk,
+		gemmKernel:   k.gemmKernel,
 	}
 }
 
@@ -104,7 +137,7 @@ func (d *Device) GEMM(batch, m, n, k int) Kernel {
 	memory := bytes / (d.Spec.MemBandwidth * d.MemEff)
 	dur := math.Max(compute, memory)
 	return Kernel{
-		Name:     fmt.Sprintf("ampere_fp16_s16816gemm_fp16_%dx%d_ldg8_b%d_m%d_n%d_k%d", d.tileM, d.tileN, batch, m, n, k),
+		Name:     fmt.Sprintf("%s_%dx%d_ldg8_b%d_m%d_n%d_k%d", d.gemmKernel, d.tileM, d.tileN, batch, m, n, k),
 		Duration: dur,
 		FLOPs:    flops,
 		Bytes:    bytes,

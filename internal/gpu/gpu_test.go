@@ -141,3 +141,60 @@ func TestWaveQuantization(t *testing.T) {
 		t.Fatalf("wave quantization too weak: 108 CTAs %.3f vs 109 CTAs %.3f", e108, e109)
 	}
 }
+
+// TestArchKnobsSelectGeneration checks NewDevice wires the
+// generation-dependent efficiency curve: the zero-value Arch behaves as
+// Ampere (the paper's calibration), and each generation gets its own GEMM
+// kernel family.
+func TestArchKnobsSelectGeneration(t *testing.T) {
+	volta := NewDevice(hw.V100SXM32GB())
+	ampere := NewDevice(hw.A100SXM80GB())
+	hopper := NewDevice(hw.H100SXM80GB())
+
+	legacy := hw.A100SXM80GB()
+	legacy.Arch = "" // hand-built specs predating the catalog
+	if d := NewDevice(legacy); *d != func() Device { a := *ampere; a.Spec.Arch = ""; return a }() {
+		t.Error("zero-value Arch must model Ampere exactly")
+	}
+
+	if !(volta.MaxTensorEff < ampere.MaxTensorEff) {
+		t.Errorf("Volta tensor efficiency ceiling %.2f not below Ampere's %.2f", volta.MaxTensorEff, ampere.MaxTensorEff)
+	}
+	names := map[string]string{
+		"volta":  volta.GEMM(1, 4096, 4096, 4096).Name,
+		"ampere": ampere.GEMM(1, 4096, 4096, 4096).Name,
+		"hopper": hopper.GEMM(1, 4096, 4096, 4096).Name,
+	}
+	for arch, name := range names {
+		if len(name) < len(arch) || name[:len(arch)] != arch {
+			t.Errorf("%s GEMM kernel %q does not carry its architecture family", arch, name)
+		}
+	}
+}
+
+// TestGenerationsOrderLargeGEMM pins the headline hardware ordering: on a
+// large training-shaped GEMM, each newer generation is strictly faster.
+func TestGenerationsOrderLargeGEMM(t *testing.T) {
+	shape := func(d *Device) float64 { return d.GEMM(1, 8192, 8192, 8192).Duration }
+	v := shape(NewDevice(hw.V100SXM32GB()))
+	a := shape(NewDevice(hw.A100SXM80GB()))
+	h := shape(NewDevice(hw.H100SXM80GB()))
+	if !(h < a && a < v) {
+		t.Fatalf("8K GEMM durations not ordered H100 < A100 < V100: %g, %g, %g", h, a, v)
+	}
+	// The gap must stay below the raw peak ratio (efficiency knobs cannot
+	// make a newer part *more* than proportionally faster).
+	if ratio := v / h; ratio > 989.4e12/125e12*1.2 {
+		t.Errorf("V100->H100 speedup %.1fx exceeds plausible peak ratio", ratio)
+	}
+}
+
+// TestMemoryBoundKernelsScaleWithHBM checks streaming kernels follow HBM
+// bandwidth across generations.
+func TestMemoryBoundKernelsScaleWithHBM(t *testing.T) {
+	v := NewDevice(hw.V100SXM32GB()).LayerNorm(16384, 4096).Duration
+	h := NewDevice(hw.H100SXM80GB()).LayerNorm(16384, 4096).Duration
+	if !(h < v) {
+		t.Fatalf("H100 LayerNorm (%g s) not faster than V100 (%g s)", h, v)
+	}
+}

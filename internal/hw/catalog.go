@@ -1,0 +1,244 @@
+package hw
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file is the hardware catalog: datasheet-pinned GPU generations, the
+// DGX-style server nodes they ship in, the InfiniBand tiers that connect
+// those nodes, and a per-GPU-hour rental price for each pairing. An Offering
+// bundles one (node type, interconnect tier, price) triple; Offering.Cluster
+// materializes it at a node count, producing the same hw.Cluster the rest of
+// the simulator consumes. The paper evaluates one fixed offering (DGX A100 +
+// 4x HDR at $5/GPU-hour); the catalog opens the hardware axis its Table II
+// varies by hand, so internal/clusterdse can sweep (GPU generation x node
+// count x interconnect) jointly with the parallel plan.
+
+// V100SXM32GB returns the datasheet description of the Volta-generation
+// V100-SXM2-32GB: 125 TFLOPS FP16 tensor, 15.7 TFLOPS FP32, 900 GB/s HBM2,
+// 80 SMs.
+func V100SXM32GB() GPU {
+	return GPU{
+		Name:                 "V100-SXM2-32GB",
+		Arch:                 Volta,
+		PeakTensorFLOPS:      125e12,
+		PeakVectorFLOPS:      15.7e12,
+		MemBandwidth:         900e9,
+		MemCapacity:          32 << 30,
+		SMCount:              80,
+		KernelLaunchOverhead: 4e-6,
+	}
+}
+
+// A100SXM40GB returns the 40 GB A100 variant: identical compute to the
+// 80 GB part, half the HBM capacity at 1.555 TB/s.
+func A100SXM40GB() GPU {
+	return GPU{
+		Name:                 "A100-SXM4-40GB",
+		Arch:                 Ampere,
+		PeakTensorFLOPS:      312e12,
+		PeakVectorFLOPS:      19.5e12,
+		MemBandwidth:         1.555e12,
+		MemCapacity:          40 << 30,
+		SMCount:              108,
+		KernelLaunchOverhead: 4e-6,
+	}
+}
+
+// H100SXM80GB returns the Hopper-generation H100-SXM5-80GB: 989.4 TFLOPS
+// dense FP16 tensor, 67 TFLOPS FP32, 3.35 TB/s HBM3, 132 SMs.
+func H100SXM80GB() GPU {
+	return GPU{
+		Name:                 "H100-SXM5-80GB",
+		Arch:                 Hopper,
+		PeakTensorFLOPS:      989.4e12,
+		PeakVectorFLOPS:      67e12,
+		MemBandwidth:         3.35e12,
+		MemCapacity:          80 << 30,
+		SMCount:              132,
+		KernelLaunchOverhead: 4e-6,
+	}
+}
+
+// DGX1V returns an 8-GPU DGX-1 node: V100s on the NVLink-2 hybrid cube
+// mesh. The bandwidth is the NCCL-achievable ring bus bandwidth, not the
+// 300 GB/s link aggregate.
+func DGX1V() Node {
+	return Node{
+		GPU:             V100SXM32GB(),
+		GPUsPerNode:     8,
+		NVLinkBandwidth: 130e9,
+		NVLinkLatency:   10e-6,
+	}
+}
+
+// DGXA100At40GB returns the paper's DGX A100 node populated with the 40 GB
+// A100 variant.
+func DGXA100At40GB() Node {
+	n := DGXA100()
+	n.GPU = A100SXM40GB()
+	return n
+}
+
+// DGXH100 returns an 8-GPU DGX H100 node: H100s behind 4th-generation
+// NVLink/NVSwitch (900 GB/s per GPU aggregate; ~370 GB/s achievable NCCL
+// bus bandwidth).
+func DGXH100() Node {
+	return Node{
+		GPU:             H100SXM80GB(),
+		GPUsPerNode:     8,
+		NVLinkBandwidth: 370e9,
+		NVLinkLatency:   7e-6,
+	}
+}
+
+// Interconnect is one inter-node fabric tier: identical links aggregated
+// per node, as in the paper's "4 x 200 Gbps HDR" testbed.
+type Interconnect struct {
+	// Name labels the tier, e.g. "4xHDR-200G".
+	Name string
+	// LinkGbps is the signaling rate of one link in Gbit/s.
+	LinkGbps float64
+	// Links is the number of HCAs per node.
+	Links int
+	// Latency is the base latency of an inter-node transfer in seconds.
+	Latency float64
+}
+
+// PerNodeBandwidth returns the aggregate per-node bandwidth in bytes/s —
+// the Bmax that Eq. 1's alpha scales.
+func (ic Interconnect) PerNodeBandwidth() float64 {
+	return float64(ic.Links) * ic.LinkGbps * 1e9 / 8
+}
+
+// Validate reports an error for physically meaningless fabric tiers.
+func (ic Interconnect) Validate() error {
+	if ic.Name == "" {
+		return fmt.Errorf("hw: interconnect needs a name")
+	}
+	if ic.LinkGbps <= 0 {
+		return fmt.Errorf("hw: interconnect %q has non-positive link rate %v Gbps", ic.Name, ic.LinkGbps)
+	}
+	if ic.Links <= 0 {
+		return fmt.Errorf("hw: interconnect %q needs at least one link, got %d", ic.Name, ic.Links)
+	}
+	if ic.Latency < 0 {
+		return fmt.Errorf("hw: interconnect %q has negative latency", ic.Name)
+	}
+	return nil
+}
+
+// IBEDRx4 is the V100-era tier: 4 x 100 Gbps EDR InfiniBand (50 GB/s).
+func IBEDRx4() Interconnect {
+	return Interconnect{Name: "4xEDR-100G", LinkGbps: 100, Links: 4, Latency: 14e-6}
+}
+
+// IBHDRx4 is the paper's tier: 4 x 200 Gbps HDR InfiniBand (100 GB/s).
+func IBHDRx4() Interconnect {
+	return Interconnect{Name: "4xHDR-200G", LinkGbps: 200, Links: 4, Latency: 12e-6}
+}
+
+// IBNDRx4 is a mid NDR tier: 4 x 400 Gbps NDR InfiniBand (200 GB/s).
+func IBNDRx4() Interconnect {
+	return Interconnect{Name: "4xNDR-400G", LinkGbps: 400, Links: 4, Latency: 10e-6}
+}
+
+// IBNDRx8 is the DGX H100 tier: 8 x 400 Gbps NDR InfiniBand (400 GB/s).
+func IBNDRx8() Interconnect {
+	return Interconnect{Name: "8xNDR-400G", LinkGbps: 400, Links: 8, Latency: 10e-6}
+}
+
+// Interconnects lists the catalog's fabric tiers, slowest first.
+func Interconnects() []Interconnect {
+	return []Interconnect{IBEDRx4(), IBHDRx4(), IBNDRx4(), IBNDRx8()}
+}
+
+// Offering is one rentable cluster configuration: a node type, the fabric
+// tier connecting the nodes, and the per-GPU-hour price. It is the unit the
+// cluster-design search ranks.
+type Offering struct {
+	// Name identifies the offering in reports and lookups.
+	Name string
+	// Node is the server type (GPU generation, count, NVLink tier).
+	Node Node
+	// Interconnect is the inter-node fabric tier.
+	Interconnect Interconnect
+	// DollarsPerGPUHour is the rental price. The catalog prices follow the
+	// paper's AWS proxy method (Table I uses EC2 P4d at $5/GPU-hour):
+	// p3dn (V100), p4d (A100-40), p4de (A100-80, rounded to the paper's
+	// $5), and p5 (H100) on-demand rates divided by 8 GPUs.
+	DollarsPerGPUHour float64
+}
+
+// Validate reports an error for malformed offerings — the checks cover
+// hand-assembled heterogeneous configurations, not just catalog entries.
+func (o Offering) Validate() error {
+	if o.Name == "" {
+		return fmt.Errorf("hw: offering needs a name")
+	}
+	if err := o.Interconnect.Validate(); err != nil {
+		return fmt.Errorf("hw: offering %q: %w", o.Name, err)
+	}
+	if o.DollarsPerGPUHour <= 0 {
+		return fmt.Errorf("hw: offering %q has non-positive price $%v/GPU-hour", o.Name, o.DollarsPerGPUHour)
+	}
+	// Reuse the cluster checks for the node itself: a two-node rendering
+	// exercises every per-node field plus the interconnect.
+	if err := o.Cluster(2).Validate(); err != nil {
+		return fmt.Errorf("hw: offering %q: %w", o.Name, err)
+	}
+	return nil
+}
+
+// WithInterconnect returns a copy of the offering upgraded (or downgraded)
+// to another fabric tier, keeping the node price — the "same machines,
+// different network" axis of a cluster-design sweep.
+func (o Offering) WithInterconnect(ic Interconnect) Offering {
+	o.Interconnect = ic
+	o.Name = o.Name + "+" + ic.Name
+	return o
+}
+
+// Cluster materializes the offering at a node count.
+func (o Offering) Cluster(nodes int) Cluster {
+	return Cluster{
+		Node:               o.Node,
+		NodeCount:          nodes,
+		InterNodeBandwidth: o.Interconnect.PerNodeBandwidth(),
+		InterNodeLatency:   o.Interconnect.Latency,
+		Alpha:              1.0,
+		DollarsPerGPUHour:  o.DollarsPerGPUHour,
+	}
+}
+
+// Catalog returns the canonical offerings, one per GPU generation, each
+// paired with its era's fabric tier, oldest generation first.
+func Catalog() []Offering {
+	return []Offering{
+		{Name: "v100-sxm-32gb", Node: DGX1V(), Interconnect: IBEDRx4(), DollarsPerGPUHour: 3.90},
+		{Name: "a100-sxm-40gb", Node: DGXA100At40GB(), Interconnect: IBHDRx4(), DollarsPerGPUHour: 4.10},
+		{Name: "a100-sxm-80gb", Node: DGXA100(), Interconnect: IBHDRx4(), DollarsPerGPUHour: 5.00},
+		{Name: "h100-sxm-80gb", Node: DGXH100(), Interconnect: IBNDRx8(), DollarsPerGPUHour: 12.29},
+	}
+}
+
+// OfferingNames lists the catalog offering names in catalog order.
+func OfferingNames() []string {
+	cat := Catalog()
+	out := make([]string, len(cat))
+	for i, o := range cat {
+		out[i] = o.Name
+	}
+	return out
+}
+
+// LookupOffering resolves a catalog offering by name (case-insensitive).
+func LookupOffering(name string) (Offering, error) {
+	for _, o := range Catalog() {
+		if strings.EqualFold(o.Name, name) {
+			return o, nil
+		}
+	}
+	return Offering{}, fmt.Errorf("hw: unknown offering %q (have %v)", name, OfferingNames())
+}

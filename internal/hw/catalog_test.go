@@ -1,0 +1,208 @@
+package hw
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestGPUDatasheets pins every catalog GPU against its published datasheet:
+// peak dense FP16 tensor throughput, FP32 vector throughput, HBM bandwidth
+// and capacity, and SM count.
+func TestGPUDatasheets(t *testing.T) {
+	tests := []struct {
+		gpu         GPU
+		arch        Arch
+		tensorFLOPS float64
+		vectorFLOPS float64
+		memBW       float64
+		memCap      uint64
+		sms         int
+	}{
+		{V100SXM32GB(), Volta, 125e12, 15.7e12, 900e9, 32 << 30, 80},
+		{A100SXM40GB(), Ampere, 312e12, 19.5e12, 1.555e12, 40 << 30, 108},
+		{A100SXM80GB(), Ampere, 312e12, 19.5e12, 2.0e12, 80 << 30, 108},
+		{H100SXM80GB(), Hopper, 989.4e12, 67e12, 3.35e12, 80 << 30, 132},
+	}
+	for _, tc := range tests {
+		t.Run(tc.gpu.Name, func(t *testing.T) {
+			g := tc.gpu
+			if g.Arch != tc.arch {
+				t.Errorf("Arch = %q, want %q", g.Arch, tc.arch)
+			}
+			if g.PeakTensorFLOPS != tc.tensorFLOPS {
+				t.Errorf("PeakTensorFLOPS = %g, want %g", g.PeakTensorFLOPS, tc.tensorFLOPS)
+			}
+			if g.PeakVectorFLOPS != tc.vectorFLOPS {
+				t.Errorf("PeakVectorFLOPS = %g, want %g", g.PeakVectorFLOPS, tc.vectorFLOPS)
+			}
+			if g.MemBandwidth != tc.memBW {
+				t.Errorf("MemBandwidth = %g, want %g", g.MemBandwidth, tc.memBW)
+			}
+			if g.MemCapacity != tc.memCap {
+				t.Errorf("MemCapacity = %d, want %d", g.MemCapacity, tc.memCap)
+			}
+			if g.SMCount != tc.sms {
+				t.Errorf("SMCount = %d, want %d", g.SMCount, tc.sms)
+			}
+			if g.KernelLaunchOverhead <= 0 {
+				t.Errorf("KernelLaunchOverhead = %g, want > 0", g.KernelLaunchOverhead)
+			}
+		})
+	}
+}
+
+// TestInterconnectTiers pins each fabric tier's aggregate per-node
+// bandwidth against its link math (links x Gbps / 8).
+func TestInterconnectTiers(t *testing.T) {
+	tests := []struct {
+		ic    Interconnect
+		perBW float64
+		links int
+	}{
+		{IBEDRx4(), 50e9, 4},
+		{IBHDRx4(), 100e9, 4},
+		{IBNDRx4(), 200e9, 4},
+		{IBNDRx8(), 400e9, 8},
+	}
+	for _, tc := range tests {
+		t.Run(tc.ic.Name, func(t *testing.T) {
+			if err := tc.ic.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if got := tc.ic.PerNodeBandwidth(); math.Abs(got-tc.perBW) > 1 {
+				t.Errorf("PerNodeBandwidth = %g, want %g", got, tc.perBW)
+			}
+			if tc.ic.Links != tc.links {
+				t.Errorf("Links = %d, want %d", tc.ic.Links, tc.links)
+			}
+			if tc.ic.Latency <= 0 {
+				t.Errorf("Latency = %g, want > 0", tc.ic.Latency)
+			}
+		})
+	}
+}
+
+// TestCatalogOfferings checks every offering validates, carries a positive
+// price, 8-GPU nodes, and a positive intra-node fabric.
+func TestCatalogOfferings(t *testing.T) {
+	cat := Catalog()
+	if len(cat) < 4 {
+		t.Fatalf("catalog has %d offerings, want >= 4 (>= 3 GPU generations)", len(cat))
+	}
+	archs := map[Arch]bool{}
+	for _, o := range cat {
+		t.Run(o.Name, func(t *testing.T) {
+			if err := o.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if o.DollarsPerGPUHour <= 0 {
+				t.Errorf("price = %v, want > 0", o.DollarsPerGPUHour)
+			}
+			if o.Node.GPUsPerNode != 8 {
+				t.Errorf("GPUsPerNode = %d, want 8 (DGX-style nodes)", o.Node.GPUsPerNode)
+			}
+			if o.Node.NVLinkBandwidth <= 0 || o.Node.NVLinkLatency <= 0 {
+				t.Errorf("NVLink tier not positive: bw=%g lat=%g", o.Node.NVLinkBandwidth, o.Node.NVLinkLatency)
+			}
+			c := o.Cluster(4)
+			if err := c.Validate(); err != nil {
+				t.Fatalf("Cluster(4): %v", err)
+			}
+			if c.InterNodeBandwidth != o.Interconnect.PerNodeBandwidth() {
+				t.Errorf("cluster inter-node bandwidth %g != tier %g", c.InterNodeBandwidth, o.Interconnect.PerNodeBandwidth())
+			}
+		})
+		archs[o.Node.GPU.Arch] = true
+	}
+	if len(archs) < 3 {
+		t.Errorf("catalog spans %d architectures, want >= 3 generations", len(archs))
+	}
+}
+
+// TestPaperOfferingMatchesPaperCluster pins the a100-sxm-80gb offering to
+// the paper's testbed: materializing it must reproduce PaperCluster
+// byte-for-byte, so the catalog path and the legacy path cannot drift.
+func TestPaperOfferingMatchesPaperCluster(t *testing.T) {
+	off, err := LookupOffering("a100-sxm-80gb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := off.Cluster(64), PaperCluster(64); !reflect.DeepEqual(got, want) {
+		t.Errorf("offering cluster = %+v\nwant paper cluster %+v", got, want)
+	}
+}
+
+// TestOfferingValidateRejections covers malformed heterogeneous
+// configurations a hand-assembled offering could produce.
+func TestOfferingValidateRejections(t *testing.T) {
+	base := func() Offering {
+		return Offering{Name: "custom", Node: DGXA100(), Interconnect: IBHDRx4(), DollarsPerGPUHour: 5}
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Offering)
+	}{
+		{"empty name", func(o *Offering) { o.Name = "" }},
+		{"free lunch", func(o *Offering) { o.DollarsPerGPUHour = 0 }},
+		{"negative price", func(o *Offering) { o.DollarsPerGPUHour = -1 }},
+		{"no links", func(o *Offering) { o.Interconnect.Links = 0 }},
+		{"zero link rate", func(o *Offering) { o.Interconnect.LinkGbps = 0 }},
+		{"negative fabric latency", func(o *Offering) { o.Interconnect.Latency = -1e-6 }},
+		{"unnamed interconnect", func(o *Offering) { o.Interconnect.Name = "" }},
+		{"gpuless node", func(o *Offering) { o.Node.GPUsPerNode = 0 }},
+		{"memoryless gpu", func(o *Offering) { o.Node.GPU.MemCapacity = 0 }},
+		{"zero tensor peak", func(o *Offering) { o.Node.GPU.PeakTensorFLOPS = 0 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			o := base()
+			tc.mutate(&o)
+			if err := o.Validate(); err == nil {
+				t.Fatal("Validate() = nil, want error")
+			}
+		})
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("unmutated base offering should validate: %v", err)
+	}
+}
+
+// TestWithInterconnect checks the cross-tier axis keeps price and node but
+// swaps the fabric (and renames, so crossed offerings stay distinguishable).
+func TestWithInterconnect(t *testing.T) {
+	o, err := LookupOffering("a100-sxm-80gb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	up := o.WithInterconnect(IBNDRx8())
+	if up.Interconnect.Name != IBNDRx8().Name {
+		t.Errorf("interconnect = %q, want %q", up.Interconnect.Name, IBNDRx8().Name)
+	}
+	if up.DollarsPerGPUHour != o.DollarsPerGPUHour {
+		t.Errorf("price changed: %v -> %v", o.DollarsPerGPUHour, up.DollarsPerGPUHour)
+	}
+	if up.Name == o.Name {
+		t.Error("crossed offering kept the base name")
+	}
+	if err := up.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := up.Cluster(4).InterNodeBandwidth, 400e9; got != want {
+		t.Errorf("upgraded bandwidth = %g, want %g", got, want)
+	}
+}
+
+// TestLookupOffering covers resolution, case-insensitivity, and the error
+// path listing the catalog.
+func TestLookupOffering(t *testing.T) {
+	if _, err := LookupOffering("H100-SXM-80GB"); err != nil {
+		t.Errorf("case-insensitive lookup failed: %v", err)
+	}
+	if _, err := LookupOffering("tpu-v5"); err == nil {
+		t.Error("unknown offering should error")
+	}
+	if got, want := len(OfferingNames()), len(Catalog()); got != want {
+		t.Errorf("OfferingNames lists %d, catalog has %d", got, want)
+	}
+}

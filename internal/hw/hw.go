@@ -7,9 +7,30 @@
 // machines are modeled here as plain data: the kernel-level timing model in
 // internal/gpu and the collective-communication models in internal/comm
 // consume these descriptions.
+//
+// Beyond the paper's single testbed, catalog.go holds a catalog of
+// datasheet-pinned GPU generations, node types, interconnect tiers, and
+// rental prices, so cluster-design exploration (internal/clusterdse) can
+// sweep the hardware axis the paper's Table II compares by hand.
 package hw
 
 import "fmt"
+
+// Arch identifies a GPU micro-architecture generation. The analytical
+// kernel model in internal/gpu keys its empirical efficiency knobs (tensor
+// core efficiency ceiling, CTA tile shape, achievable memory bandwidth
+// fraction) on it; the zero value is treated as Ampere, the paper's
+// generation.
+type Arch string
+
+const (
+	// Volta is the V100 generation (1st-gen tensor cores, HBM2, NVLink 2).
+	Volta Arch = "volta"
+	// Ampere is the A100 generation the paper profiles on.
+	Ampere Arch = "ampere"
+	// Hopper is the H100 generation (4th-gen tensor cores, HBM3, NVLink 4).
+	Hopper Arch = "hopper"
+)
 
 // GPU describes a single accelerator device. Times derived from a GPU are
 // functions of these published datasheet numbers plus the empirical
@@ -17,6 +38,10 @@ import "fmt"
 type GPU struct {
 	// Name is the marketing name, e.g. "A100-SXM4-80GB".
 	Name string
+	// Arch is the micro-architecture generation; it selects the
+	// generation-dependent efficiency knobs in internal/gpu. Empty means
+	// Ampere.
+	Arch Arch
 	// PeakTensorFLOPS is the peak dense FP16 tensor-core throughput in
 	// FLOP/s (for the A100: 312e12).
 	PeakTensorFLOPS float64
@@ -94,6 +119,9 @@ func (c Cluster) Validate() error {
 	if c.Alpha <= 0 || c.Alpha > 1 {
 		return fmt.Errorf("hw: bandwidth effectiveness factor alpha must be in (0,1], got %v", c.Alpha)
 	}
+	if c.DollarsPerGPUHour < 0 {
+		return fmt.Errorf("hw: negative GPU-hour price %v", c.DollarsPerGPUHour)
+	}
 	return nil
 }
 
@@ -101,6 +129,7 @@ func (c Cluster) Validate() error {
 func A100SXM80GB() GPU {
 	return GPU{
 		Name:                 "A100-SXM4-80GB",
+		Arch:                 Ampere,
 		PeakTensorFLOPS:      312e12,
 		PeakVectorFLOPS:      19.5e12,
 		MemBandwidth:         2.0e12,

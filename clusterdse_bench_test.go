@@ -9,6 +9,7 @@ import (
 	"vtrain/internal/dse"
 	"vtrain/internal/hw"
 	"vtrain/internal/model"
+	"vtrain/internal/resilience"
 	"vtrain/internal/taskgraph"
 )
 
@@ -94,5 +95,50 @@ func BenchmarkClusterSweep(b *testing.B) {
 	if hitPct < 90 {
 		b.Fatalf("structural-cache hit rate %.1f%% (%d points, %d lowerings), want >= 90%%",
 			hitPct, len(points), st.StructMisses)
+	}
+}
+
+// BenchmarkClusterSweepResilient is BenchmarkClusterSweep with failure and
+// checkpoint-restart pricing enabled (the clusterdse default). Resilience
+// is a pure post-processing layer over each candidate's cost report, so
+// the sweep must hit the identical structural-cache profile — same
+// lowerings, same >= 90% bar — and essentially the same wall-clock as the
+// ideal sweep; a drop here means goodput modeling leaked into the
+// simulation path.
+func BenchmarkClusterSweepResilient(b *testing.B) {
+	m := model.Megatron18_4B()
+	space := clusterSweepSpace()
+	space.Resilience = &resilience.Options{}
+	var (
+		points []clusterdse.Point
+		sim    *core.Simulator
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		sim, err = clusterdse.NewSimulator(space,
+			core.WithFidelity(taskgraph.OperatorLevel), core.WithCacheSize(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		points, err = clusterdse.Explore(sim, m, space)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := sim.CacheStats()
+	hitPct := 100 * float64(st.StructHits) / float64(max(st.StructHits+st.StructMisses, 1))
+	b.ReportMetric(float64(len(points)), "design_points")
+	b.ReportMetric(float64(st.StructMisses), "lowerings")
+	b.ReportMetric(hitPct, "struct_hit_pct")
+	if hitPct < 90 {
+		b.Fatalf("structural-cache hit rate %.1f%% (%d points, %d lowerings), want >= 90%% — resilience must stay post-processing",
+			hitPct, len(points), st.StructMisses)
+	}
+	for _, p := range points {
+		if p.Resilience.GoodputFraction <= 0 || p.Resilience.GoodputFraction >= 1 {
+			b.Fatalf("point %v: goodput %v outside (0,1)", p.Candidate, p.Resilience.GoodputFraction)
+		}
 	}
 }

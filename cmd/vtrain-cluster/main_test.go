@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// golden runs the scheduler command in-process on a small cluster and one
+// trace and pins stdout — the regression lock on flag plumbing, the
+// goodput table, and the experiment output format.
+func golden(t *testing.T, name string, args []string) string {
+	t.Helper()
+	var out bytes.Buffer
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, out.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/vtrain-cluster -update` to create)", err)
+	}
+	if !bytes.Equal(out.Bytes(), want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, out.Bytes(), want)
+	}
+	return out.String()
+}
+
+func schedArgs(extra ...string) []string {
+	args := []string{"-deadlines", "-traces", "1", "-gpus", "64", "-timing=false"}
+	return append(args, extra...)
+}
+
+// TestGoldenResilient pins the default run: the goodput table (the
+// "goodput column" of the derated profiles) followed by the Fig. 12
+// experiment on failure-adjusted profiles.
+func TestGoldenResilient(t *testing.T) {
+	out := golden(t, "resilient.golden", schedArgs())
+	if !strings.Contains(out, "good%@8") || !strings.Contains(out, "good%@64") {
+		t.Error("resilient run missing the goodput columns")
+	}
+	if !strings.Contains(out, "derated by goodput") {
+		t.Error("resilient run missing the derating banner")
+	}
+}
+
+// TestGoldenNoResilience pins -no-resilience: ideal profiles, no goodput
+// table, and the explicit disabled banner.
+func TestGoldenNoResilience(t *testing.T) {
+	out := golden(t, "no-resilience.golden", schedArgs("-no-resilience"))
+	if strings.Contains(out, "good%@") {
+		t.Error("-no-resilience run still prints goodput columns")
+	}
+	if !strings.Contains(out, "resilience: disabled") {
+		t.Error("-no-resilience run missing the disabled banner")
+	}
+}
+
+// TestGoldenMTBFOverride pins the -mtbf/-ckpt-bw plumbing end to end: the
+// banner reflects the overrides rather than the catalog values.
+func TestGoldenMTBFOverride(t *testing.T) {
+	out := golden(t, "mtbf-override.golden", schedArgs("-mtbf", "5000", "-ckpt-bw", "5"))
+	if !strings.Contains(out, "per-GPU MTBF 5000h") || !strings.Contains(out, "bandwidth 5 GB/s") {
+		t.Error("override banner does not reflect -mtbf/-ckpt-bw")
+	}
+}

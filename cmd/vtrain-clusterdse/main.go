@@ -6,17 +6,24 @@
 // Table II question ("which cluster should train this model?") opened into
 // a search instead of a hand comparison.
 //
+// By default every candidate is priced with the resilience model of
+// internal/resilience: failures (catalog-pinned per-GPU MTBF) and
+// Young–Daly checkpoint-restart overhead stretch the run by 1/goodput, so
+// bigger-but-faster clusters pay a visible reliability tax. -no-resilience
+// reproduces the ideal failure-free ranking.
+//
 // Usage:
 //
 //	vtrain-clusterdse -model megatron-18.4b -batch 1024 -tokens 300e9 \
 //	    -nodes 4,8,16,32 [-offerings all] [-deadline 30] [-cross-interconnects] \
-//	    [-top 10] [-csv points.csv]
+//	    [-mtbf 50000] [-ckpt-bw 25] [-no-resilience] [-top 10] [-csv points.csv]
 package main
 
 import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
@@ -28,107 +35,151 @@ import (
 	"vtrain/internal/core"
 	"vtrain/internal/descfile"
 	"vtrain/internal/hw"
+	"vtrain/internal/resilience"
 	"vtrain/internal/taskgraph"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vtrain-clusterdse: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	preset := flag.String("model", "megatron-18.4b", "model preset (see descfile presets)")
-	batch := flag.Int("batch", 1024, "global batch size in sequences")
-	tokens := flag.Float64("tokens", 300e9, "total training tokens for cost projection")
-	nodesList := flag.String("nodes", "4,8,16,32", "comma-separated cluster sizes to provision, in nodes")
-	offerings := flag.String("offerings", "all", `comma-separated catalog offerings, or "all"`)
-	cross := flag.Bool("cross-interconnects", false, "also try every node type with every interconnect tier")
-	deadline := flag.Float64("deadline", 0, "training deadline in days (0 = no deadline)")
-	top := flag.Int("top", 10, "how many cheapest configurations to print")
-	csvPath := flag.String("csv", "", "write every design point to this CSV file")
-	flag.Parse()
+// run is the whole command behind a testable seam: golden CLI tests drive
+// it in-process with a buffer for stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vtrain-clusterdse", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	preset := fs.String("model", "megatron-18.4b", "model preset (see descfile presets)")
+	batch := fs.Int("batch", 1024, "global batch size in sequences")
+	tokens := fs.Float64("tokens", 300e9, "total training tokens for cost projection")
+	nodesList := fs.String("nodes", "4,8,16,32", "comma-separated cluster sizes to provision, in nodes")
+	offerings := fs.String("offerings", "all", `comma-separated catalog offerings, or "all"`)
+	cross := fs.Bool("cross-interconnects", false, "also try every node type with every interconnect tier")
+	deadline := fs.Float64("deadline", 0, "training deadline in days (0 = no deadline)")
+	top := fs.Int("top", 10, "how many cheapest configurations to print")
+	csvPath := fs.String("csv", "", "write every design point to this CSV file")
+	mtbf := fs.Float64("mtbf", 0, "per-GPU mean time between failures in hours (0 = catalog default per generation)")
+	ckptBW := fs.Float64("ckpt-bw", 0, "checkpoint storage write bandwidth in GB/s (0 = catalog default per offering)")
+	restart := fs.Float64("restart", 0, "failure-recovery latency in seconds (0 = default)")
+	noRes := fs.Bool("no-resilience", false, "rank by ideal failure-free cost (pre-resilience behavior)")
+	progress := fs.Bool("progress", true, "report sweep progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	m, err := descfile.LookupModel(*preset)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	nodeCounts, err := parseInts(*nodesList)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	offs, err := selectOfferings(*offerings, *cross)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
+	if *mtbf < 0 || *ckptBW < 0 || *restart < 0 {
+		return fmt.Errorf("-mtbf, -ckpt-bw, and -restart must be non-negative (got %v, %v, %v)", *mtbf, *ckptBW, *restart)
+	}
 	space := clusterdse.DefaultSpace(m, *batch, uint64(*tokens), nodeCounts)
 	space.Offerings = offs
+	if *noRes {
+		space.Resilience = nil
+	} else {
+		space.Resilience = &resilience.Options{MTBF: *mtbf * 3600, WriteBandwidth: *ckptBW * 1e9, Restart: *restart}
+	}
+	res := space.Resilience != nil
 
 	sim, err := clusterdse.NewSimulator(space, core.WithFidelity(taskgraph.OperatorLevel))
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 
 	start := time.Now()
 	var points []clusterdse.Point
 	err = clusterdse.ExploreFunc(sim, m, space, func(p clusterdse.Point) {
 		points = append(points, p)
-		if len(points)%1000 == 0 {
+		if *progress && len(points)%1000 == 0 {
 			st := sim.CacheStats()
-			fmt.Fprintf(os.Stderr, "... %d points evaluated (%v) — structures %d hit / %d lowered\n",
+			fmt.Fprintf(stderr, "... %d points evaluated (%v) — structures %d hit / %d lowered\n",
 				len(points), time.Since(start).Round(time.Millisecond), st.StructHits, st.StructMisses)
 		}
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sorted := append([]clusterdse.Point(nil), points...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Better(sorted[j]) })
 	st := sim.CacheStats()
-	fmt.Printf("explored %d (offering x nodes x plan) points across %d hardware candidates in %v\n",
-		len(points), len(offs)*len(nodeCounts), time.Since(start).Round(time.Millisecond))
-	fmt.Printf("structural cache: %d graphs lowered, %.1f%% hit rate — hardware variants of a shape share one lowering\n\n",
+	fmt.Fprintf(stdout, "explored %d (offering x nodes x plan) points across %d hardware candidates\n",
+		len(points), len(offs)*len(nodeCounts))
+	fmt.Fprintf(stdout, "structural cache: %d graphs lowered, %.1f%% hit rate — hardware variants of a shape share one lowering\n",
 		st.StructMisses, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
+	if res {
+		fmt.Fprintf(stdout, "resilience: failure + checkpoint-restart overhead priced in (Young–Daly intervals; -no-resilience for the ideal ranking)\n\n")
+	} else {
+		fmt.Fprintf(stdout, "resilience: disabled — costs assume an uninterrupted run\n\n")
+	}
 
-	fmt.Printf("%d cheapest configurations for %s (%.0fB tokens):\n", *top, m, *tokens/1e9)
-	printHeader()
+	fmt.Fprintf(stdout, "%d cheapest configurations for %s (%.0fB tokens):\n", *top, m, *tokens/1e9)
+	printHeader(stdout, res)
 	for i, p := range sorted {
 		if i >= *top {
 			break
 		}
-		printPoint(p)
+		printPoint(stdout, p, res)
 	}
 
 	front := clusterdse.ParetoFrontier(sorted)
-	fmt.Printf("\nPareto frontier — no cluster is both cheaper and faster (%d points):\n", len(front))
-	printHeader()
+	fmt.Fprintf(stdout, "\nPareto frontier — no cluster is both cheaper and faster (%d points):\n", len(front))
+	printHeader(stdout, res)
 	for _, p := range front {
-		printPoint(p)
+		printPoint(stdout, p, res)
 	}
 
 	if *deadline > 0 {
 		if best, ok := clusterdse.CheapestWithinDeadline(sorted, *deadline); ok {
-			fmt.Printf("\ncheapest cluster meeting the %.0f-day deadline:\n", *deadline)
-			printHeader()
-			printPoint(best)
+			fmt.Fprintf(stdout, "\ncheapest cluster meeting the %.0f-day deadline:\n", *deadline)
+			printHeader(stdout, res)
+			printPoint(stdout, best, res)
 		} else {
-			fmt.Printf("\nno configuration trains %s within %.0f days — add nodes or offerings\n", m.Name, *deadline)
+			fmt.Fprintf(stdout, "\nno configuration trains %s within %.0f days — add nodes or offerings\n", m.Name, *deadline)
 		}
 	}
 
 	if *csvPath != "" {
 		if err := dumpCSV(*csvPath, sorted, m.Name); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("\nwrote %d points to %s\n", len(sorted), *csvPath)
+		fmt.Fprintf(stdout, "\nwrote %d points to %s\n", len(sorted), *csvPath)
 	}
+	return nil
 }
 
-func printHeader() {
-	fmt.Printf("  %-14s %6s %6s %-24s %8s %7s %8s %9s %10s\n",
+func printHeader(w io.Writer, res bool) {
+	if res {
+		fmt.Fprintf(w, "  %-14s %6s %6s %-24s %8s %7s %6s %9s %10s\n",
+			"offering", "nodes", "GPUs", "plan", "iter(s)", "util%", "good%", "eff-days", "eff-$(M)")
+		return
+	}
+	fmt.Fprintf(w, "  %-14s %6s %6s %-24s %8s %7s %8s %9s %10s\n",
 		"offering", "nodes", "GPUs", "plan", "iter(s)", "util%", "days", "$/hour", "$total(M)")
 }
 
-func printPoint(p clusterdse.Point) {
-	fmt.Printf("  %-14s %6d %6d %-24s %8.2f %7.2f %8.2f %9.0f %10.2f\n",
+func printPoint(w io.Writer, p clusterdse.Point, res bool) {
+	if res {
+		fmt.Fprintf(w, "  %-14s %6d %6d %-24s %8.2f %7.2f %6.2f %9.2f %10.2f\n",
+			p.Offering.Name, p.Nodes, p.GPUs(), p.Plan,
+			p.Report.IterTime, 100*p.Report.Utilization,
+			100*p.Resilience.GoodputFraction, p.Resilience.EffectiveDays, p.Resilience.EffectiveDollars/1e6)
+		return
+	}
+	fmt.Fprintf(w, "  %-14s %6d %6d %-24s %8.2f %7.2f %8.2f %9.0f %10.2f\n",
 		p.Offering.Name, p.Nodes, p.GPUs(), p.Plan,
 		p.Report.IterTime, 100*p.Report.Utilization,
 		p.Training.Days, p.Training.DollarsPerHour, p.Training.TotalDollars/1e6)
@@ -191,7 +242,8 @@ func dumpCSV(path string, points []clusterdse.Point, name string) error {
 	}
 	w := csv.NewWriter(f)
 	if err := w.Write([]string{"model", "offering", "interconnect", "nodes", "gpus",
-		"t", "d", "p", "m", "iter_s", "util", "days", "gpu_hours", "dollars"}); err != nil {
+		"t", "d", "p", "m", "iter_s", "util", "days", "gpu_hours", "dollars",
+		"goodput", "eff_days", "eff_dollars"}); err != nil {
 		return err
 	}
 	for _, p := range points {
@@ -205,6 +257,12 @@ func dumpCSV(path string, points []clusterdse.Point, name string) error {
 			strconv.FormatFloat(p.Training.Days, 'f', 2, 64),
 			strconv.FormatFloat(p.Training.GPUHours, 'f', 0, 64),
 			strconv.FormatFloat(p.Training.TotalDollars, 'f', 0, 64),
+			"", "", "",
+		}
+		if p.Resilience.GoodputFraction > 0 {
+			rec[14] = strconv.FormatFloat(p.Resilience.GoodputFraction, 'f', 4, 64)
+			rec[15] = strconv.FormatFloat(p.Resilience.EffectiveDays, 'f', 2, 64)
+			rec[16] = strconv.FormatFloat(p.Resilience.EffectiveDollars, 'f', 0, 64)
 		}
 		if err := w.Write(rec); err != nil {
 			return err

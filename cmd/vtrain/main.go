@@ -13,10 +13,12 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"time"
 
 	"vtrain/internal/core"
 	"vtrain/internal/cost"
 	"vtrain/internal/descfile"
+	"vtrain/internal/resilience"
 	"vtrain/internal/taskgraph"
 )
 
@@ -84,27 +86,38 @@ func main() {
 	}
 
 	var train *cost.Training
+	var res *cost.Resilience
 	if desc.TotalTokens > 0 {
 		tr := cost.Train(m, plan.GlobalBatch, rep.IterTime, plan.GPUs(), desc.TotalTokens, cluster)
 		train = &tr
+		if opts, enabled := desc.ResilienceOptions(); enabled {
+			mod, err := resilience.For(m, cluster, plan.GPUs(), opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			r := cost.ApplyResilience(tr, mod)
+			res = &r
+		}
 	}
 
 	if *asJSON {
 		out := struct {
-			Model         string         `json:"model"`
-			Plan          string         `json:"plan"`
-			GPUs          int            `json:"gpus"`
-			IterTime      float64        `json:"iteration_time_s"`
-			Utilization   float64        `json:"gpu_utilization"`
-			PeakMemoryGiB float64        `json:"peak_memory_gib"`
-			FitsMemory    bool           `json:"fits_memory"`
-			Tasks         int            `json:"tasks"`
-			Training      *cost.Training `json:"training,omitempty"`
+			Model         string           `json:"model"`
+			Plan          string           `json:"plan"`
+			GPUs          int              `json:"gpus"`
+			IterTime      float64          `json:"iteration_time_s"`
+			Utilization   float64          `json:"gpu_utilization"`
+			PeakMemoryGiB float64          `json:"peak_memory_gib"`
+			FitsMemory    bool             `json:"fits_memory"`
+			Tasks         int              `json:"tasks"`
+			Training      *cost.Training   `json:"training,omitempty"`
+			Resilience    *cost.Resilience `json:"resilience,omitempty"`
 		}{
 			Model: m.String(), Plan: plan.String(), GPUs: plan.GPUs(),
 			IterTime: rep.IterTime, Utilization: rep.Utilization,
 			PeakMemoryGiB: float64(rep.PeakMemoryBytes) / (1 << 30),
 			FitsMemory:    rep.FitsMemory, Tasks: rep.Tasks, Training: train,
+			Resilience: res,
 		}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
@@ -125,5 +138,10 @@ func main() {
 	if train != nil {
 		fmt.Printf("end-to-end:      %d iterations, %.2f days, $%.2fM ($%.0f/hour)\n",
 			train.Iterations, train.Days, train.TotalDollars/1e6, train.DollarsPerHour)
+	}
+	if res != nil {
+		fmt.Printf("with failures:   %.2f days, $%.2fM at %.2f%% goodput (ckpt every %s, ~%.0f failures expected)\n",
+			res.EffectiveDays, res.EffectiveDollars/1e6, 100*res.GoodputFraction,
+			cost.Duration(res.CheckpointIntervalSeconds).Round(time.Second), res.ExpectedFailures)
 	}
 }

@@ -11,14 +11,23 @@
 // hardware-invariant — so the hardware axis adds design points but almost
 // no lowerings; the run prints the cache counters so the sharing is
 // visible.
+//
+// By default the sweep prices failures and checkpoint-restart (see
+// internal/resilience): every point carries both the ideal and the
+// failure-adjusted economics, and the walkthrough prints the Pareto
+// frontier both ways to show how the ranking shifts once reliability is
+// priced — large fast clusters lose goodput to failures, slow storage
+// stretches checkpoint stalls.
 package main
 
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	"vtrain/internal/clusterdse"
 	"vtrain/internal/core"
+	"vtrain/internal/cost"
 	"vtrain/internal/model"
 	"vtrain/internal/taskgraph"
 )
@@ -32,6 +41,9 @@ func main() {
 		totalTokens  = 300e9
 		deadlineDays = 40.0
 	)
+	// DefaultSpace enables resilience modeling; each point then carries
+	// the ideal economics in Training and the failure-adjusted ones in
+	// Resilience, so one sweep answers both rankings.
 	space := clusterdse.DefaultSpace(m, globalBatch, totalTokens, []int{2, 4, 8})
 
 	sim, err := clusterdse.NewSimulator(space, core.WithFidelity(taskgraph.OperatorLevel))
@@ -49,30 +61,47 @@ func main() {
 		100*float64(st.StructHits)/float64(st.StructHits+st.StructMisses))
 
 	// The cheapest configuration per hardware candidate, cheapest first —
-	// the Table II-style ranking across GPU generations and sizes.
+	// the Table II-style ranking across GPU generations and sizes, now by
+	// failure-adjusted cost with the goodput that caused the adjustment.
 	seen := map[string]bool{}
-	fmt.Println("cheapest plan per hardware candidate:")
+	fmt.Println("cheapest plan per hardware candidate (failure-adjusted):")
 	for _, p := range points { // points arrive cheapest-first
 		key := fmt.Sprintf("%s/%d", p.Offering.Name, p.Nodes)
 		if seen[key] {
 			continue
 		}
 		seen[key] = true
-		fmt.Printf("  %-14s %2d nodes %4d GPUs  %-22s  %6.2f days  $%6.2fM  util %5.2f%%\n",
+		fmt.Printf("  %-14s %2d nodes %4d GPUs  %-22s  %6.2f days  $%6.2fM  good %5.2f%%  util %5.2f%%\n",
 			p.Offering.Name, p.Nodes, p.GPUs(), p.Plan.String(),
-			p.Training.Days, p.Training.TotalDollars/1e6, 100*p.Report.Utilization)
+			p.EffectiveDays(), p.EffectiveDollars()/1e6,
+			100*p.Resilience.GoodputFraction, 100*p.Report.Utilization)
 	}
 
-	front := clusterdse.ParetoFrontier(points) // already in Better order
-	fmt.Println("\nPareto frontier (training cost vs. training days):")
-	for _, p := range front {
+	// Resilience is a pure post-processing layer: stripping the
+	// failure-adjusted view from the very same points reproduces the
+	// ideal failure-free frontier, no re-simulation needed.
+	ideal := append([]clusterdse.Point(nil), points...)
+	for i := range ideal {
+		ideal[i].Resilience = cost.Resilience{}
+	}
+	sort.Slice(ideal, func(i, j int) bool { return ideal[i].Better(ideal[j]) })
+
+	fmt.Println("\nPareto frontier, ideal (failures ignored):")
+	for _, p := range clusterdse.ParetoFrontier(ideal) {
 		fmt.Printf("  $%6.2fM  %6.2f days  %-14s %2d nodes  %s\n",
 			p.Training.TotalDollars/1e6, p.Training.Days, p.Offering.Name, p.Nodes, p.Plan)
 	}
 
+	fmt.Println("\nPareto frontier, failure-adjusted (what an operator pays):")
+	for _, p := range clusterdse.ParetoFrontier(points) {
+		fmt.Printf("  $%6.2fM  %6.2f days  %-14s %2d nodes  good %5.2f%%  %s\n",
+			p.EffectiveDollars()/1e6, p.EffectiveDays(), p.Offering.Name, p.Nodes,
+			100*p.Resilience.GoodputFraction, p.Plan)
+	}
+
 	if best, ok := clusterdse.CheapestWithinDeadline(points, deadlineDays); ok {
-		fmt.Printf("\ncheapest cluster meeting a %.0f-day deadline: %s — $%.2fM, %.2f days\n",
-			deadlineDays, best.Candidate, best.Training.TotalDollars/1e6, best.Training.Days)
+		fmt.Printf("\ncheapest cluster meeting a %.0f-day deadline (failures included): %s — $%.2fM, %.2f days\n",
+			deadlineDays, best.Candidate, best.EffectiveDollars()/1e6, best.EffectiveDays())
 	} else {
 		fmt.Printf("\nno candidate trains %s within %.0f days\n", m.Name, deadlineDays)
 	}

@@ -1,12 +1,14 @@
 package cluster
 
 import (
+	"math"
 	"sync"
 	"testing"
 
 	"vtrain/internal/core"
 	"vtrain/internal/hw"
 	"vtrain/internal/model"
+	"vtrain/internal/resilience"
 	"vtrain/internal/taskgraph"
 	"vtrain/internal/trace"
 )
@@ -286,5 +288,62 @@ func TestInfeasibleDeadlineRejectedAtAdmission(t *testing.T) {
 	}
 	if out.DeadlineSatisfactoryRatio >= 1 {
 		t.Fatal("rejected job must count as a deadline violation")
+	}
+}
+
+// TestProfilesWithResilience pins the scheduler-facing derating: every
+// allocation's iteration time grows by exactly 1/goodput, larger
+// allocations are derated harder (more GPUs, more failures), the original
+// set is untouched, and missing failure data errors instead of silently
+// scheduling against ideal profiles.
+func TestProfilesWithResilience(t *testing.T) {
+	sim, base, _ := profiles(t)
+	cl := sim.Cluster()
+	der, err := base.WithResilience(cl, resilience.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range model.TableIII() {
+		orig, err := base.For(row.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := der.For(row.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevRatio := 1.0
+		for _, g := range orig.Sizes() {
+			mod, err := resilience.For(row.Config, cl, g, resilience.Options{})
+			if err != nil {
+				t.Fatalf("%s at %d GPUs: %v", row.Config.Name, g, err)
+			}
+			want := orig.IterTime[g] / mod.Goodput
+			if got := d.IterTime[g]; math.Abs(got/want-1) > 1e-12 {
+				t.Errorf("%s at %d GPUs: derated %v, want %v", row.Config.Name, g, got, want)
+			}
+			ratio := d.IterTime[g] / orig.IterTime[g]
+			if ratio <= prevRatio-1e-12 {
+				t.Errorf("%s: derating ratio shrank at %d GPUs (%v -> %v); failures must grow with allocation",
+					row.Config.Name, g, prevRatio, ratio)
+			}
+			prevRatio = ratio
+			if d.Plans[g] != orig.Plans[g] {
+				t.Errorf("%s at %d GPUs: derating changed the plan", row.Config.Name, g)
+			}
+		}
+	}
+
+	// A cluster with no MTBF data cannot be derated silently.
+	bare := cl
+	bare.Node.GPU.MTBF = 0
+	if _, err := base.WithResilience(bare, resilience.Options{}); err == nil {
+		t.Error("derating without failure data accepted")
+	}
+
+	// An absurdly failure-prone environment drops every allocation and
+	// says so.
+	if _, err := base.WithResilience(cl, resilience.Options{MTBF: 1, WriteBandwidth: 1}); err == nil {
+		t.Error("zero-goodput derating should error")
 	}
 }

@@ -15,13 +15,16 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"vtrain/internal/core"
 	"vtrain/internal/dse"
+	"vtrain/internal/hw"
 	"vtrain/internal/model"
 	"vtrain/internal/parallel"
+	"vtrain/internal/resilience"
 )
 
 // System selects how job throughput profiles are obtained.
@@ -207,6 +210,43 @@ func BuildProfiles(sim *core.Simulator, system System, totalGPUs int) (*ProfileS
 		set.profiles[row.Config.Name] = p
 	}
 	return set, nil
+}
+
+// WithResilience returns a derated copy of the profile set: every
+// allocation's iteration time is divided by the goodput fraction the
+// resilience model predicts for that model at that GPU count on cluster c
+// (failures scale with the allocation, checkpoint size with the model), so
+// the scheduler's admission, deadline, and allocation decisions account
+// for failures and checkpoint-restart overhead. Allocations whose goodput
+// is non-positive — the job would fail faster than it can checkpoint — are
+// dropped like memory-infeasible ones; a model class that loses every
+// allocation is an error. The receiver is not modified.
+func (s *ProfileSet) WithResilience(c hw.Cluster, o resilience.Options) (*ProfileSet, error) {
+	out := &ProfileSet{System: s.System, profiles: make(map[string]*Profile, len(s.profiles))}
+	for name, p := range s.profiles {
+		np := &Profile{
+			Model:       p.Model,
+			GlobalBatch: p.GlobalBatch,
+			IterTime:    make(map[int]float64, len(p.IterTime)),
+			Plans:       make(map[int]parallel.Plan, len(p.Plans)),
+		}
+		for g, it := range p.IterTime {
+			mod, err := resilience.For(p.Model, c, g, o)
+			if errors.Is(err, resilience.ErrUnreliable) {
+				continue
+			}
+			if err != nil {
+				return nil, fmt.Errorf("cluster: derating %s at %d GPUs: %w", name, g, err)
+			}
+			np.IterTime[g] = it / mod.Goodput
+			np.Plans[g] = p.Plans[g]
+		}
+		if len(np.IterTime) == 0 {
+			return nil, fmt.Errorf("cluster: %s has no allocation with positive goodput on this cluster", name)
+		}
+		out.profiles[name] = np
+	}
+	return out, nil
 }
 
 // For returns the profile of a model class.

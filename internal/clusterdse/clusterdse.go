@@ -33,6 +33,7 @@ import (
 	"vtrain/internal/hw"
 	"vtrain/internal/model"
 	"vtrain/internal/parallel"
+	"vtrain/internal/resilience"
 )
 
 // Space describes a joint (hardware x plan) sweep.
@@ -48,6 +49,17 @@ type Space struct {
 	Plans dse.Space
 	// TotalTokens is the training-run length the costs are projected over.
 	TotalTokens uint64
+	// Resilience, when non-nil, prices failures and checkpoint-restart
+	// into every point (see internal/resilience): each candidate gets a
+	// goodput model from its catalog-pinned MTBF and checkpoint
+	// bandwidth (overridable through the options), points carry the
+	// failure-adjusted economics, and ranking uses effective rather than
+	// ideal cost. Candidates whose goodput is non-positive — they fail
+	// faster than they can checkpoint — are skipped like
+	// memory-infeasible plans. Nil disables resilience entirely: points
+	// carry a zero Resilience and the sweep is byte-identical to the
+	// resilience-free ranking.
+	Resilience *resilience.Options
 }
 
 // DefaultSpace sweeps the full catalog over the given node counts with the
@@ -60,6 +72,7 @@ func DefaultSpace(m model.Config, globalBatch int, totalTokens uint64, nodeCount
 		NodeCounts:  nodeCounts,
 		Plans:       plans,
 		TotalTokens: totalTokens,
+		Resilience:  &resilience.Options{},
 	}
 }
 
@@ -88,18 +101,44 @@ type Point struct {
 	Plan     parallel.Plan
 	Report   core.Report
 	Training cost.Training
+	// Resilience carries the failure-adjusted economics when the space
+	// enables resilience modeling; it is the zero value otherwise, and
+	// the Effective* accessors fall back to the ideal figures.
+	Resilience cost.Resilience
 }
 
-// Better reports whether p should rank ahead of q: lower training cost,
-// then fewer days, then the (offering, nodes, t, d, p, m) tuple as a
-// deterministic tie-break — the ranking analogue of dse.Point.Better, with
-// cost in iteration time's role.
-func (p Point) Better(q Point) bool {
-	if p.Training.TotalDollars != q.Training.TotalDollars {
-		return p.Training.TotalDollars < q.Training.TotalDollars
+// EffectiveDollars returns the cost the ranking uses: the failure-adjusted
+// training cost when resilience is modeled, the ideal cost otherwise.
+func (p Point) EffectiveDollars() float64 {
+	if p.Resilience.GoodputFraction > 0 {
+		return p.Resilience.EffectiveDollars
 	}
-	if p.Training.Days != q.Training.Days {
-		return p.Training.Days < q.Training.Days
+	return p.Training.TotalDollars
+}
+
+// EffectiveDays returns the wall-clock days the ranking and deadline
+// checks use: failure-adjusted when resilience is modeled, ideal
+// otherwise.
+func (p Point) EffectiveDays() float64 {
+	if p.Resilience.GoodputFraction > 0 {
+		return p.Resilience.EffectiveDays
+	}
+	return p.Training.Days
+}
+
+// Better reports whether p should rank ahead of q: lower effective
+// training cost (failure-adjusted when resilience is modeled, ideal
+// otherwise — bigger-but-faster clusters pay a visible reliability tax),
+// then fewer effective days, then the (offering, nodes, t, d, p, m) tuple
+// as a deterministic tie-break — the ranking analogue of dse.Point.Better,
+// with cost in iteration time's role. With resilience disabled the
+// comparison reduces exactly to the raw (dollars, days) ranking.
+func (p Point) Better(q Point) bool {
+	if pd, qd := p.EffectiveDollars(), q.EffectiveDollars(); pd != qd {
+		return pd < qd
+	}
+	if pd, qd := p.EffectiveDays(), q.EffectiveDays(); pd != qd {
+		return pd < qd
 	}
 	if p.Offering.Name != q.Offering.Name {
 		return p.Offering.Name < q.Offering.Name
@@ -163,6 +202,22 @@ func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) e
 		for _, nodes := range s.NodeCounts {
 			cand := Candidate{Offering: off, Nodes: nodes}
 			cl := cand.Cluster()
+			// The goodput model depends only on (model, cluster), not the
+			// plan: compute it once per candidate. A candidate that fails
+			// faster than it can checkpoint is skipped exactly like one
+			// with no memory-feasible plan; anything else (missing catalog
+			// data, malformed overrides) fails the sweep loudly.
+			var resMod resilience.Model
+			if s.Resilience != nil {
+				var err error
+				resMod, err = resilience.For(m, cl, cl.TotalGPUs(), *s.Resilience)
+				if errors.Is(err, resilience.ErrUnreliable) {
+					continue
+				}
+				if err != nil {
+					return fmt.Errorf("clusterdse: %s: %w", cand, err)
+				}
+			}
 			sib, err := parent.ForCluster(cl)
 			if err != nil {
 				return fmt.Errorf("clusterdse: %s: %w", cand, err)
@@ -173,8 +228,12 @@ func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) e
 			ps.ExactGPUs = cl.TotalGPUs()
 			err = dse.ExploreFunc(sib, m, ps, func(dp dse.Point) {
 				tr := cost.Train(m, dp.Plan.GlobalBatch, dp.Report.IterTime, dp.Plan.GPUs(), s.TotalTokens, cl)
+				pt := Point{Candidate: cand, Plan: dp.Plan, Report: dp.Report, Training: tr}
+				if s.Resilience != nil {
+					pt.Resilience = cost.ApplyResilience(tr, resMod)
+				}
 				streamed++
-				fn(Point{Candidate: cand, Plan: dp.Plan, Report: dp.Report, Training: tr})
+				fn(pt)
 			})
 			if errors.Is(err, dse.ErrNoValidPlan) {
 				continue // this hardware cannot run the model at this size
@@ -201,11 +260,12 @@ func Explore(sim *core.Simulator, m model.Config, s Space) ([]Point, error) {
 	return points, nil
 }
 
-// ParetoFrontier returns the (training cost, training days) frontier: the
-// cost-ascending sequence of points with strictly decreasing days, i.e. for
-// every point no other point is at most as expensive AND at most as slow
-// with one of the two strict. Ties resolve by Point.Better, so the frontier
-// is deterministic regardless of input order.
+// ParetoFrontier returns the (training cost, training days) frontier over
+// the effective (failure-adjusted when modeled) figures: the cost-ascending
+// sequence of points with strictly decreasing days, i.e. for every point no
+// other point is at most as expensive AND at most as slow with one of the
+// two strict. Ties resolve by Point.Better, so the frontier is
+// deterministic regardless of input order.
 func ParetoFrontier(points []Point) []Point {
 	if len(points) == 0 {
 		return nil
@@ -213,23 +273,23 @@ func ParetoFrontier(points []Point) []Point {
 	sorted := append([]Point(nil), points...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Better(sorted[j]) })
 	var front []Point
-	bestDays := sorted[0].Training.Days + 1
+	bestDays := sorted[0].EffectiveDays() + 1
 	for _, p := range sorted {
-		if p.Training.Days < bestDays {
+		if p.EffectiveDays() < bestDays {
 			front = append(front, p)
-			bestDays = p.Training.Days
+			bestDays = p.EffectiveDays()
 		}
 	}
 	return front
 }
 
 // CheapestWithinDeadline returns the cheapest point whose end-to-end
-// training time does not exceed maxDays, ranking candidates by Point.Better
-// (so equal-cost ties break deterministically). ok is false when no point
-// meets the deadline.
+// effective training time (failure-adjusted when modeled) does not exceed
+// maxDays, ranking candidates by Point.Better (so equal-cost ties break
+// deterministically). ok is false when no point meets the deadline.
 func CheapestWithinDeadline(points []Point, maxDays float64) (best Point, ok bool) {
 	for _, p := range points {
-		if p.Training.Days > maxDays {
+		if p.EffectiveDays() > maxDays {
 			continue
 		}
 		if !ok || p.Better(best) {

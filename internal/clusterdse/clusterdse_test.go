@@ -1,16 +1,20 @@
 package clusterdse
 
 import (
+	"errors"
+	"math"
 	"reflect"
 	"sort"
 	"strings"
 	"testing"
 
 	"vtrain/internal/core"
+	"vtrain/internal/cost"
 	"vtrain/internal/dse"
 	"vtrain/internal/hw"
 	"vtrain/internal/model"
 	"vtrain/internal/parallel"
+	"vtrain/internal/resilience"
 	"vtrain/internal/taskgraph"
 )
 
@@ -306,5 +310,194 @@ func TestNewerGPUFasterSameCluster(t *testing.T) {
 	if !(bestDays["h100-sxm-80gb"] < bestDays["a100-sxm-80gb"] &&
 		bestDays["a100-sxm-80gb"] < bestDays["v100-sxm-32gb"]) {
 		t.Errorf("generation ordering violated: %v", bestDays)
+	}
+}
+
+// resilientSpace is testSpace with failure modeling on catalog defaults.
+func resilientSpace() Space {
+	s := testSpace()
+	s.Resilience = &resilience.Options{}
+	return s
+}
+
+// TestResilientSweepRanking pins the failure-adjusted sweep: every point
+// carries a goodput in (0,1), effective cost strictly above ideal cost,
+// ranking follows Better over the effective figures, and within one
+// offering the larger cluster always has the lower goodput — the
+// reliability tax that motivates the whole layer.
+func TestResilientSweepRanking(t *testing.T) {
+	m, s := tinyModel(), resilientSpace()
+	points, err := Explore(newTestSim(t, s), m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) == 0 {
+		t.Fatal("empty sweep")
+	}
+	for i, p := range points {
+		g := p.Resilience.GoodputFraction
+		if !(g > 0 && g < 1) {
+			t.Fatalf("point %d: goodput %v outside (0,1)", i, g)
+		}
+		if p.Resilience.EffectiveDollars <= p.Training.TotalDollars {
+			t.Fatalf("point %d: effective cost %v not above ideal %v", i,
+				p.Resilience.EffectiveDollars, p.Training.TotalDollars)
+		}
+		if p.EffectiveDollars() != p.Resilience.EffectiveDollars || p.EffectiveDays() != p.Resilience.EffectiveDays {
+			t.Fatalf("point %d: Effective accessors ignore the resilience view", i)
+		}
+		if i > 0 && points[i].Better(points[i-1]) {
+			t.Fatalf("point %d ranks above its predecessor", i)
+		}
+	}
+	goodput := map[string]map[int]float64{}
+	for _, p := range points {
+		if goodput[p.Offering.Name] == nil {
+			goodput[p.Offering.Name] = map[int]float64{}
+		}
+		goodput[p.Offering.Name][p.Nodes] = p.Resilience.GoodputFraction
+	}
+	for off, byNodes := range goodput {
+		if len(byNodes) == 2 && byNodes[2] >= byNodes[1] {
+			t.Errorf("%s: 2-node goodput %v not below 1-node %v", off, byNodes[2], byNodes[1])
+		}
+	}
+}
+
+// TestResilienceIsPurePostProcessing is the equivalence lock: with
+// resilience disabled the sweep must be byte-identical to the pre-PR
+// behavior, and enabling it must change neither the simulated reports, the
+// ideal economics, nor the structural-cache behavior — only the extra
+// Resilience view and the ranking that reads it.
+func TestResilienceIsPurePostProcessing(t *testing.T) {
+	m := tinyModel()
+
+	ideal, idealSpace := []Point{}, testSpace()
+	idealSim := newTestSim(t, idealSpace)
+	idealPoints, err := Explore(idealSim, m, idealSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal = idealPoints
+
+	resSpace := resilientSpace()
+	resSim := newTestSim(t, resSpace)
+	resPoints, err := Explore(resSim, m, resSpace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(ideal) != len(resPoints) {
+		t.Fatalf("point counts differ: %d ideal vs %d resilient", len(ideal), len(resPoints))
+	}
+
+	// The structural cache must not notice resilience at all.
+	if is, rs := idealSim.CacheStats(), resSim.CacheStats(); is != rs {
+		t.Errorf("cache stats differ: ideal %+v vs resilient %+v", is, rs)
+	}
+
+	// Stripping the resilience view and re-ranking must reproduce the
+	// disabled sweep exactly — same points, same order, same bytes.
+	stripped := append([]Point(nil), resPoints...)
+	for i := range stripped {
+		stripped[i].Resilience = cost.Resilience{}
+	}
+	sort.Slice(stripped, func(i, j int) bool { return stripped[i].Better(stripped[j]) })
+	if !reflect.DeepEqual(ideal, stripped) {
+		t.Fatal("disabled-resilience sweep is not byte-identical to the stripped resilient sweep")
+	}
+
+	// And the disabled ranking itself must follow the raw-cost order the
+	// pre-resilience Better used.
+	for i := 1; i < len(ideal); i++ {
+		p, q := ideal[i-1], ideal[i]
+		if q.Training.TotalDollars < p.Training.TotalDollars {
+			t.Fatalf("disabled ranking not by raw dollars at %d", i)
+		}
+		if q.Training.TotalDollars == p.Training.TotalDollars && q.Training.Days < p.Training.Days {
+			t.Fatalf("disabled ranking not by raw days at %d", i)
+		}
+	}
+}
+
+// TestUnreliableCandidatesSkipped pins the infeasibility semantics: with a
+// pathological failure environment the doomed candidates drop out like
+// memory-infeasible plans, and when every candidate is doomed the sweep
+// errors rather than returning an empty ranking.
+func TestUnreliableCandidatesSkipped(t *testing.T) {
+	m := tinyModel()
+
+	// One second of per-GPU MTBF with one byte/s of checkpoint bandwidth:
+	// nothing survives.
+	s := testSpace()
+	s.Resilience = &resilience.Options{MTBF: 1, WriteBandwidth: 1}
+	if _, err := Explore(newTestSim(t, s), m, s); err == nil {
+		t.Fatal("all-unreliable sweep returned points")
+	}
+
+	// A borderline environment keeps small clusters and drops large ones:
+	// goodput gates feasibility per candidate, not globally. The tiny
+	// model checkpoints ~237 MB, so at 160 kB/s a checkpoint takes
+	// ~1,482 s: with 30,000 s of per-GPU MTBF the Young–Daly waste
+	// sqrt(2CG/MTBF) is ~0.89 at 8 GPUs but ~1.26 at 16.
+	s = testSpace()
+	s.Resilience = &resilience.Options{MTBF: 3e4, WriteBandwidth: 160e3, Restart: 1}
+	points, err := Explore(newTestSim(t, s), m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := map[int]bool{}
+	for _, p := range points {
+		sizes[p.Nodes] = true
+	}
+	if !sizes[1] || sizes[2] {
+		t.Fatalf("want only 1-node candidates to survive, got sizes %v", sizes)
+	}
+
+	// Broken overrides are an error, not a silent skip.
+	s = testSpace()
+	s.Resilience = &resilience.Options{MTBF: math.Inf(1)}
+	if _, err := Explore(newTestSim(t, s), m, s); err == nil ||
+		errors.Is(err, resilience.ErrUnreliable) {
+		t.Fatalf("invalid override should fail loudly, got %v", err)
+	}
+}
+
+// TestResilientFrontierAndDeadline pins that the frontier and deadline
+// helpers read the effective figures: a deadline between a point's ideal
+// and effective days must reject it once failures are priced.
+func TestResilientFrontierAndDeadline(t *testing.T) {
+	m, s := tinyModel(), resilientSpace()
+	points, err := Explore(newTestSim(t, s), m, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := ParetoFrontier(points)
+	if len(front) == 0 {
+		t.Fatal("empty frontier")
+	}
+	for i := 1; i < len(front); i++ {
+		if front[i].EffectiveDollars() <= front[i-1].EffectiveDollars() {
+			t.Errorf("frontier effective cost not strictly ascending at %d", i)
+		}
+		if front[i].EffectiveDays() >= front[i-1].EffectiveDays() {
+			t.Errorf("frontier effective days not strictly descending at %d", i)
+		}
+	}
+
+	fastest := points[0]
+	for _, p := range points {
+		if p.EffectiveDays() < fastest.EffectiveDays() {
+			fastest = p
+		}
+	}
+	// A deadline squeezed between the fastest point's ideal and effective
+	// days is only satisfiable if failures are ignored.
+	if fastest.Training.Days < fastest.EffectiveDays() {
+		deadline := (fastest.Training.Days + fastest.EffectiveDays()) / 2
+		if best, ok := CheapestWithinDeadline(points, deadline); ok {
+			t.Errorf("deadline %v below every effective time, but got %v (eff %v days)",
+				deadline, best.Candidate, best.EffectiveDays())
+		}
 	}
 }

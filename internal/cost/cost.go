@@ -13,6 +13,7 @@ import (
 
 	"vtrain/internal/hw"
 	"vtrain/internal/model"
+	"vtrain/internal/resilience"
 )
 
 // SecondsPerDay converts between iteration seconds and report days.
@@ -72,6 +73,80 @@ func Train(m model.Config, batchSeqs int, iterTime float64, gpus int, totalToken
 		TotalDollars:   total / 3600 * perHour,
 		Utilization:    Utilization(m, batchSeqs, iterTime, gpus, c.Node.GPU),
 	}
+}
+
+// Resilience augments a Training with the failure-adjusted quantities a
+// real operator pays for: with goodput fraction g, an ideal T-second run
+// occupies T/g seconds of rented cluster time (see internal/resilience for
+// the model). The zero value means "resilience not modeled".
+type Resilience struct {
+	// GoodputFraction is the effective-throughput multiplier in (0,1):
+	// the share of rented wall-clock time that is useful forward
+	// progress.
+	GoodputFraction float64
+	// CheckpointIntervalSeconds is the Young–Daly optimal checkpoint
+	// period the model assumes.
+	CheckpointIntervalSeconds float64
+	// CheckpointSeconds is the time to write one checkpoint.
+	CheckpointSeconds float64
+	// CheckpointFraction, ReworkFraction, and RestartFraction break the
+	// wasted share of wall-clock time into checkpoint writes, replayed
+	// work since the last checkpoint, and failure-recovery latency; they
+	// sum to 1 - GoodputFraction.
+	CheckpointFraction float64
+	ReworkFraction     float64
+	RestartFraction    float64
+	// ExpectedFailures is the expected number of failure events over the
+	// effective (failure-adjusted) run.
+	ExpectedFailures float64
+	// EffectiveDays is the failure-adjusted wall-clock training time.
+	EffectiveDays float64
+	// EffectiveGPUHours is the failure-adjusted rented GPU time.
+	EffectiveGPUHours float64
+	// EffectiveDollars is the failure-adjusted training cost.
+	EffectiveDollars float64
+}
+
+// ResilientTraining pairs the ideal failure-free report with its
+// failure-adjusted counterpart.
+type ResilientTraining struct {
+	Training
+	Resilience
+}
+
+// ApplyResilience derives the failure-adjusted economics of an ideal
+// training report under a computed goodput model: the run stretches by
+// 1/goodput, and days, GPU-hours, and dollars stretch with it. The input
+// Training is not modified — resilience is a pure post-processing layer.
+func ApplyResilience(tr Training, mod resilience.Model) Resilience {
+	effective := tr.TotalSeconds / mod.Goodput
+	return Resilience{
+		GoodputFraction:           mod.Goodput,
+		CheckpointIntervalSeconds: mod.Interval,
+		CheckpointSeconds:         mod.CheckpointSeconds,
+		CheckpointFraction:        mod.CheckpointFraction,
+		ReworkFraction:            mod.ReworkFraction,
+		RestartFraction:           mod.RestartFraction,
+		ExpectedFailures:          mod.FailuresOver(effective),
+		EffectiveDays:             effective / SecondsPerDay,
+		EffectiveGPUHours:         float64(tr.GPUs) * effective / 3600,
+		EffectiveDollars:          effective / 3600 * tr.DollarsPerHour,
+	}
+}
+
+// TrainWithResilience is Train plus the failure-adjusted view: it builds
+// the goodput model from the cluster's catalog-pinned MTBF and checkpoint
+// bandwidth (overridable through o) and the model's checkpoint size, and
+// reports both the ideal and the effective economics. It errors when the
+// cluster lacks resilience data or is too unreliable to make forward
+// progress (resilience.ErrUnreliable).
+func TrainWithResilience(m model.Config, batchSeqs int, iterTime float64, gpus int, totalTokens uint64, c hw.Cluster, o resilience.Options) (ResilientTraining, error) {
+	tr := Train(m, batchSeqs, iterTime, gpus, totalTokens, c)
+	mod, err := resilience.For(m, c, gpus, o)
+	if err != nil {
+		return ResilientTraining{}, err
+	}
+	return ResilientTraining{Training: tr, Resilience: ApplyResilience(tr, mod)}, nil
 }
 
 // Duration renders seconds as a time.Duration for logs.

@@ -6,6 +6,7 @@ import (
 
 	"vtrain/internal/hw"
 	"vtrain/internal/model"
+	"vtrain/internal/resilience"
 )
 
 func TestUtilizationMTNLGBaseline(t *testing.T) {
@@ -98,5 +99,83 @@ func TestGPUHoursAndCatalogPricing(t *testing.T) {
 		if want := tr.GPUHours * off.DollarsPerGPUHour; math.Abs(tr.TotalDollars-want) > 1e-6*want {
 			t.Errorf("%s: TotalDollars = %g, want GPU-hours x catalog rate = %g", off.Name, tr.TotalDollars, want)
 		}
+	}
+}
+
+// TestApplyResilienceStretchesEconomics pins the failure-adjusted report:
+// effective time is ideal time divided by goodput, dollars and GPU-hours
+// stretch with it, and the ideal Training inside a ResilientTraining is
+// byte-identical to what cost.Train returns on its own — resilience is a
+// pure post-processing layer.
+func TestApplyResilienceStretchesEconomics(t *testing.T) {
+	m := model.MTNLG530B()
+	c := hw.PaperCluster(280)
+	ideal := Train(m, 1920, 44.4, 2240, 270e9, c)
+
+	rt, err := TrainWithResilience(m, 1920, 44.4, 2240, 270e9, c, resilience.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Training != ideal {
+		t.Fatalf("embedded Training diverged from cost.Train: %+v vs %+v", rt.Training, ideal)
+	}
+	g := rt.GoodputFraction
+	if g <= 0 || g >= 1 {
+		t.Fatalf("goodput = %v, want (0,1) at MT-NLG scale", g)
+	}
+	if got, want := rt.EffectiveDays, ideal.Days/g; math.Abs(got-want) > 1e-9 {
+		t.Errorf("EffectiveDays = %v, want Days/goodput = %v", got, want)
+	}
+	if got, want := rt.EffectiveDollars, ideal.TotalDollars/g; math.Abs(got/want-1) > 1e-12 {
+		t.Errorf("EffectiveDollars = %v, want TotalDollars/goodput = %v", got, want)
+	}
+	if got, want := rt.EffectiveGPUHours, ideal.GPUHours/g; math.Abs(got/want-1) > 1e-12 {
+		t.Errorf("EffectiveGPUHours = %v, want GPUHours/goodput = %v", got, want)
+	}
+	if rt.EffectiveDollars <= ideal.TotalDollars {
+		t.Error("failure-adjusted cost must exceed the ideal cost")
+	}
+	if rt.ExpectedFailures <= 0 {
+		t.Error("a 2,240-GPU month-long run must expect failures")
+	}
+	sum := rt.CheckpointFraction + rt.ReworkFraction + rt.RestartFraction + g
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("fractions + goodput = %v, want 1", sum)
+	}
+}
+
+// TestTrainWithResilienceOverridesAndErrors pins the option plumbing and
+// the failure modes: overrides shift the goodput the right direction, and
+// a cluster with no resilience data errors instead of guessing.
+func TestTrainWithResilienceOverridesAndErrors(t *testing.T) {
+	m := model.Megatron18_4B()
+	c := hw.PaperCluster(16)
+
+	def, err := TrainWithResilience(m, 512, 3.7, 128, 300e9, c, resilience.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	flaky, err := TrainWithResilience(m, 512, 3.7, 128, 300e9, c, resilience.Options{MTBF: 100 * 3600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flaky.GoodputFraction >= def.GoodputFraction {
+		t.Errorf("hundred-hour MTBF goodput %v not below catalog %v", flaky.GoodputFraction, def.GoodputFraction)
+	}
+	slow, err := TrainWithResilience(m, 512, 3.7, 128, 300e9, c, resilience.Options{WriteBandwidth: 100e6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow.GoodputFraction >= def.GoodputFraction {
+		t.Errorf("slow-storage goodput %v not below catalog %v", slow.GoodputFraction, def.GoodputFraction)
+	}
+
+	bare := c
+	bare.Node.GPU.MTBF = 0
+	if _, err := TrainWithResilience(m, 512, 3.7, 128, 300e9, bare, resilience.Options{}); err == nil {
+		t.Error("cluster without MTBF data accepted")
+	}
+	if _, err := TrainWithResilience(m, 512, 3.7, 128, 300e9, bare, resilience.Options{MTBF: 50000 * 3600}); err != nil {
+		t.Errorf("override should substitute for missing catalog data: %v", err)
 	}
 }

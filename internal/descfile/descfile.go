@@ -29,6 +29,7 @@ import (
 	"vtrain/internal/hw"
 	"vtrain/internal/model"
 	"vtrain/internal/parallel"
+	"vtrain/internal/resilience"
 )
 
 // Description is the parsed input file.
@@ -60,6 +61,44 @@ type ClusterSection struct {
 	Alpha float64 `json:"alpha"`
 	// DollarsPerGPUHour overrides pricing when nonzero.
 	DollarsPerGPUHour float64 `json:"dollars_per_gpu_hour"`
+	// Resilience overrides the failure/checkpoint-restart environment
+	// (catalog-pinned per GPU generation by default) or disables
+	// resilience modeling for this run.
+	Resilience *ResilienceSection `json:"resilience"`
+}
+
+// ResilienceSection tunes goodput modeling (see internal/resilience). A
+// missing section means "model resilience with the cluster's catalog
+// defaults"; "disabled": true turns the modeling off entirely.
+type ResilienceSection struct {
+	// Disabled turns off failure/checkpoint-restart modeling.
+	Disabled bool `json:"disabled"`
+	// MTBFHours overrides the per-GPU mean time between failures, in
+	// hours, when positive.
+	MTBFHours float64 `json:"mtbf_hours"`
+	// CheckpointBandwidthGBs overrides the aggregate checkpoint-storage
+	// write bandwidth, in GB/s, when positive.
+	CheckpointBandwidthGBs float64 `json:"checkpoint_bandwidth_gbs"`
+	// RestartSeconds overrides the failure-recovery latency when
+	// positive.
+	RestartSeconds float64 `json:"restart_seconds"`
+}
+
+// Validate reports an error for meaningless override values.
+func (r *ResilienceSection) Validate() error {
+	if r == nil {
+		return nil
+	}
+	if r.MTBFHours < 0 {
+		return fmt.Errorf("descfile: resilience.mtbf_hours must be non-negative, got %v", r.MTBFHours)
+	}
+	if r.CheckpointBandwidthGBs < 0 {
+		return fmt.Errorf("descfile: resilience.checkpoint_bandwidth_gbs must be non-negative, got %v", r.CheckpointBandwidthGBs)
+	}
+	if r.RestartSeconds < 0 {
+		return fmt.Errorf("descfile: resilience.restart_seconds must be non-negative, got %v", r.RestartSeconds)
+	}
+	return nil
 }
 
 // PlanSection selects the 3D-parallel plan.
@@ -164,6 +203,9 @@ func (d Description) Resolve() (model.Config, parallel.Plan, hw.Cluster, error) 
 	if d.Cluster.DollarsPerGPUHour > 0 {
 		c.DollarsPerGPUHour = d.Cluster.DollarsPerGPUHour
 	}
+	if err := d.Cluster.Resilience.Validate(); err != nil {
+		return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
+	}
 
 	sched := parallel.OneFOneB
 	switch strings.ToLower(d.Plan.Schedule) {
@@ -183,4 +225,23 @@ func (d Description) Resolve() (model.Config, parallel.Plan, hw.Cluster, error) 
 		return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
 	}
 	return m, plan, c, nil
+}
+
+// ResilienceOptions converts the description's resilience section into the
+// overrides internal/resilience consumes. enabled is false when the
+// section sets "disabled": true; a missing section enables modeling with
+// the cluster's catalog defaults.
+func (d Description) ResilienceOptions() (o resilience.Options, enabled bool) {
+	rs := d.Cluster.Resilience
+	if rs == nil {
+		return resilience.Options{}, true
+	}
+	if rs.Disabled {
+		return resilience.Options{}, false
+	}
+	return resilience.Options{
+		MTBF:           rs.MTBFHours * 3600,
+		WriteBandwidth: rs.CheckpointBandwidthGBs * 1e9,
+		Restart:        rs.RestartSeconds,
+	}, true
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"vtrain/internal/parallel"
+	"vtrain/internal/resilience"
 )
 
 const mtnlgDesc = `{
@@ -214,5 +215,86 @@ func TestClusterOffering(t *testing.T) {
 	d.Cluster.Offering = "tpu-v5"
 	if _, _, _, err := d.Resolve(); err == nil {
 		t.Error("unknown offering accepted")
+	}
+}
+
+// TestResilienceSection pins the resilience section's semantics: a missing
+// section enables modeling with catalog defaults, "disabled" turns it off,
+// overrides convert units (hours -> seconds, GB/s -> bytes/s), and
+// negative values are rejected by Resolve.
+func TestResilienceSection(t *testing.T) {
+	d, err := Parse(strings.NewReader(mtnlgDesc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, enabled := d.ResilienceOptions()
+	if !enabled {
+		t.Fatal("missing resilience section should enable modeling with defaults")
+	}
+	if opts != (resilience.Options{}) {
+		t.Fatalf("missing section produced overrides: %+v", opts)
+	}
+
+	const doc = `{
+	  "model":  {"preset": "megatron-3.6b"},
+	  "cluster":{"nodes": 2,
+	             "resilience": {"mtbf_hours": 40000,
+	                            "checkpoint_bandwidth_gbs": 80,
+	                            "restart_seconds": 300}},
+	  "plan":   {"tensor": 2, "data": 4, "pipeline": 2,
+	             "micro_batch": 1, "global_batch": 512}
+	}`
+	if d, err = Parse(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := d.Resolve(); err != nil {
+		t.Fatal(err)
+	}
+	opts, enabled = d.ResilienceOptions()
+	if !enabled {
+		t.Fatal("override section should keep modeling enabled")
+	}
+	if opts.MTBF != 40000*3600 || opts.WriteBandwidth != 80e9 || opts.Restart != 300 {
+		t.Fatalf("unit conversion wrong: %+v", opts)
+	}
+
+	d.Cluster.Resilience = &ResilienceSection{Disabled: true}
+	if _, enabled = d.ResilienceOptions(); enabled {
+		t.Error("disabled section still enabled")
+	}
+	if _, _, _, err := d.Resolve(); err != nil {
+		t.Errorf("disabled section should still resolve: %v", err)
+	}
+
+	for _, bad := range []*ResilienceSection{
+		{MTBFHours: -1},
+		{CheckpointBandwidthGBs: -2},
+		{RestartSeconds: -3},
+	} {
+		d.Cluster.Resilience = bad
+		if _, _, _, err := d.Resolve(); err == nil {
+			t.Errorf("negative override accepted: %+v", bad)
+		}
+	}
+}
+
+// TestExampleDescfilesResolve keeps the shipped example descriptions (also
+// the FuzzParse seed corpus) loadable and resolvable.
+func TestExampleDescfilesResolve(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "descfiles", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example descfiles found")
+	}
+	for _, path := range paths {
+		d, err := Load(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if _, _, _, err := d.Resolve(); err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
 	}
 }

@@ -1,0 +1,63 @@
+package descfile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the package's robustness contract: malformed input must
+// return an error, never panic, and an input that parses must also survive
+// Resolve and ResilienceOptions without panicking (simulation-level
+// validation may still reject it with an error). The corpus seeds are every
+// descfile shipped under examples/descfiles plus hand-written edge cases
+// around the resilience section; CI replays the generated corpus with
+// -fuzztime=0 (see .github/workflows/ci.yml).
+func FuzzParse(f *testing.F) {
+	seeds, err := filepath.Glob(filepath.Join("..", "..", "examples", "descfiles", "*.json"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	if len(seeds) == 0 {
+		f.Fatal("no descfile seeds under examples/descfiles — the fuzz corpus lost its anchor")
+	}
+	for _, path := range seeds {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(data))
+	}
+	for _, s := range []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"model":{}}`,
+		`{"model":{"preset":"gpt3-175b"},"cluster":{"nodes":1},"plan":{}}`,
+		`{"cluster":{"nodes":-1,"resilience":{}}}`,
+		`{"cluster":{"resilience":{"disabled":true}}}`,
+		`{"cluster":{"resilience":{"mtbf_hours":-5}}}`,
+		`{"cluster":{"resilience":{"mtbf_hours":1e308,"checkpoint_bandwidth_gbs":1e-308}}}`,
+		`{"cluster":{"resilience":null}}`,
+		`{"cluster":{"resilience":{"restart_seconds":}}}`,
+		`{"model":{"hidden":9e99},"total_tokens":18446744073709551615}`,
+		`{"total_tokens":-1}`,
+		`{"plan":{"schedule":"gpipe","virtual_stages":2}}`,
+		`{"model":{"preset":"MT-NLG-530B"},"cluster":{"nodes":280,"offering":"H100-SXM-80GB"}}`,
+		"{\"model\":{\"name\":\"\\u0000\",\"hidden\":1}}",
+	} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := Parse(strings.NewReader(input))
+		if err != nil {
+			return // rejected, as malformed input should be
+		}
+		// Accepted descriptions must flow through the rest of the API
+		// without panicking; errors are fine.
+		_, _, _, _ = d.Resolve()
+		_, _ = d.ResilienceOptions()
+	})
+}

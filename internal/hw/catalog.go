@@ -15,6 +15,32 @@ import (
 // varies by hand, so internal/clusterdse can sweep (GPU generation x node
 // count x interconnect) jointly with the parallel plan.
 
+// Per-GPU mean time between failures, in seconds, pinned per generation.
+// The anchors are published large-scale training postmortems rather than
+// vendor datasheets (GPUs fail far more often under sustained training
+// load than MTBF specs suggest): Meta's Llama 3 run saw 466 job
+// interruptions over 54 days on 16,384 H100s — a per-GPU MTBF of roughly
+// 45k hours — and OPT-175B-era A100 fleets and first-generation V100
+// clusters were respectively somewhat better and notably worse than that.
+const (
+	// VoltaMTBF reflects early-fleet V100 reliability (~30k hours).
+	VoltaMTBF = 30000 * 3600.0
+	// AmpereMTBF reflects mature A100 fleets (~55k hours).
+	AmpereMTBF = 55000 * 3600.0
+	// HopperMTBF reflects the Llama 3 H100 failure rate (~45k hours).
+	HopperMTBF = 45000 * 3600.0
+)
+
+// Aggregate checkpoint storage write bandwidth, in bytes/s, pinned per
+// generation era: the parallel filesystems deployed alongside each DGX
+// generation (Lustre/GPFS tiers for V100, NetApp/DDN A100 reference
+// architectures, and the NVMe-backed stores of H100 SuperPODs).
+const (
+	VoltaCheckpointBandwidth  = 10e9
+	AmpereCheckpointBandwidth = 25e9
+	HopperCheckpointBandwidth = 60e9
+)
+
 // V100SXM32GB returns the datasheet description of the Volta-generation
 // V100-SXM2-32GB: 125 TFLOPS FP16 tensor, 15.7 TFLOPS FP32, 900 GB/s HBM2,
 // 80 SMs.
@@ -28,6 +54,7 @@ func V100SXM32GB() GPU {
 		MemCapacity:          32 << 30,
 		SMCount:              80,
 		KernelLaunchOverhead: 4e-6,
+		MTBF:                 VoltaMTBF,
 	}
 }
 
@@ -43,6 +70,7 @@ func A100SXM40GB() GPU {
 		MemCapacity:          40 << 30,
 		SMCount:              108,
 		KernelLaunchOverhead: 4e-6,
+		MTBF:                 AmpereMTBF,
 	}
 }
 
@@ -58,6 +86,7 @@ func H100SXM80GB() GPU {
 		MemCapacity:          80 << 30,
 		SMCount:              132,
 		KernelLaunchOverhead: 4e-6,
+		MTBF:                 HopperMTBF,
 	}
 }
 
@@ -169,6 +198,10 @@ type Offering struct {
 	// p3dn (V100), p4d (A100-40), p4de (A100-80, rounded to the paper's
 	// $5), and p5 (H100) on-demand rates divided by 8 GPUs.
 	DollarsPerGPUHour float64
+	// CheckpointBandwidth is the aggregate checkpoint-storage write
+	// bandwidth in bytes/s the offering ships with (era-pinned defaults
+	// above); internal/resilience prices checkpoint-restart from it.
+	CheckpointBandwidth float64
 }
 
 // Validate reports an error for malformed offerings — the checks cover
@@ -203,12 +236,13 @@ func (o Offering) WithInterconnect(ic Interconnect) Offering {
 // Cluster materializes the offering at a node count.
 func (o Offering) Cluster(nodes int) Cluster {
 	return Cluster{
-		Node:               o.Node,
-		NodeCount:          nodes,
-		InterNodeBandwidth: o.Interconnect.PerNodeBandwidth(),
-		InterNodeLatency:   o.Interconnect.Latency,
-		Alpha:              1.0,
-		DollarsPerGPUHour:  o.DollarsPerGPUHour,
+		Node:                o.Node,
+		NodeCount:           nodes,
+		InterNodeBandwidth:  o.Interconnect.PerNodeBandwidth(),
+		InterNodeLatency:    o.Interconnect.Latency,
+		Alpha:               1.0,
+		DollarsPerGPUHour:   o.DollarsPerGPUHour,
+		CheckpointBandwidth: o.CheckpointBandwidth,
 	}
 }
 
@@ -216,10 +250,10 @@ func (o Offering) Cluster(nodes int) Cluster {
 // paired with its era's fabric tier, oldest generation first.
 func Catalog() []Offering {
 	return []Offering{
-		{Name: "v100-sxm-32gb", Node: DGX1V(), Interconnect: IBEDRx4(), DollarsPerGPUHour: 3.90},
-		{Name: "a100-sxm-40gb", Node: DGXA100At40GB(), Interconnect: IBHDRx4(), DollarsPerGPUHour: 4.10},
-		{Name: "a100-sxm-80gb", Node: DGXA100(), Interconnect: IBHDRx4(), DollarsPerGPUHour: 5.00},
-		{Name: "h100-sxm-80gb", Node: DGXH100(), Interconnect: IBNDRx8(), DollarsPerGPUHour: 12.29},
+		{Name: "v100-sxm-32gb", Node: DGX1V(), Interconnect: IBEDRx4(), DollarsPerGPUHour: 3.90, CheckpointBandwidth: VoltaCheckpointBandwidth},
+		{Name: "a100-sxm-40gb", Node: DGXA100At40GB(), Interconnect: IBHDRx4(), DollarsPerGPUHour: 4.10, CheckpointBandwidth: AmpereCheckpointBandwidth},
+		{Name: "a100-sxm-80gb", Node: DGXA100(), Interconnect: IBHDRx4(), DollarsPerGPUHour: 5.00, CheckpointBandwidth: AmpereCheckpointBandwidth},
+		{Name: "h100-sxm-80gb", Node: DGXH100(), Interconnect: IBNDRx8(), DollarsPerGPUHour: 12.29, CheckpointBandwidth: HopperCheckpointBandwidth},
 	}
 }
 

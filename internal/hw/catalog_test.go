@@ -206,3 +206,68 @@ func TestLookupOffering(t *testing.T) {
 		t.Errorf("OfferingNames lists %d, catalog has %d", got, want)
 	}
 }
+
+// TestResilienceCatalogData pins the failure/checkpoint data the resilience
+// model consumes: every generation carries a plausible MTBF, every offering
+// a positive era-appropriate checkpoint bandwidth, and both survive the
+// trip through Offering.Cluster.
+func TestResilienceCatalogData(t *testing.T) {
+	wantMTBF := map[Arch]float64{
+		Volta:  VoltaMTBF,
+		Ampere: AmpereMTBF,
+		Hopper: HopperMTBF,
+	}
+	wantBW := map[string]float64{
+		"v100-sxm-32gb": VoltaCheckpointBandwidth,
+		"a100-sxm-40gb": AmpereCheckpointBandwidth,
+		"a100-sxm-80gb": AmpereCheckpointBandwidth,
+		"h100-sxm-80gb": HopperCheckpointBandwidth,
+	}
+	for _, o := range Catalog() {
+		g := o.Node.GPU
+		if g.MTBF != wantMTBF[g.Arch] {
+			t.Errorf("%s: MTBF %v, want generation constant %v", o.Name, g.MTBF, wantMTBF[g.Arch])
+		}
+		if g.MTBF < 1000*3600 || g.MTBF > 1e6*3600 {
+			t.Errorf("%s: implausible per-GPU MTBF %v hours", o.Name, g.MTBF/3600)
+		}
+		if o.CheckpointBandwidth != wantBW[o.Name] {
+			t.Errorf("%s: checkpoint bandwidth %v, want era constant %v", o.Name, o.CheckpointBandwidth, wantBW[o.Name])
+		}
+		c := o.Cluster(4)
+		if c.CheckpointBandwidth != o.CheckpointBandwidth {
+			t.Errorf("%s: Cluster dropped checkpoint bandwidth (%v != %v)", o.Name, c.CheckpointBandwidth, o.CheckpointBandwidth)
+		}
+		if c.Node.GPU.MTBF != g.MTBF {
+			t.Errorf("%s: Cluster dropped GPU MTBF", o.Name)
+		}
+	}
+	// Newer generations checkpoint faster: the storage deployed alongside
+	// each era improved monotonically.
+	if !(VoltaCheckpointBandwidth < AmpereCheckpointBandwidth && AmpereCheckpointBandwidth < HopperCheckpointBandwidth) {
+		t.Error("checkpoint bandwidth must improve across generations")
+	}
+}
+
+// TestClusterValidateResilienceFields pins that negative resilience data is
+// rejected while zero ("unknown") stays allowed for hand-built clusters.
+func TestClusterValidateResilienceFields(t *testing.T) {
+	c := PaperCluster(2)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	c.Node.GPU.MTBF = 0
+	c.CheckpointBandwidth = 0
+	if err := c.Validate(); err != nil {
+		t.Errorf("zero resilience data must stay valid (means unknown): %v", err)
+	}
+	c.Node.GPU.MTBF = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative MTBF accepted")
+	}
+	c = PaperCluster(2)
+	c.CheckpointBandwidth = -5
+	if err := c.Validate(); err == nil {
+		t.Error("negative checkpoint bandwidth accepted")
+	}
+}

@@ -58,6 +58,13 @@ type GPU struct {
 	// KernelLaunchOverhead is the fixed host-side cost of launching one
 	// kernel, in seconds (~4 microseconds on a busy training node).
 	KernelLaunchOverhead float64
+	// MTBF is the per-device mean time between failures in seconds,
+	// catalog-pinned per generation from published large-scale training
+	// failure rates; internal/resilience divides it by the cluster's GPU
+	// count to price failures and checkpoint-restart into training cost.
+	// Zero means "unknown" — resilience modeling then needs an explicit
+	// override.
+	MTBF float64
 }
 
 // Node is a multi-GPU server.
@@ -94,6 +101,12 @@ type Cluster struct {
 	// P4d as the proxy: Table I shows 2,240 GPUs at $11,200/hour, i.e.
 	// $5 per GPU-hour.
 	DollarsPerGPUHour float64
+	// CheckpointBandwidth is the aggregate bytes/s the cluster sustains
+	// writing training checkpoints to persistent storage (parallel
+	// filesystem or object store). internal/resilience derives the
+	// Young–Daly checkpoint interval from it. Zero means "unknown" —
+	// resilience modeling then needs an explicit override.
+	CheckpointBandwidth float64
 }
 
 // TotalGPUs returns the number of GPUs in the cluster.
@@ -122,6 +135,12 @@ func (c Cluster) Validate() error {
 	if c.DollarsPerGPUHour < 0 {
 		return fmt.Errorf("hw: negative GPU-hour price %v", c.DollarsPerGPUHour)
 	}
+	if c.Node.GPU.MTBF < 0 {
+		return fmt.Errorf("hw: GPU %q has negative MTBF %v", c.Node.GPU.Name, c.Node.GPU.MTBF)
+	}
+	if c.CheckpointBandwidth < 0 {
+		return fmt.Errorf("hw: negative checkpoint write bandwidth %v", c.CheckpointBandwidth)
+	}
 	return nil
 }
 
@@ -136,6 +155,7 @@ func A100SXM80GB() GPU {
 		MemCapacity:          80 << 30,
 		SMCount:              108,
 		KernelLaunchOverhead: 4e-6,
+		MTBF:                 AmpereMTBF,
 	}
 }
 
@@ -151,14 +171,16 @@ func DGXA100() Node {
 
 // PaperCluster returns an n-node cluster matching Section IV's testbed:
 // DGX A100 nodes, 4 x 200 Gbps HDR InfiniBand per node in a two-level
-// non-blocking fat tree, alpha = 1.0, $5/GPU-hour.
+// non-blocking fat tree, alpha = 1.0, $5/GPU-hour, with the A100-era
+// checkpoint storage defaults of the catalog.
 func PaperCluster(nodes int) Cluster {
 	return Cluster{
-		Node:               DGXA100(),
-		NodeCount:          nodes,
-		InterNodeBandwidth: 100e9, // 800 Gbps
-		InterNodeLatency:   12e-6,
-		Alpha:              1.0,
-		DollarsPerGPUHour:  5.0,
+		Node:                DGXA100(),
+		NodeCount:           nodes,
+		InterNodeBandwidth:  100e9, // 800 Gbps
+		InterNodeLatency:    12e-6,
+		Alpha:               1.0,
+		DollarsPerGPUHour:   5.0,
+		CheckpointBandwidth: AmpereCheckpointBandwidth,
 	}
 }

@@ -16,6 +16,21 @@ package model
 // BytesPerParamState is the mixed-precision Adam state size per parameter.
 const BytesPerParamState = 18
 
+// BytesPerParamCheckpoint is the per-parameter size of the state a
+// checkpoint must persist to resume training exactly: FP16 weights (2) +
+// FP32 master weights (4) + Adam first/second moments (8). Gradients are
+// recomputed on restart, so the checkpoint is 4 bytes/param smaller than
+// the resident BytesPerParamState.
+const BytesPerParamCheckpoint = 14
+
+// CheckpointBytes returns the size of one full training checkpoint: every
+// parameter's persistent optimizer state, independent of how the model is
+// sharded (each rank writes its shard, the aggregate is the whole model).
+// internal/resilience derives checkpoint-write time from it.
+func (c Config) CheckpointBytes() uint64 {
+	return c.Params() * BytesPerParamCheckpoint
+}
+
 // ModelStateBytes returns the per-GPU bytes of weights, gradients, and
 // optimizer state when the model is sharded t-way tensor parallel and p-way
 // pipeline parallel. Data parallelism replicates states, so d does not

@@ -113,3 +113,21 @@ func TestRecomputePeakBelowFullPeakWhenDeepPipeline(t *testing.T) {
 		t.Fatalf("recompute peak %d >= full peak %d", rec, full)
 	}
 }
+
+// TestCheckpointBytes pins the checkpoint sizing: 14 bytes per parameter
+// (FP16 weights + FP32 master + Adam moments, no gradients), independent of
+// sharding, and strictly below the resident 18-byte training state.
+func TestCheckpointBytes(t *testing.T) {
+	m := MTNLG530B()
+	if got, want := m.CheckpointBytes(), m.Params()*BytesPerParamCheckpoint; got != want {
+		t.Fatalf("CheckpointBytes = %d, want Params x %d = %d", got, BytesPerParamCheckpoint, want)
+	}
+	if BytesPerParamCheckpoint >= BytesPerParamState {
+		t.Fatal("checkpoint must be smaller than resident state (gradients are not persisted)")
+	}
+	// MT-NLG 530B: ~530e9 params x 14 B = ~7.4 TB, the scale that makes
+	// checkpoint bandwidth matter at 2,240 GPUs.
+	if tb := float64(m.CheckpointBytes()) / 1e12; tb < 7 || tb > 8 {
+		t.Errorf("MT-NLG checkpoint = %.2f TB, want ~7.4 TB", tb)
+	}
+}

@@ -1,0 +1,221 @@
+// Package resilience models the goodput a training cluster loses to
+// hardware failures and checkpoint-restart, so that cost projections and
+// cluster-design rankings reflect what an operator actually pays rather
+// than an uninterrupted ideal run.
+//
+// The model is the classical deterministic checkpoint-restart analysis:
+// failures arrive independently per GPU with a per-device mean time between
+// failures, so a cluster of G devices fails every MTBF/G seconds on
+// average. The job periodically writes a checkpoint of the model and
+// optimizer state to persistent storage (C seconds per checkpoint at the
+// cluster's storage write bandwidth); on a failure it restarts (R seconds
+// of relaunch + state load) and replays the work since the last checkpoint
+// (on average half a checkpoint interval). The Young–Daly first-order
+// optimal checkpoint interval
+//
+//	tau = sqrt(2 * C * M)          (M = cluster MTBF)
+//
+// balances the two losses, and the resulting fraction of wall-clock time
+// that is NOT useful forward progress is
+//
+//	waste = C/tau + tau/(2M) + R/M = sqrt(2C/M) + R/M
+//
+// Goodput = 1 - waste is the effective-throughput multiplier the rest of
+// the stack applies: an ideal T-second run occupies T/goodput seconds of
+// rented cluster time. The model is deliberately deterministic (expected
+// values, no sampled failure traces) so design-space sweeps stay exactly
+// reproducible; it sits strictly after simulation — iteration times,
+// task graphs, and caches are untouched by it (see docs/ARCHITECTURE.md).
+//
+// References: Young (1974) and Daly (2006) for the interval; the
+// distributed-training survey arXiv:2407.20018 and the LLM TCO analysis
+// arXiv:2506.09275 for treating fault tolerance as a first-class
+// determinant of effective throughput and cost.
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+)
+
+// DefaultRestartSeconds is the assumed failure-recovery latency when the
+// caller does not override it: job teardown, node replacement or cordon,
+// relaunch, and loading the checkpoint back — about ten minutes, in line
+// with published large-scale training postmortems.
+const DefaultRestartSeconds = 600
+
+// ErrUnreliable is returned (wrapped) by Compute when the predicted waste
+// reaches or exceeds the whole run: the cluster fails faster than it can
+// checkpoint and recover, so the first-order model has no positive
+// goodput. Sweeps treat such candidates like memory-infeasible plans.
+var ErrUnreliable = errors.New("goodput is non-positive: cluster fails faster than it can checkpoint and recover")
+
+// Params describes one failure/checkpoint environment. All fields must be
+// positive and finite (Restart may be zero); Compute validates and never
+// returns NaN or Inf.
+type Params struct {
+	// GPUs is the number of devices sharing the job's fate: any single
+	// failure stops the whole synchronous training run.
+	GPUs int
+	// MTBF is the per-GPU mean time between failures in seconds
+	// (catalog-pinned per generation in internal/hw).
+	MTBF float64
+	// CheckpointBytes is the size of one full checkpoint: the model's
+	// persistent state (weights + optimizer moments), independent of how
+	// it is sharded across the cluster.
+	CheckpointBytes uint64
+	// WriteBandwidth is the aggregate bytes/s the cluster sustains when
+	// writing a checkpoint to persistent storage.
+	WriteBandwidth float64
+	// Restart is the fixed failure-recovery latency in seconds (relaunch
+	// plus checkpoint load). Zero is allowed; rollback rework is modeled
+	// separately as half a checkpoint interval.
+	Restart float64
+}
+
+// Validate reports an error for physically meaningless parameters — the
+// degenerate inputs (zero MTBF, zero bandwidth, ...) that would otherwise
+// surface as NaN or Inf in the closed forms.
+func (p Params) Validate() error {
+	if p.GPUs <= 0 {
+		return fmt.Errorf("resilience: GPU count must be positive, got %d", p.GPUs)
+	}
+	if p.MTBF <= 0 || math.IsInf(p.MTBF, 0) || math.IsNaN(p.MTBF) {
+		return fmt.Errorf("resilience: per-GPU MTBF must be positive and finite, got %v", p.MTBF)
+	}
+	if p.CheckpointBytes == 0 {
+		return fmt.Errorf("resilience: checkpoint size must be positive")
+	}
+	if p.WriteBandwidth <= 0 || math.IsInf(p.WriteBandwidth, 0) || math.IsNaN(p.WriteBandwidth) {
+		return fmt.Errorf("resilience: checkpoint write bandwidth must be positive and finite, got %v", p.WriteBandwidth)
+	}
+	if p.Restart < 0 || math.IsInf(p.Restart, 0) || math.IsNaN(p.Restart) {
+		return fmt.Errorf("resilience: restart latency must be non-negative and finite, got %v", p.Restart)
+	}
+	return nil
+}
+
+// Model is the computed goodput model for one environment. All times are
+// seconds; the three fractions partition the wasted share of wall-clock
+// time, so Goodput + CheckpointFraction + ReworkFraction + RestartFraction
+// equals 1 exactly.
+type Model struct {
+	// ClusterMTBF is the whole-cluster mean time between failures:
+	// per-GPU MTBF divided by the device count.
+	ClusterMTBF float64
+	// CheckpointSeconds is the time to write one checkpoint.
+	CheckpointSeconds float64
+	// Interval is the Young–Daly optimal checkpoint interval
+	// sqrt(2 · CheckpointSeconds · ClusterMTBF).
+	Interval float64
+	// CheckpointFraction is the share of wall-clock time spent writing
+	// checkpoints: CheckpointSeconds / Interval.
+	CheckpointFraction float64
+	// ReworkFraction is the share lost to replaying work since the last
+	// checkpoint: Interval / (2 · ClusterMTBF).
+	ReworkFraction float64
+	// RestartFraction is the share lost to failure-recovery latency:
+	// Restart / ClusterMTBF.
+	RestartFraction float64
+	// Goodput is the effective-throughput multiplier in (0, 1): the
+	// fraction of rented wall-clock time that is useful forward progress.
+	Goodput float64
+}
+
+// WasteFraction returns the total non-goodput share, 1 - Goodput.
+func (m Model) WasteFraction() float64 {
+	return m.CheckpointFraction + m.ReworkFraction + m.RestartFraction
+}
+
+// FailuresOver returns the expected number of failures during wallSeconds
+// of cluster time.
+func (m Model) FailuresOver(wallSeconds float64) float64 {
+	return wallSeconds / m.ClusterMTBF
+}
+
+// Compute evaluates the goodput model. It returns an error for invalid
+// parameters (Params.Validate) and a wrapped ErrUnreliable when the
+// predicted waste reaches 100% — in particular it never returns NaN, Inf,
+// or a goodput outside (0, 1).
+func Compute(p Params) (Model, error) {
+	if err := p.Validate(); err != nil {
+		return Model{}, err
+	}
+	mtbf := p.MTBF / float64(p.GPUs)
+	ckpt := float64(p.CheckpointBytes) / p.WriteBandwidth
+	// A denormal-small bandwidth passes Validate (positive and finite)
+	// but overflows the write time to +Inf, which would poison the
+	// fractions with Inf/Inf = NaN below.
+	if math.IsInf(ckpt, 0) {
+		return Model{}, fmt.Errorf("resilience: checkpoint write time overflows (%d bytes at %v B/s)",
+			p.CheckpointBytes, p.WriteBandwidth)
+	}
+	interval := math.Sqrt(2 * ckpt * mtbf)
+	m := Model{
+		ClusterMTBF:        mtbf,
+		CheckpointSeconds:  ckpt,
+		Interval:           interval,
+		CheckpointFraction: ckpt / interval,
+		ReworkFraction:     interval / (2 * mtbf),
+		RestartFraction:    p.Restart / mtbf,
+	}
+	m.Goodput = 1 - m.WasteFraction()
+	// !(> 0) rather than <= 0 so a NaN from any future arithmetic edge
+	// case is treated as unreliable instead of escaping the contract.
+	if !(m.Goodput > 0) {
+		return Model{}, fmt.Errorf("resilience: %d GPUs at %v s cluster MTBF vs %.1f s checkpoints: %w",
+			p.GPUs, mtbf, ckpt, ErrUnreliable)
+	}
+	return m, nil
+}
+
+// Options carries the caller-facing overrides of the environment the
+// hardware catalog pins. The zero value means "use the cluster's catalog
+// values with the default restart latency".
+type Options struct {
+	// MTBF overrides the per-GPU mean time between failures in seconds
+	// when positive.
+	MTBF float64
+	// WriteBandwidth overrides the checkpoint storage write bandwidth in
+	// bytes/s when positive.
+	WriteBandwidth float64
+	// Restart overrides the failure-recovery latency in seconds when
+	// positive (DefaultRestartSeconds otherwise).
+	Restart float64
+}
+
+// ParamsFor assembles the goodput parameters for training m on gpus
+// devices of cluster c: MTBF from the cluster's GPU generation, checkpoint
+// size from the model's persistent optimizer state
+// (model.Config.CheckpointBytes), and write bandwidth from the cluster's
+// storage, each overridable through o. It does not validate — Compute
+// does — so missing catalog data surfaces as a descriptive error there.
+func ParamsFor(m model.Config, c hw.Cluster, gpus int, o Options) Params {
+	p := Params{
+		GPUs:            gpus,
+		MTBF:            c.Node.GPU.MTBF,
+		CheckpointBytes: m.CheckpointBytes(),
+		WriteBandwidth:  c.CheckpointBandwidth,
+		Restart:         DefaultRestartSeconds,
+	}
+	if o.MTBF > 0 {
+		p.MTBF = o.MTBF
+	}
+	if o.WriteBandwidth > 0 {
+		p.WriteBandwidth = o.WriteBandwidth
+	}
+	if o.Restart > 0 {
+		p.Restart = o.Restart
+	}
+	return p
+}
+
+// For computes the goodput model for training m on gpus devices of
+// cluster c — the one-call form of ParamsFor + Compute.
+func For(m model.Config, c hw.Cluster, gpus int, o Options) (Model, error) {
+	return Compute(ParamsFor(m, c, gpus, o))
+}

@@ -1,0 +1,255 @@
+package resilience
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+)
+
+func validParams() Params {
+	return Params{
+		GPUs:            512,
+		MTBF:            50000 * 3600,
+		CheckpointBytes: 1 << 40, // 1 TiB
+		WriteBandwidth:  25e9,
+		Restart:         600,
+	}
+}
+
+// TestYoungDalyClosedForm pins the model against hand-computed fixtures:
+// with M = MTBF/G and C = bytes/bw, the interval is sqrt(2CM) and the
+// waste is sqrt(2C/M) + R/M.
+func TestYoungDalyClosedForm(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Params
+	}{
+		{"paper-scale", validParams()},
+		// Round numbers, checkable by hand: M = 3600s, C = 50s,
+		// tau = sqrt(2*50*3600) = 600s, waste = 50/600 + 600/7200 + 36/3600
+		// = 1/12 + 1/12 + 1/100 = 0.17666...
+		{"round", Params{GPUs: 100, MTBF: 360000, CheckpointBytes: 500e9, WriteBandwidth: 10e9, Restart: 36}},
+		{"single-gpu", Params{GPUs: 1, MTBF: 30000 * 3600, CheckpointBytes: 100 << 30, WriteBandwidth: 2e9, Restart: 120}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := Compute(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			M := tc.p.MTBF / float64(tc.p.GPUs)
+			C := float64(tc.p.CheckpointBytes) / tc.p.WriteBandwidth
+			if want := math.Sqrt(2 * C * M); m.Interval != want {
+				t.Errorf("Interval = %v, want sqrt(2CM) = %v", m.Interval, want)
+			}
+			if m.ClusterMTBF != M || m.CheckpointSeconds != C {
+				t.Errorf("MTBF/ckpt = %v/%v, want %v/%v", m.ClusterMTBF, m.CheckpointSeconds, M, C)
+			}
+			wantWaste := math.Sqrt(2*C/M) + tc.p.Restart/M
+			if got := m.WasteFraction(); math.Abs(got-wantWaste) > 1e-12 {
+				t.Errorf("waste = %v, want sqrt(2C/M)+R/M = %v", got, wantWaste)
+			}
+			// At the Young–Daly optimum the checkpoint and rework losses
+			// are exactly equal.
+			if math.Abs(m.CheckpointFraction-m.ReworkFraction) > 1e-12 {
+				t.Errorf("checkpoint fraction %v != rework fraction %v at the optimal interval",
+					m.CheckpointFraction, m.ReworkFraction)
+			}
+			if sum := m.Goodput + m.WasteFraction(); math.Abs(sum-1) > 1e-12 {
+				t.Errorf("goodput + waste = %v, want 1", sum)
+			}
+		})
+	}
+	// The "round" fixture's literal value.
+	m, err := Compute(cases[1].p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1 - (1.0/12 + 1.0/12 + 1.0/100); math.Abs(m.Goodput-want) > 1e-12 {
+		t.Errorf("round-fixture goodput = %v, want %v", m.Goodput, want)
+	}
+	if m.Interval != 600 {
+		t.Errorf("round-fixture interval = %v, want 600", m.Interval)
+	}
+}
+
+// TestGoodputInUnitInterval sweeps a broad parameter grid and checks the
+// advertised range invariant: every successful Compute yields a goodput in
+// (0, 1], every field finite, and the failure mode is an explicit
+// ErrUnreliable — never NaN, Inf, or a silent out-of-range value.
+func TestGoodputInUnitInterval(t *testing.T) {
+	gpuCounts := []int{1, 8, 64, 1024, 16384, 1 << 20}
+	mtbfs := []float64{1000, 3600 * 100, 3600 * 30000, 3600 * 55000, 3600 * 1e6}
+	sizes := []uint64{1 << 20, 1 << 30, 1 << 40, 1 << 44}
+	bws := []float64{1e6, 1e9, 25e9, 1e12}
+	restarts := []float64{0, 60, 600, 86400}
+	checked, unreliable := 0, 0
+	for _, g := range gpuCounts {
+		for _, mt := range mtbfs {
+			for _, sz := range sizes {
+				for _, bw := range bws {
+					for _, r := range restarts {
+						m, err := Compute(Params{GPUs: g, MTBF: mt, CheckpointBytes: sz, WriteBandwidth: bw, Restart: r})
+						if err != nil {
+							if !errors.Is(err, ErrUnreliable) {
+								t.Fatalf("valid params rejected with %v", err)
+							}
+							unreliable++
+							continue
+						}
+						checked++
+						if !(m.Goodput > 0 && m.Goodput <= 1) {
+							t.Fatalf("goodput %v outside (0,1] for %+v", m.Goodput, Params{GPUs: g, MTBF: mt, CheckpointBytes: sz, WriteBandwidth: bw, Restart: r})
+						}
+						for _, v := range []float64{m.ClusterMTBF, m.CheckpointSeconds, m.Interval,
+							m.CheckpointFraction, m.ReworkFraction, m.RestartFraction} {
+							if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+								t.Fatalf("non-finite or negative field %v in %+v", v, m)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if checked == 0 || unreliable == 0 {
+		t.Fatalf("grid exercised only one outcome (ok=%d unreliable=%d); widen it", checked, unreliable)
+	}
+}
+
+// TestGoodputMonotone pins the two monotonicity properties the ranking
+// relies on: goodput never increases when the cluster grows or when the
+// checkpoint grows, all else equal.
+func TestGoodputMonotone(t *testing.T) {
+	base := validParams()
+	prev := math.Inf(1)
+	for _, g := range []int{1, 2, 8, 64, 512, 4096, 32768} {
+		p := base
+		p.GPUs = g
+		m, err := Compute(p)
+		if err != nil {
+			// Larger clusters may tip into unreliability; that is the
+			// monotone endpoint — nothing after it may succeed.
+			for _, g2 := range []int{g * 2, g * 8} {
+				p.GPUs = g2
+				if _, err2 := Compute(p); err2 == nil {
+					t.Fatalf("goodput undefined at %d GPUs but defined at %d", g, g2)
+				}
+			}
+			break
+		}
+		if m.Goodput > prev {
+			t.Fatalf("goodput increased from %v to %v when GPUs grew to %d", prev, m.Goodput, g)
+		}
+		prev = m.Goodput
+	}
+
+	prev = math.Inf(1)
+	for _, sz := range []uint64{1 << 30, 1 << 33, 1 << 36, 1 << 40, 1 << 44} {
+		p := base
+		p.CheckpointBytes = sz
+		m, err := Compute(p)
+		if err != nil {
+			break
+		}
+		if m.Goodput > prev {
+			t.Fatalf("goodput increased from %v to %v when checkpoint grew to %d bytes", prev, m.Goodput, sz)
+		}
+		prev = m.Goodput
+	}
+}
+
+// TestDegenerateInputsError pins that physically meaningless inputs are
+// rejected with an error — the NaN/Inf-producing degenerate cases named in
+// the model's contract.
+func TestDegenerateInputsError(t *testing.T) {
+	mutations := map[string]func(*Params){
+		"zero GPUs":        func(p *Params) { p.GPUs = 0 },
+		"negative GPUs":    func(p *Params) { p.GPUs = -4 },
+		"zero MTBF":        func(p *Params) { p.MTBF = 0 },
+		"negative MTBF":    func(p *Params) { p.MTBF = -1 },
+		"inf MTBF":         func(p *Params) { p.MTBF = math.Inf(1) },
+		"NaN MTBF":         func(p *Params) { p.MTBF = math.NaN() },
+		"zero checkpoint":  func(p *Params) { p.CheckpointBytes = 0 },
+		"zero bandwidth":   func(p *Params) { p.WriteBandwidth = 0 },
+		"negative bw":      func(p *Params) { p.WriteBandwidth = -5 },
+		"inf bandwidth":    func(p *Params) { p.WriteBandwidth = math.Inf(1) },
+		"NaN bandwidth":    func(p *Params) { p.WriteBandwidth = math.NaN() },
+		"negative restart": func(p *Params) { p.Restart = -1 },
+		"inf restart":      func(p *Params) { p.Restart = math.Inf(1) },
+		"NaN restart":      func(p *Params) { p.Restart = math.NaN() },
+	}
+	for name, mutate := range mutations {
+		p := validParams()
+		mutate(&p)
+		if _, err := Compute(p); err == nil {
+			t.Errorf("%s: Compute accepted %+v", name, p)
+		} else if errors.Is(err, ErrUnreliable) {
+			t.Errorf("%s: got ErrUnreliable, want a validation error", name)
+		}
+	}
+}
+
+// TestUnreliableCluster pins the explicit failure mode: a cluster that
+// fails faster than it can checkpoint returns ErrUnreliable rather than a
+// zero or negative goodput.
+func TestUnreliableCluster(t *testing.T) {
+	p := Params{GPUs: 1 << 20, MTBF: 1000, CheckpointBytes: 1 << 44, WriteBandwidth: 1e6, Restart: 600}
+	if _, err := Compute(p); !errors.Is(err, ErrUnreliable) {
+		t.Fatalf("Compute = %v, want ErrUnreliable", err)
+	}
+}
+
+// TestDenormalBandwidthOverflow pins the overflow edge: a denormal-small
+// bandwidth is positive and finite — it passes Validate — but would
+// overflow the checkpoint write time to +Inf and poison the fractions
+// with NaN. Compute must error instead (regression for a NaN that once
+// escaped with a nil error).
+func TestDenormalBandwidthOverflow(t *testing.T) {
+	p := validParams()
+	p.WriteBandwidth = 1e-308
+	m, err := Compute(p)
+	if err == nil {
+		t.Fatalf("Compute accepted an overflowing write time: %+v", m)
+	}
+	if errors.Is(err, ErrUnreliable) {
+		t.Fatalf("overflow misreported as ErrUnreliable: %v", err)
+	}
+}
+
+// TestParamsForCatalogDefaults pins the wiring: the catalog's MTBF and
+// checkpoint bandwidth flow into the params, the model's checkpoint size
+// is CheckpointBytes, and every Options field overrides its default.
+func TestParamsForCatalogDefaults(t *testing.T) {
+	m := model.Megatron18_4B()
+	c := hw.PaperCluster(16)
+	p := ParamsFor(m, c, 128, Options{})
+	if p.MTBF != hw.AmpereMTBF {
+		t.Errorf("MTBF = %v, want catalog Ampere %v", p.MTBF, hw.AmpereMTBF)
+	}
+	if p.WriteBandwidth != hw.AmpereCheckpointBandwidth {
+		t.Errorf("bandwidth = %v, want catalog %v", p.WriteBandwidth, hw.AmpereCheckpointBandwidth)
+	}
+	if p.CheckpointBytes != m.CheckpointBytes() {
+		t.Errorf("checkpoint = %d, want model.CheckpointBytes %d", p.CheckpointBytes, m.CheckpointBytes())
+	}
+	if p.Restart != DefaultRestartSeconds || p.GPUs != 128 {
+		t.Errorf("restart/GPUs = %v/%d, want %v/128", p.Restart, p.GPUs, DefaultRestartSeconds)
+	}
+
+	o := Options{MTBF: 1234, WriteBandwidth: 5678, Restart: 42}
+	p = ParamsFor(m, c, 8, o)
+	if p.MTBF != 1234 || p.WriteBandwidth != 5678 || p.Restart != 42 {
+		t.Errorf("overrides not applied: %+v", p)
+	}
+
+	// Every catalog offering carries enough data for the model to work.
+	for _, off := range hw.Catalog() {
+		if _, err := For(m, off.Cluster(4), 32, Options{}); err != nil {
+			t.Errorf("offering %s: %v", off.Name, err)
+		}
+	}
+}

@@ -615,14 +615,22 @@ func BenchmarkDSESweep(b *testing.B) {
 	b.StopTimer()
 	st := sim.CacheStats()
 	lowerings := float64(st.StructMisses)
+	width := float64(st.BatchedPlans) / float64(max(st.BatchReplays, 1))
 	b.ReportMetric(float64(len(points)), "design_points")
 	b.ReportMetric(lowerings, "lowerings")
 	b.ReportMetric(100*float64(st.StructHits)/float64(st.StructHits+st.StructMisses), "struct_hit_pct")
+	b.ReportMetric(width, "batch_width")
 	// The refactor's acceptance bar: structural sharing must cut lowering
 	// invocations at least 3x versus one lowering per design point.
 	if ratio := float64(len(points)) / lowerings; ratio < 3 {
 		b.Fatalf("structural cache only saved %.1fx lowerings (%d points, %.0f lowerings), want >= 3x",
 			ratio, len(points), lowerings)
+	}
+	// The batched-replay acceptance bar: the sweep must actually drive
+	// multiple duration tables per structural walk.
+	if width <= 1 {
+		b.Fatalf("mean batch width %.2f (%d plans over %d replays), want > 1",
+			width, st.BatchedPlans, st.BatchReplays)
 	}
 }
 

@@ -79,6 +79,7 @@ func BenchmarkClusterSweep(b *testing.B) {
 	b.ReportMetric(float64(len(points)), "design_points")
 	b.ReportMetric(float64(st.StructMisses), "lowerings")
 	b.ReportMetric(hitPct, "struct_hit_pct")
+	b.ReportMetric(float64(st.BatchedPlans)/float64(max(st.BatchReplays, 1)), "batch_width")
 	once("cluster-sweep", func() {
 		front := clusterdse.ParetoFrontier(points)
 		fmt.Printf("\nCluster-design sweep — Megatron 18.4B, 300B tokens, %d points, %d lowerings (%.1f%% hit):\n",

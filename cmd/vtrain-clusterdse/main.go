@@ -120,6 +120,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 		len(points), len(offs)*len(nodeCounts))
 	fmt.Fprintf(stdout, "structural cache: %d graphs lowered, %.1f%% hit rate — hardware variants of a shape share one lowering\n",
 		st.StructMisses, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
+	fmt.Fprintf(stdout, "batched replay: %d plans over %d replays, mean batch width %.1f — shapes batch across hardware candidates\n",
+		st.BatchedPlans, st.BatchReplays,
+		float64(st.BatchedPlans)/float64(max(st.BatchReplays, 1)))
 	if res {
 		fmt.Fprintf(stdout, "resilience: failure + checkpoint-restart overhead priced in (Young–Daly intervals; -no-resilience for the ideal ranking)\n\n")
 	} else {

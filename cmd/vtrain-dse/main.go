@@ -74,9 +74,12 @@ func main() {
 	sort.Slice(points, func(i, j int) bool { return points[i].Better(points[j]) })
 	elapsed := time.Since(start)
 	st := sim.CacheStats()
-	fmt.Printf("explored %d design points in %v (%d graphs lowered, %.1f%% structural-cache hit rate)\n\n",
+	fmt.Printf("explored %d design points in %v (%d graphs lowered, %.1f%% structural-cache hit rate)\n",
 		len(points), elapsed.Round(time.Millisecond),
 		st.StructMisses, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
+	fmt.Printf("batched replay: %d plans over %d replays, mean batch width %.1f — plans sharing a shape replay one graph together\n\n",
+		st.BatchedPlans, st.BatchReplays,
+		float64(st.BatchedPlans)/float64(max(st.BatchReplays, 1)))
 
 	fmt.Printf("%-28s %8s %8s %7s %8s %10s %9s\n",
 		"plan", "GPUs", "iter(s)", "util%", "days", "$/hour", "$total(M)")

@@ -25,7 +25,10 @@ package clusterdse
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"vtrain/internal/core"
 	"vtrain/internal/cost"
@@ -172,16 +175,27 @@ func NewSimulator(s Space, opts ...core.Option) (*core.Simulator, error) {
 
 // ExploreFunc evaluates every feasible (offering, node count, plan)
 // configuration of the space and streams each Point to fn as it completes.
-// Calls to fn are serialized; completion order within one candidate is
-// nondeterministic (bounded worker pool), so rank with Point.Better.
+// Calls to fn are serialized; completion order is nondeterministic (bounded
+// worker pool over shape batches), so rank with Point.Better.
 //
 // All candidates are simulated through siblings of sim (see
 // core.Simulator.ForCluster) so they share one structural cache: the
-// hardware axes add design points but no lowerings. sim.CacheStats reports
-// the shared structural counters after the sweep.
+// hardware axes add design points but no lowerings. The sweep batches by
+// structural shape across candidates, not per candidate: every feasible
+// (candidate, plan) pair is enumerated up front, pairs sharing a shape —
+// regardless of which cluster they price — flush through
+// core.SimulateBatchAcross, and one lowered graph replays up to a full
+// batch of duration tables per pass. Within one candidate only a handful
+// of plans share a shape (t·d·p must equal the cluster's GPU count), so
+// cross-candidate grouping is what makes the batches wide;
+// sim.CacheStats reports the shared structural and batching counters
+// after the sweep.
 //
 // Candidates on which the model has no valid, memory-feasible plan are
-// skipped; if every candidate is skipped the sweep returns an error.
+// skipped; if every candidate is skipped the sweep returns an error. On a
+// simulation error the sweep stops without streaming any further point to
+// fn — in-flight batches suppress their output after a failure (see
+// dse.StreamGate).
 func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) error {
 	if len(s.Offerings) == 0 || len(s.NodeCounts) == 0 {
 		return fmt.Errorf("clusterdse: space needs at least one offering and one node count")
@@ -189,7 +203,18 @@ func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) e
 	if s.TotalTokens == 0 {
 		return fmt.Errorf("clusterdse: space needs TotalTokens to price training runs")
 	}
-	streamed := 0
+
+	// Pass 1: materialize every feasible (candidate, plan) pair in
+	// deterministic candidate-then-enumeration order, each carrying its
+	// sibling simulator and per-candidate pricing context.
+	type entry struct {
+		sim  *core.Simulator
+		cand Candidate
+		cl   hw.Cluster
+		res  resilience.Model
+		plan parallel.Plan
+	}
+	var entries []entry
 	for _, off := range s.Offerings {
 		if err := off.Validate(); err != nil {
 			return fmt.Errorf("clusterdse: %w", err)
@@ -226,27 +251,94 @@ func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) e
 			ps := s.Plans
 			ps.MaxGPUs = 0
 			ps.ExactGPUs = cl.TotalGPUs()
-			err = dse.ExploreFunc(sib, m, ps, func(dp dse.Point) {
-				tr := cost.Train(m, dp.Plan.GlobalBatch, dp.Report.IterTime, dp.Plan.GPUs(), s.TotalTokens, cl)
-				pt := Point{Candidate: cand, Plan: dp.Plan, Report: dp.Report, Training: tr}
-				if s.Resilience != nil {
-					pt.Resilience = cost.ApplyResilience(tr, resMod)
-				}
-				streamed++
-				fn(pt)
-			})
-			if errors.Is(err, dse.ErrNoValidPlan) {
-				continue // this hardware cannot run the model at this size
-			}
-			if err != nil {
-				return err
+			for _, plan := range ps.Enumerate(m, sib) {
+				entries = append(entries, entry{sim: sib, cand: cand, cl: cl, res: resMod, plan: plan})
 			}
 		}
 	}
-	if streamed == 0 {
+	if len(entries) == 0 {
 		return fmt.Errorf("clusterdse: no feasible (offering, node count, plan) configuration for %s", m.Name)
 	}
-	return nil
+
+	// Pass 2: group entries by structural shape across candidates,
+	// preserving entry order within and across groups so the batch
+	// composition is deterministic.
+	var (
+		batches  [][]int
+		shapeIdx = make(map[core.Shape]int)
+	)
+	for i, e := range entries {
+		sh := e.sim.PlanShape(m, e.plan)
+		bi, ok := shapeIdx[sh]
+		if !ok {
+			bi = len(batches)
+			shapeIdx[sh] = bi
+			batches = append(batches, nil)
+		}
+		batches[bi] = append(batches[bi], i)
+	}
+
+	// Pass 3: evaluate shape batches on a bounded worker pool, streaming
+	// each batch's points under the gate.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(batches) {
+		workers = len(batches)
+	}
+	var (
+		next atomic.Int64
+		gate dse.StreamGate
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !gate.Stopped() {
+				bi := int(next.Add(1)) - 1
+				if bi >= len(batches) {
+					return
+				}
+				idx := batches[bi]
+				sims := make([]*core.Simulator, len(idx))
+				group := make([]parallel.Plan, len(idx))
+				for j, i := range idx {
+					sims[j], group[j] = entries[i].sim, entries[i].plan
+				}
+				reps, err := core.SimulateBatchAcross(m, sims, group)
+				if err != nil {
+					// Attribute the failure to its (candidate, plan); the
+					// unwrapped Err reads exactly like a sequential
+					// Simulate failure.
+					plan, cand := group[0], entries[idx[0]].cand
+					var pe *core.PlanError
+					if errors.As(err, &pe) {
+						plan, err = pe.Plan, pe.Err
+						for _, i := range idx {
+							if entries[i].plan == plan {
+								cand = entries[i].cand
+								break
+							}
+						}
+					}
+					gate.Fail(fmt.Errorf("clusterdse: %s under %s: %w", cand, plan, err))
+					return
+				}
+				gate.Publish(func() {
+					for j, i := range idx {
+						e := entries[i]
+						tr := cost.Train(m, e.plan.GlobalBatch, reps[j].IterTime, e.plan.GPUs(), s.TotalTokens, e.cl)
+						pt := Point{Candidate: e.cand, Plan: e.plan, Report: reps[j], Training: tr}
+						if s.Resilience != nil {
+							pt.Resilience = cost.ApplyResilience(tr, e.res)
+						}
+						fn(pt)
+					}
+				})
+			}
+		}()
+	}
+	wg.Wait()
+	return gate.FirstErr()
 }
 
 // Explore runs the sweep and returns every point ranked cheapest-first

@@ -203,3 +203,11 @@ func (m *Model) SendRecv(bytes float64, sameNode bool) float64 {
 	}
 	return bytes/(m.cluster.Alpha*m.cluster.InterNodeBandwidth) + m.cluster.InterNodeLatency
 }
+
+// StatelessComm marks the model as a pure function of its arguments: both
+// AllReduce and SendRecv depend only on (bytes, n, locality), never on call
+// history. Duration binding uses the marker (taskgraph.StatelessCommTimer)
+// to price each distinct communication descriptor once instead of once per
+// task. Wrappers that inject per-call state (e.g. sampled congestion) must
+// not forward this method.
+func (m *Model) StatelessComm() {}

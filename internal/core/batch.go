@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+	"vtrain/internal/taskgraph"
+)
+
+// maxBatchWidth bounds the lanes of one batched replay. Batch scratch is
+// O(tasks x lanes); sixteen lanes amortize the structural walk almost
+// completely while keeping the columnar state cache-resident for the
+// sweep-sized graphs batching targets.
+const maxBatchWidth = 16
+
+// Shape is an opaque identifier of a plan's structural equivalence class
+// under one simulator: two plans with equal Shapes lower to the same
+// structural task graph (and therefore batch together in SimulateBatch).
+// Shape is comparable, so sweep drivers use it directly as a map key to
+// group pending plans before flushing them through SimulateBatch.
+type Shape struct {
+	key shapeKey
+}
+
+// PlanShape projects (m, plan) onto its structural Shape at the simulator's
+// fidelity. ForCluster siblings agree on shapes: the projection contains no
+// hardware fields, mirroring the shared structural cache.
+func (s *Simulator) PlanShape(m model.Config, plan parallel.Plan) Shape {
+	return Shape{key: shapeOf(m, plan, s.fidelity)}
+}
+
+// PlanError attributes a SimulateBatch failure to the plan that caused it.
+// Err is exactly the error an individual Simulate of that plan would have
+// returned, so callers that unwrap PlanError can report batched and
+// sequential failures identically.
+type PlanError struct {
+	Plan parallel.Plan
+	Err  error
+}
+
+// Error implements error.
+func (e *PlanError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying simulation error to errors.Is/As.
+func (e *PlanError) Unwrap() error { return e.Err }
+
+// batchStats counts batched replay passes and the plans they carried.
+// ForCluster siblings share one instance (like the structural cache), so a
+// multi-cluster sweep reports its batching behavior in one place.
+type batchStats struct {
+	replays atomic.Uint64
+	plans   atomic.Uint64
+}
+
+// SimulateBatch predicts the iteration time of m under every plan in plans,
+// returning reports in input order. It is equivalent to len(plans)
+// sequential Simulate calls — same reports (bit-identical; each lane of a
+// batched replay performs the sequential replay's float operations in the
+// same order), same report- and structural-cache accounting, single-flight
+// lowering preserved — but plans sharing a structural shape replay the
+// shared graph's CSR structure once for up to maxBatchWidth duration tables
+// at a time, which is what makes wide design-space sweeps cheap.
+//
+// On error the returned reports are nil and the error is a *PlanError
+// naming the offending plan; reports of plans already simulated may have
+// been cached. Concurrent SimulateBatch calls (including ones sharing a
+// shape) are safe, like Simulate.
+func (s *Simulator) SimulateBatch(m model.Config, plans []parallel.Plan) ([]Report, error) {
+	return simulateBatchAcross(m, nil, s, plans)
+}
+
+// SimulateBatchAcross is SimulateBatch across ForCluster siblings: sims[i]
+// simulates plans[i] on its own cluster, and plans from different siblings
+// that share a structural shape batch into one replay — the structure is
+// hardware-invariant, only each lane's bound durations differ. Joint
+// (hardware x plan) sweeps use it to raise batch width far beyond what any
+// single candidate's plan grid allows.
+//
+// Every sims[i] must derive from one root simulator (see ForCluster) so the
+// siblings share a structural cache; unrelated simulators still produce
+// correct reports but group into disjoint batches. Reports, caching, and
+// errors follow the SimulateBatch contract, with each index served by its
+// own simulator.
+func SimulateBatchAcross(m model.Config, sims []*Simulator, plans []parallel.Plan) ([]Report, error) {
+	if len(sims) != len(plans) {
+		return nil, fmt.Errorf("core: SimulateBatchAcross got %d simulators for %d plans", len(sims), len(plans))
+	}
+	return simulateBatchAcross(m, sims, nil, plans)
+}
+
+// simulateBatchAcross implements SimulateBatch and SimulateBatchAcross.
+// Exactly one of sims (per-index simulator) and single (one simulator for
+// every index) is non-nil.
+func simulateBatchAcross(m model.Config, sims []*Simulator, single *Simulator, plans []parallel.Plan) ([]Report, error) {
+	simOf := func(i int) *Simulator {
+		if sims != nil {
+			return sims[i]
+		}
+		return single
+	}
+	reports := make([]Report, len(plans))
+
+	// Report-cache pass, in input order. A duplicate of a pending plan on
+	// the same simulator is resolved after its first occurrence simulates —
+	// through a cache get, so hit/miss totals match the sequential call
+	// sequence. (The same plan on different siblings is not a duplicate:
+	// their clusters differ, so their reports do.)
+	type seenKey struct {
+		sim *Simulator
+		key cacheKey
+	}
+	pending := make([]int, 0, len(plans))
+	var dups []int
+	var seen map[seenKey]bool
+	for i, plan := range plans {
+		si := simOf(i)
+		if si.cache == nil {
+			pending = append(pending, i)
+			continue
+		}
+		key := seenKey{sim: si, key: cacheKey{model: m, plan: plan, fidelity: si.fidelity}}
+		if seen[key] {
+			dups = append(dups, i)
+			continue
+		}
+		if rep, ok := si.cache.get(key.key); ok {
+			reports[i] = rep
+			continue
+		}
+		if seen == nil {
+			seen = make(map[seenKey]bool)
+		}
+		seen[key] = true
+		pending = append(pending, i)
+	}
+
+	// Group the pending plans by structural graph. structural() is called
+	// per plan in input order — identical validation and structural-cache
+	// accounting to sequential Simulates; plans of one shape resolve to one
+	// *Graph (single-flight across siblings sharing the cache), which is
+	// the grouping key.
+	type group struct {
+		tg  *taskgraph.Graph
+		idx []int
+	}
+	var groups []group
+	var byGraph map[*taskgraph.Graph]int
+	for _, i := range pending {
+		tg, err := simOf(i).structural(m, plans[i])
+		if err != nil {
+			return nil, &PlanError{Plan: plans[i], Err: err}
+		}
+		if byGraph == nil {
+			byGraph = make(map[*taskgraph.Graph]int)
+		}
+		gi, ok := byGraph[tg]
+		if !ok {
+			gi = len(groups)
+			byGraph[tg] = gi
+			groups = append(groups, group{tg: tg})
+		}
+		groups[gi].idx = append(groups[gi].idx, i)
+	}
+
+	// Bind each plan's table against its group's shared structure and
+	// batch-replay, up to maxBatchWidth lanes per pass. Each lane binds
+	// with its own simulator's profiler, comm model, and cluster.
+	for _, gr := range groups {
+		for lo := 0; lo < len(gr.idx); lo += maxBatchWidth {
+			hi := min(lo+maxBatchWidth, len(gr.idx))
+			chunk := gr.idx[lo:hi]
+			tables := make([]*taskgraph.DurationTable, len(chunk))
+			for j, i := range chunk {
+				si := simOf(i)
+				tables[j] = gr.tg.Bind(si.profiler, si.comm, plans[i], si.cluster)
+			}
+			results, err := gr.tg.ReplayBatch(tables)
+			// ForCluster siblings share one batchStats, so counting the
+			// chunk against its first lane's simulator records the whole
+			// sweep's batching in one place.
+			if st := simOf(chunk[0]).batches; st != nil {
+				st.replays.Add(1)
+				st.plans.Add(uint64(len(chunk)))
+			}
+			if err != nil {
+				for _, t := range tables {
+					t.Release()
+				}
+				// A replay error is structural: it afflicts every lane.
+				// Attribute it to the chunk's first plan, wrapped exactly
+				// as an individual Simulate would wrap it.
+				p := plans[chunk[0]]
+				return nil, &PlanError{Plan: p, Err: fmt.Errorf("core: simulating %s under %s: %w", m.Name, p, err)}
+			}
+			for j, i := range chunk {
+				si := simOf(i)
+				rep := si.assembleReport(m, plans[i], results[j])
+				reports[i] = rep
+				if si.cache != nil {
+					si.cache.put(cacheKey{model: m, plan: plans[i], fidelity: si.fidelity}, rep)
+				}
+				tables[j].Release()
+			}
+		}
+	}
+
+	// Duplicates resolve through Simulate: normally a cache hit on the
+	// report their first occurrence put — exactly the lookup a sequential
+	// call sequence would record — and a fresh simulation in the edge case
+	// where a tiny cache already evicted it, again like sequential calls.
+	for _, i := range dups {
+		rep, err := simOf(i).Simulate(m, plans[i])
+		if err != nil {
+			return nil, &PlanError{Plan: plans[i], Err: err}
+		}
+		reports[i] = rep
+	}
+	return reports, nil
+}

@@ -38,6 +38,7 @@ type Simulator struct {
 	cache      *reportCache
 	structSize int
 	structs    *structCache
+	batches    *batchStats
 }
 
 // Option configures a Simulator.
@@ -104,6 +105,7 @@ func New(c hw.Cluster, opts ...Option) (*Simulator, error) {
 	// (structural graphs are hardware-invariant; see ForCluster).
 	s.cache = newReportCache(s.cacheSize)
 	s.structs = newStructCache(s.structSize)
+	s.batches = new(batchStats)
 	return s, nil
 }
 
@@ -159,6 +161,9 @@ func (s *Simulator) ForCluster(c hw.Cluster, opts ...Option) (*Simulator, error)
 	}
 	sib.cache = newReportCache(sib.cacheSize)
 	sib.structs = s.structs
+	// Batch counters are shared like the structural cache, so a
+	// multi-cluster sweep's mean batch width is reported in one place.
+	sib.batches = s.batches
 	return sib, nil
 }
 
@@ -173,6 +178,11 @@ type CacheStats struct {
 	// StructHits / StructMisses count structural-graph cache lookups;
 	// both are zero while the report cache absorbs a repeated plan.
 	StructHits, StructMisses uint64
+	// BatchReplays counts batched replay passes (SimulateBatch calls issue
+	// one per shape group chunk) and BatchedPlans the plans they carried;
+	// BatchedPlans/BatchReplays is the sweep's mean batch width. Shared
+	// across ForCluster siblings, like the structural counters.
+	BatchReplays, BatchedPlans uint64
 }
 
 // CacheStats reports hit/miss counters for the report cache and the
@@ -184,6 +194,10 @@ func (s *Simulator) CacheStats() CacheStats {
 	}
 	if s.structs != nil {
 		st.StructHits, st.StructMisses = s.structs.stats()
+	}
+	if s.batches != nil {
+		st.BatchReplays = s.batches.replays.Load()
+		st.BatchedPlans = s.batches.plans.Load()
 	}
 	return st
 }
@@ -286,7 +300,12 @@ func (s *Simulator) structural(m model.Config, plan parallel.Plan) (*taskgraph.G
 		if err != nil {
 			return nil, err
 		}
-		return taskgraph.Lower(og, s.profiler, s.fidelity), nil
+		tg := taskgraph.Lower(og, s.profiler, s.fidelity)
+		// Lower copies everything the task graph needs (structure, label
+		// snapshot), so the operator graph goes straight back to the
+		// construction pool.
+		og.Recycle()
+		return tg, nil
 	}
 	if s.structs == nil {
 		return build()

@@ -172,59 +172,138 @@ func (p Point) Better(q Point) bool {
 	}
 }
 
+// StreamGate is the streaming discipline shared by the sweep drivers (this
+// package and clusterdse). It serializes point streaming and latches a
+// sweep's first error:
+// once fail records an error, publish refuses every subsequent emission, so
+// callers never observe output after a failure — including output from
+// batches that were already in flight on other workers when the error hit.
+type StreamGate struct {
+	mu     sync.Mutex
+	failed bool
+	err    error
+}
+
+// publish runs emit under the gate's lock, unless a failure has been
+// recorded; it reports whether emit ran.
+func (g *StreamGate) Publish(emit func()) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.failed {
+		return false
+	}
+	emit()
+	return true
+}
+
+// fail latches err as the sweep's error; only the first call wins.
+func (g *StreamGate) Fail(err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if !g.failed {
+		g.failed, g.err = true, err
+	}
+}
+
+// stopped reports whether a failure has been latched.
+func (g *StreamGate) Stopped() bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.failed
+}
+
+// firstErr returns the latched error, nil if none.
+func (g *StreamGate) FirstErr() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.err
+}
+
 // ExploreFunc simulates every plan of the space with a bounded worker pool
 // and streams each evaluated Point to fn as it completes. Every streamed
 // point is feasible (Enumerate excludes plans that cannot fit memory).
 // Calls to fn are serialized (one at a time), so callers can rank
 // incrementally — keep a running best, feed a top-k heap — without holding
 // every point in memory. Completion order is nondeterministic; use
-// Point.Better for deterministic ranking. The workers share the simulator's
-// caches: repeated configurations across sweeps cost one simulation, and
-// plans sharing a structural shape lower one task graph between them
-// (concurrent first requests for a shape single-flight onto one lowering).
+// Point.Better for deterministic ranking.
+//
+// Plans are grouped by structural shape (core.Simulator.PlanShape) and each
+// group flushes through one SimulateBatch call, so every plan of a shape
+// replays the shared lowered graph in columnar lockstep instead of
+// one-at-a-time; the workers additionally share the simulator's caches, so
+// repeated configurations across sweeps cost one simulation and concurrent
+// first requests for a shape single-flight onto one lowering.
+//
+// On a simulation error the sweep stops and the error is returned; no
+// point is streamed to fn after the failure, even from worker batches that
+// were still in flight when it occurred.
 func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) error {
 	plans := s.Enumerate(m, sim)
 	if len(plans) == 0 {
 		return fmt.Errorf("dse: %s: %w", m.Name, ErrNoValidPlan)
 	}
+	// Group plan indices by structural shape, preserving enumeration order
+	// within and across groups so the batch composition is deterministic.
+	var (
+		batches  [][]int
+		shapeIdx = make(map[core.Shape]int)
+	)
+	for i, p := range plans {
+		sh := sim.PlanShape(m, p)
+		bi, ok := shapeIdx[sh]
+		if !ok {
+			bi = len(batches)
+			shapeIdx[sh] = bi
+			batches = append(batches, nil)
+		}
+		batches[bi] = append(batches[bi], i)
+	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(plans) {
-		workers = len(plans)
+	if workers > len(batches) {
+		workers = len(batches)
 	}
 	var (
-		next     atomic.Int64
-		failed   atomic.Bool
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
+		next atomic.Int64
+		gate StreamGate
+		wg   sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for !failed.Load() {
-				i := int(next.Add(1)) - 1
-				if i >= len(plans) {
+			for !gate.Stopped() {
+				bi := int(next.Add(1)) - 1
+				if bi >= len(batches) {
 					return
 				}
-				rep, err := sim.Simulate(m, plans[i])
+				idx := batches[bi]
+				group := make([]parallel.Plan, len(idx))
+				for j, i := range idx {
+					group[j] = plans[i]
+				}
+				reps, err := sim.SimulateBatch(m, group)
 				if err != nil {
-					failed.Store(true)
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("dse: %s: %w", plans[i], err)
+					// SimulateBatch attributes failures to a plan; unwrap
+					// so the sweep error reads exactly like the sequential
+					// path's.
+					plan := group[0]
+					var pe *core.PlanError
+					if errors.As(err, &pe) {
+						plan, err = pe.Plan, pe.Err
 					}
-					mu.Unlock()
+					gate.Fail(fmt.Errorf("dse: %s: %w", plan, err))
 					return
 				}
-				mu.Lock()
-				fn(Point{Plan: plans[i], Report: rep, Feasible: true})
-				mu.Unlock()
+				gate.Publish(func() {
+					for j := range idx {
+						fn(Point{Plan: group[j], Report: reps[j], Feasible: true})
+					}
+				})
 			}
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	return gate.FirstErr()
 }
 
 // Explore simulates every plan of the space in parallel and returns the

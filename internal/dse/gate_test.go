@@ -1,0 +1,81 @@
+package dse
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// TestStreamGateSuppressesAfterFailure pins the streaming discipline both
+// sweep drivers rely on: the moment one worker latches an error, no further
+// point reaches the caller — including points from batches that were
+// already in flight — and the sweep reports the first error latched.
+func TestStreamGateSuppressesAfterFailure(t *testing.T) {
+	var g StreamGate
+
+	if g.Stopped() {
+		t.Fatal("fresh gate reports stopped")
+	}
+	if g.FirstErr() != nil {
+		t.Fatal("fresh gate reports an error")
+	}
+	emitted := 0
+	if !g.Publish(func() { emitted++ }) {
+		t.Fatal("publish before any failure must run")
+	}
+	if emitted != 1 {
+		t.Fatalf("emitted %d, want 1", emitted)
+	}
+
+	first := errors.New("first failure")
+	g.Fail(first)
+	g.Fail(errors.New("second failure"))
+	if !g.Stopped() {
+		t.Fatal("gate not stopped after Fail")
+	}
+	if g.Publish(func() { emitted++ }) || emitted != 1 {
+		t.Fatalf("publish after failure ran (emitted %d)", emitted)
+	}
+	if err := g.FirstErr(); !errors.Is(err, first) {
+		t.Fatalf("FirstErr = %v, want the first latched error", err)
+	}
+}
+
+// TestStreamGateConcurrentFail races publishers against a failing worker:
+// whatever interleaving the scheduler picks, every emission must have been
+// admitted before the failure latched, and none after. Run under -race this
+// also pins the gate's internal synchronization.
+func TestStreamGateConcurrentFail(t *testing.T) {
+	var g StreamGate
+	var mu sync.Mutex
+	published := 0
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if w == 0 && i == 50 {
+					g.Fail(errors.New("boom"))
+				}
+				g.Publish(func() {
+					mu.Lock()
+					published++
+					mu.Unlock()
+				})
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if !g.Stopped() || g.FirstErr() == nil {
+		t.Fatal("failure not latched")
+	}
+	// Re-check the invariant after all workers drained: the gate stays
+	// closed forever.
+	before := published
+	if g.Publish(func() { published++ }) || published != before {
+		t.Fatal("gate reopened after workers drained")
+	}
+}

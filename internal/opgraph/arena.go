@@ -15,7 +15,9 @@ type nodeArena struct {
 	n     int
 }
 
-// alloc returns the next zeroed node and its ID.
+// alloc returns the next node slot and its ID. Slabs are reused across
+// pooled builds (see Graph.Recycle), so the slot may hold a stale node; the
+// builder fully overwrites it.
 func (a *nodeArena) alloc() (*Node, int32) {
 	if a.n>>slabShift == len(a.slabs) {
 		a.slabs = append(a.slabs, make([]Node, slabSize))

@@ -2,6 +2,7 @@ package opgraph
 
 import (
 	"fmt"
+	"sync"
 
 	"vtrain/internal/hw"
 	"vtrain/internal/model"
@@ -13,6 +14,10 @@ import (
 // append-only API (add/edge) and finalizes the recorded edge pairs into the
 // graph's CSR slices. All cross-references during construction are node
 // indices, never pointers; -1 means "absent".
+//
+// Builders (and, via Graph.Recycle, graph storage) are pooled: a sweep
+// building thousands of graphs back to back reuses the same edge list,
+// schedule buffers, and arena slabs instead of reallocating them per plan.
 type builder struct {
 	g    *Graph
 	m    model.Config
@@ -35,34 +40,79 @@ type builder struct {
 	// final-micro-batch backward operator producing the layer's gradients
 	// (gradient-bucket All-Reduce dependencies); -1 until emitted.
 	lastBwdOfLayer []int32
+
+	// Pooled construction scratch: the per-stage previous-slot cursor, the
+	// pending schedule lists and their backing slot storage (build), and
+	// the CSR fill cursor (finalize).
+	prevSlotEnd []int32
+	pend        []pending
+	slotBuf     []slot
+	cursor      []int32
 }
+
+// pending tracks how far a stage's schedule has been emitted.
+type pending struct {
+	slots []slot
+	next  int
+}
+
+var builderPool = sync.Pool{New: func() any { return new(builder) }}
+
+// graphPool recycles graph storage (arena slabs, CSR slices) between
+// Recycle and the next Build.
+var graphPool = sync.Pool{New: func() any { return new(Graph) }}
 
 func newBuilder(m model.Config, plan parallel.Plan, c hw.Cluster, nmb int) *builder {
 	v := plan.VirtualStages
 	if v < 1 {
 		v = 1
 	}
-	b := &builder{
-		g:              &Graph{Stages: plan.Pipeline, Plan: plan, Model: m},
-		m:              m,
-		plan:           plan,
-		c:              c,
-		nmb:            nmb,
-		v:              v,
-		fwdOut:         make([]int32, plan.Pipeline*v*nmb),
-		bwdOut:         make([]int32, plan.Pipeline*v*nmb),
-		lastBwdOfLayer: make([]int32, plan.Pipeline*m.Layers),
+	g := graphPool.Get().(*Graph)
+	*g = Graph{
+		arena:    nodeArena{slabs: g.arena.slabs},
+		depStart: g.depStart,
+		deps:     g.deps,
+		Stages:   plan.Pipeline,
+		Plan:     plan,
+		Model:    m,
 	}
+	b := builderPool.Get().(*builder)
+	b.g = g
+	b.m, b.plan, b.c = m, plan, c
+	b.nmb, b.v = nmb, v
+	b.edges = b.edges[:0]
+	b.fwdOut = fitRaw(b.fwdOut, plan.Pipeline*v*nmb)
+	b.bwdOut = fitRaw(b.bwdOut, plan.Pipeline*v*nmb)
+	b.lastBwdOfLayer = fitRaw(b.lastBwdOfLayer, plan.Pipeline*m.Layers)
 	fill(b.fwdOut, -1)
 	fill(b.bwdOut, -1)
 	fill(b.lastBwdOfLayer, -1)
 	return b
 }
 
+// release returns the builder (with its graph pointer detached) to the pool.
+func (b *builder) release() *Graph {
+	g := b.g
+	b.g = nil
+	builderPool.Put(b)
+	return g
+}
+
 func fill(s []int32, v int32) {
 	for i := range s {
 		s[i] = v
 	}
+}
+
+// fitRaw mirrors the replay-scratch sizing policy in internal/taskgraph:
+// reuse pooled capacity when adequate, drop it when more than 4x oversized
+// so one huge build cannot pin worst-case storage forever. The caller fully
+// overwrites the slice before reading it.
+func fitRaw[T int32 | slot](s []T, n int) []T {
+	if c := cap(s); c < n || c > 4*n {
+		return make([]T, n)
+	}
+	return s[:n]
 }
 
 // add places a node in the arena, assigning and returning its ID.
@@ -86,21 +136,23 @@ func (b *builder) edge(from, to int32) {
 func (b *builder) finalize() {
 	g := b.g
 	n := g.arena.n
-	g.depStart = make([]int32, n+1)
+	g.depStart = fitRaw(g.depStart, n+1)
+	clear(g.depStart)
 	for _, e := range b.edges {
 		g.depStart[e[1]+1]++
 	}
 	for i := 0; i < n; i++ {
 		g.depStart[i+1] += g.depStart[i]
 	}
-	g.deps = make([]int32, len(b.edges))
-	cursor := make([]int32, n)
+	g.deps = fitRaw(g.deps, len(b.edges))
+	cursor := fitRaw(b.cursor, n)
+	b.cursor = cursor
 	copy(cursor, g.depStart[:n])
 	for _, e := range b.edges {
 		g.deps[cursor[e[1]]] = e[0]
 		cursor[e[1]]++
 	}
-	b.edges = nil
+	b.edges = b.edges[:0]
 }
 
 // out indexes fwdOut/bwdOut by (stage, chunk, micro).
@@ -159,21 +211,26 @@ func (b *builder) build() {
 	p := b.plan.Pipeline
 	// Per-stage index of the previous slot's terminal node: enforces the
 	// intra-GPU execution order of the schedule.
-	prevSlotEnd := make([]int32, p)
+	prevSlotEnd := fitRaw(b.prevSlotEnd, p)
+	b.prevSlotEnd = prevSlotEnd
 	fill(prevSlotEnd, -1)
 
 	// Interleave construction stage-major but resolve cross-stage
 	// dependencies through fwdOut/bwdOut, which are filled in slot order.
 	// Build in global "schedule round" order so that a receive's
 	// dependency node already exists: construct per-stage slot lists and
-	// emit slots in topological waves.
-	type pending struct {
-		slots []slot
-		next  int
+	// emit slots in topological waves. Every stage's schedule has exactly
+	// 2·nmb·v slots (each micro-batch of each chunk appears as one forward
+	// and one backward), so the lists are carved from one pooled buffer.
+	per := 2 * b.nmb * b.v
+	buf := fitRaw(b.slotBuf, p*per)
+	b.slotBuf = buf
+	if cap(b.pend) < p {
+		b.pend = make([]pending, p)
 	}
-	pend := make([]pending, p)
+	pend := b.pend[:p]
 	for i := 0; i < p; i++ {
-		pend[i] = pending{slots: scheduleSlots(b.plan, i, p, b.nmb)}
+		pend[i] = pending{slots: scheduleSlots(b.plan, i, p, b.nmb, buf[i*per:i*per:(i+1)*per])}
 	}
 	// Emit until all slots are placed. A slot is emittable when its
 	// cross-stage producer has been emitted: a forward needs the previous

@@ -21,7 +21,7 @@ func TestInterleavedSlotsMatchMegatron(t *testing.T) {
 	// p=2, v=2, nmb=2. Last device (stage 1) warms up with
 	// 2*(2-1-1) + (2-1)*2 = 2 forwards, then alternates:
 	// F(m0,c0) F(m1,c0) F(m0,c1) B(m0,c1) F(m1,c1) B(m1,c1) B(m0,c0) B(m1,c0).
-	got := interleavedSlots(1, 2, 2, 2)
+	got := interleavedSlots(1, 2, 2, 2, nil)
 	want := []slot{
 		{forward: true, micro: 0, chunk: 0},
 		{forward: true, micro: 1, chunk: 0},
@@ -48,7 +48,7 @@ func TestInterleavedSlotsCoverEveryChunkMicroOnce(t *testing.T) {
 		stage := int(st) % p
 		v := int(v8)%3 + 2
 		nmb := (int(g8)%3 + 1) * p // divisible by p
-		slots := interleavedSlots(stage, p, v, nmb)
+		slots := interleavedSlots(stage, p, v, nmb, nil)
 		if len(slots) != 2*nmb*v {
 			return false
 		}
@@ -85,7 +85,7 @@ func TestInterleavedForwardPrecedesBackwardPerChunk(t *testing.T) {
 		v := int(v8)%3 + 2
 		nmb := 2 * p
 		seen := make(map[[2]int]bool)
-		for _, s := range interleavedSlots(stage, p, v, nmb) {
+		for _, s := range interleavedSlots(stage, p, v, nmb, nil) {
 			k := [2]int{s.micro, s.chunk}
 			if s.forward {
 				seen[k] = true

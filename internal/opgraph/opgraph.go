@@ -219,5 +219,16 @@ func Build(m model.Config, plan parallel.Plan, c hw.Cluster) (*Graph, error) {
 	b := newBuilder(m, plan, c, plan.MicroBatches())
 	b.build()
 	b.finalize()
-	return b.g, nil
+	return b.release(), nil
+}
+
+// Recycle returns the graph's storage (arena slabs, dependency CSR) to the
+// construction pool for reuse by a future Build. Only an exclusive owner may
+// call it, and the graph — including every Node pointer and Deps slice
+// obtained from it — is invalid afterwards. A lowering that copies what it
+// needs out of the graph (taskgraph.Lower does, label snapshot included)
+// recycles it to keep sweep allocation flat; a graph that is retained must
+// simply never be recycled.
+func (g *Graph) Recycle() {
+	graphPool.Put(g)
 }

@@ -209,7 +209,7 @@ func TestWeightUpdatePerStage(t *testing.T) {
 func TestGPipeVsOneFOneBSlotOrder(t *testing.T) {
 	// Fig. 7: GPipe runs all forwards before any backward; 1F1B
 	// interleaves after the warm-up.
-	gp := scheduleSlots(parallel.Plan{Schedule: parallel.GPipe}, 0, 2, 4)
+	gp := scheduleSlots(parallel.Plan{Schedule: parallel.GPipe}, 0, 2, 4, nil)
 	for i := 0; i < 4; i++ {
 		if !gp[i].forward {
 			t.Fatalf("GPipe slot %d is backward, want forward", i)
@@ -221,7 +221,7 @@ func TestGPipeVsOneFOneBSlotOrder(t *testing.T) {
 	}
 
 	// 1F1B stage 0 of 2, 4 micro-batches: F0 F1 B0 F2 B1 F3 B2 B3.
-	fb := scheduleSlots(parallel.Plan{Schedule: parallel.OneFOneB}, 0, 2, 4)
+	fb := scheduleSlots(parallel.Plan{Schedule: parallel.OneFOneB}, 0, 2, 4, nil)
 	want := []slot{
 		{forward: true, micro: 0}, {forward: true, micro: 1},
 		{forward: false, micro: 0}, {forward: true, micro: 2},
@@ -237,7 +237,7 @@ func TestGPipeVsOneFOneBSlotOrder(t *testing.T) {
 		}
 	}
 	// Last stage alternates from the start: F0 B0 F1 B1 ...
-	last := scheduleSlots(parallel.Plan{Schedule: parallel.OneFOneB}, 1, 2, 4)
+	last := scheduleSlots(parallel.Plan{Schedule: parallel.OneFOneB}, 1, 2, 4, nil)
 	if !last[0].forward || last[1].forward || last[1].micro != 0 {
 		t.Fatalf("1F1B last stage = %+v", last[:2])
 	}
@@ -249,7 +249,7 @@ func TestScheduleSlotsCoverEveryMicroBatchOnce(t *testing.T) {
 		stage := int(st) % p
 		nmb := int(n8)%12 + 1
 		for _, sched := range []parallel.Schedule{parallel.OneFOneB, parallel.GPipe} {
-			slots := scheduleSlots(parallel.Plan{Schedule: sched}, stage, p, nmb)
+			slots := scheduleSlots(parallel.Plan{Schedule: sched}, stage, p, nmb, nil)
 			if len(slots) != 2*nmb {
 				return false
 			}
@@ -280,7 +280,7 @@ func TestOneFOneBForwardPrecedesBackwardPerMicroBatch(t *testing.T) {
 		p := int(p8)%6 + 1
 		stage := int(st) % p
 		nmb := int(n8)%12 + 1
-		slots := scheduleSlots(parallel.Plan{Schedule: parallel.OneFOneB}, stage, p, nmb)
+		slots := scheduleSlots(parallel.Plan{Schedule: parallel.OneFOneB}, stage, p, nmb, nil)
 		seen := make(map[int]bool)
 		for _, s := range slots {
 			if s.forward {

@@ -11,12 +11,13 @@ type slot struct {
 }
 
 // scheduleSlots returns the execution order of stage i under the plan's
-// pipeline schedule.
-func scheduleSlots(plan parallel.Plan, stage, stages, microBatches int) []slot {
+// pipeline schedule, appending into buf (a pooled, capacity-limited slice;
+// every schedule emits exactly two slots per micro-batch per chunk).
+func scheduleSlots(plan parallel.Plan, stage, stages, microBatches int, buf []slot) []slot {
 	if plan.Interleaved() {
-		return interleavedSlots(stage, stages, plan.VirtualStages, microBatches)
+		return interleavedSlots(stage, stages, plan.VirtualStages, microBatches, buf)
 	}
-	slots := make([]slot, 0, 2*microBatches)
+	slots := buf[:0]
 	switch plan.Schedule {
 	case parallel.GPipe:
 		// All forwards, then all backwards in reverse micro-batch
@@ -52,7 +53,7 @@ func scheduleSlots(plan parallel.Plan, stage, stages, microBatches int) []slot {
 // interleavedSlots generates Megatron-LM's interleaved 1F1B order for one
 // device: micro-batches advance in groups of p per model chunk, with
 // (p - stage - 1)·2 + (v-1)·p warm-up forward slots.
-func interleavedSlots(stage, p, v, microBatches int) []slot {
+func interleavedSlots(stage, p, v, microBatches int, buf []slot) []slot {
 	total := microBatches * v
 	fwdAt := func(k int) slot {
 		return slot{
@@ -72,7 +73,7 @@ func interleavedSlots(stage, p, v, microBatches int) []slot {
 	if warmup > total {
 		warmup = total
 	}
-	slots := make([]slot, 0, 2*total)
+	slots := buf[:0]
 	for k := 0; k < warmup; k++ {
 		slots = append(slots, fwdAt(k))
 	}

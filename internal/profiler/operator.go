@@ -50,7 +50,10 @@ const (
 	WeightUpdate
 )
 
-var opKindNames = map[OpKind]string{
+// opKindNames is indexed by OpKind; the kinds are dense from FwdEmbedding.
+// An array (not a map) keeps String allocation- and hash-free — lowering
+// interns a class string per task, so this sits on the sweep hot path.
+var opKindNames = [...]string{
 	FwdEmbedding: "FwdEmbedding",
 	BwdEmbedding: "BwdEmbedding",
 	FwdMHA:       "FwdMHA",
@@ -64,8 +67,8 @@ var opKindNames = map[OpKind]string{
 
 // String implements fmt.Stringer.
 func (k OpKind) String() string {
-	if s, ok := opKindNames[k]; ok {
-		return s
+	if k >= 0 && int(k) < len(opKindNames) {
+		return opKindNames[k]
 	}
 	return fmt.Sprintf("OpKind(%d)", int(k))
 }

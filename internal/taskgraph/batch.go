@@ -1,0 +1,277 @@
+package taskgraph
+
+import (
+	"fmt"
+	"sync"
+)
+
+// shrinkAfter is the hysteresis window of the pooled-scratch capacity-drop
+// policy: a pooled object sheds oversized storage (capacity beyond 4x the
+// requested size) only after this many consecutive oversized reuses. One
+// huge graph therefore cannot pin worst-case capacity forever, but a sweep
+// that interleaves large and small graphs keeps its high-water buffer
+// instead of reallocating on every size swing.
+const shrinkAfter = 8
+
+// wantShrink advances a pooled object's hysteresis counter given the
+// capacity of its driving buffer and the currently requested size, and
+// reports whether this reset should drop oversized storage.
+func wantShrink(c, need int, oversized *int8) bool {
+	if c <= 4*need {
+		*oversized = 0
+		return false
+	}
+	if *oversized++; *oversized >= shrinkAfter {
+		*oversized = 0
+		return true
+	}
+	return false
+}
+
+// fitZero returns a zeroed slice of length n, reusing s's storage unless it
+// is too small or drop demands oversized capacity be shed.
+func fitZero[T int32 | float64](s []T, n int, drop bool) []T {
+	if cap(s) < n || drop {
+		return make([]T, n)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// fitRaw is fitZero without the zeroing, for buffers the caller fully
+// overwrites before reading.
+func fitRaw[T int32 | float64](s []T, n int, drop bool) []T {
+	if cap(s) < n || drop {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+// batchScratch holds all mutable state of one ReplayBatch call: the shared
+// structural traversal (ref counts, FIFO queue — one per batch, since
+// topological order is structure-only) plus the columnar per-lane clocks.
+// The per-task columns are lane-major ([task][lane] flattened), so the hot
+// inner loop advances k adjacent lanes with contiguous loads and stores.
+type batchScratch struct {
+	// ref and queue drive the single shared traversal (Algorithm 1's
+	// dependency counts and FIFO queue, shared by every lane).
+	ref   []int32
+	queue []int32
+	// dur and flops hold each lane's bound table columns; the replay reads
+	// them in place (k parallel sequential streams as the queue advances —
+	// stacking them lane-major would cost a strided transpose pass that
+	// overwhelms the walk it saves).
+	dur   [][]float64
+	flops [][]float64
+	// ready[id*k+lane] is lane's earliest dependency-permitted start. Not
+	// pre-zeroed: a task's row is written in full by its first incoming
+	// edge (detected via the untouched ref count), and root rows — which
+	// have no incoming edge — are cleared explicitly before the walk.
+	ready []float64
+	// free[slot*k+lane] is lane's timeline for slot = 2*device+stream.
+	free []float64
+	// busy[slot*k+lane] accumulates lane's busy seconds per slot.
+	busy []float64
+	// classSec[class*k+lane] accumulates lane's busy seconds per class.
+	classSec []float64
+	// flopsSum[lane] accumulates lane's executed FLOPs.
+	flopsSum []float64
+	// oversized counts consecutive resets whose pooled capacity exceeded 4x
+	// the request (see wantShrink).
+	oversized int8
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// reset sizes the scratch for k lanes over a graph with n tasks, devices
+// devices, and classes distinct classes, zeroing what the replay reads.
+// Oversized pooled storage is shed per the hysteretic policy of wantShrink,
+// driven by ready — the scratch's largest buffer.
+func (sc *batchScratch) reset(n, devices, classes, k int) {
+	drop := wantShrink(cap(sc.ready), n*k, &sc.oversized)
+	sc.ref = fitRaw(sc.ref, n, drop)
+	if cap(sc.queue) < n || drop {
+		sc.queue = make([]int32, 0, n)
+	}
+	sc.queue = sc.queue[:0]
+	if cap(sc.dur) < k {
+		sc.dur = make([][]float64, k)
+		sc.flops = make([][]float64, k)
+	}
+	sc.dur = sc.dur[:k]
+	sc.flops = sc.flops[:k]
+	sc.ready = fitRaw(sc.ready, n*k, drop)
+	sc.free = fitZero(sc.free, 2*devices*k, drop)
+	sc.busy = fitZero(sc.busy, 2*devices*k, drop)
+	sc.classSec = fitZero(sc.classSec, classes*k, drop)
+	sc.flopsSum = fitZero(sc.flopsSum, k, drop)
+}
+
+// ReplayBatch replays the graph under every table in tables, walking the
+// CSR structure once while advancing len(tables) simulated clocks in
+// lockstep. Results[i] is bit-identical to Replay(tables[i]): each lane
+// performs exactly the floating-point operations of a sequential replay, in
+// the same order — batching shares only the structure-determined work (FIFO
+// traversal, dependency counting, task decoding), which is identical across
+// lanes. Like Replay it never writes to g or the tables, so concurrent
+// batches over one graph are safe.
+//
+// An empty batch returns nil. For hand-built graphs each table must still
+// be produced by Bind, which copies the tasks' eager durations.
+func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
+	k := len(tables)
+	if k == 0 {
+		return nil, nil
+	}
+	n := len(g.Tasks)
+	if n == 0 {
+		return nil, fmt.Errorf("taskgraph: graph has no tasks")
+	}
+	for i, tbl := range tables {
+		if tbl == nil {
+			return nil, fmt.Errorf("taskgraph: batch table %d is nil; Bind a DurationTable per lane", i)
+		}
+		if len(tbl.dur) != n {
+			return nil, fmt.Errorf("taskgraph: batch table %d binds %d tasks, graph has %d", i, len(tbl.dur), n)
+		}
+	}
+
+	sc := batchScratchPool.Get().(*batchScratch)
+	sc.reset(n, g.Devices, len(g.classes), k)
+
+	for l, tbl := range tables {
+		sc.dur[l] = tbl.dur
+		sc.flops[l] = tbl.flops
+	}
+
+	copy(sc.ref, g.indeg)
+	queue := append(sc.queue, g.roots...)
+	for _, r := range g.roots {
+		clear(sc.ready[int(r)*k : int(r)*k+k]) // rows no edge will write
+	}
+
+	executed := 0
+	if k == 1 {
+		// Width-1 batches (a shape group with a single pending plan) skip
+		// the lane machinery: the scalar loop below performs the identical
+		// float operations on the same columnar state with lane subscripts
+		// collapsed away.
+		dur, flops := sc.dur[0], sc.flops[0]
+		flopsSum := 0.0
+		for head := 0; head < len(queue); head++ {
+			id := queue[head]
+			slot := g.slotOf[id]
+			d := dur[id]
+			start := sc.ready[id]
+			if f := sc.free[slot]; f > start {
+				start = f
+			}
+			finish := start + d
+			sc.free[slot] = finish
+			sc.busy[slot] += d
+			sc.classSec[g.classOf[id]] += d
+			flopsSum += flops[id]
+			executed++
+			for _, cid := range g.Children(int(id)) {
+				if sc.ref[cid] == g.indeg[cid] {
+					v := 0.0
+					if finish > 0 {
+						v = finish
+					}
+					sc.ready[cid] = v
+				} else if finish > sc.ready[cid] {
+					sc.ready[cid] = finish
+				}
+				sc.ref[cid]--
+				if sc.ref[cid] == 0 {
+					queue = append(queue, cid)
+				}
+			}
+		}
+		sc.flopsSum[0] = flopsSum
+	}
+	for head := 0; k > 1 && head < len(queue); head++ {
+		id := queue[head] // fetch in FIFO order
+		// slotOf keeps the loop off the wide Task values (a cache miss per
+		// pop otherwise).
+		slot := int(g.slotOf[id])
+		// Row subslices fix the bounds once, so the lane loops below are
+		// check-free.
+		ready := sc.ready[int(id)*k : int(id)*k+k]
+		free := sc.free[slot*k : slot*k+k]
+		busy := sc.busy[slot*k : slot*k+k]
+		classSec := sc.classSec[int(g.classOf[id])*k : int(g.classOf[id])*k+k]
+		for l := 0; l < k; l++ {
+			dur := sc.dur[l][id]
+			start := ready[l]
+			if f := free[l]; f > start {
+				start = f
+			}
+			free[l] = start + dur // proceed lane l's timeline
+			busy[l] += dur
+			classSec[l] += dur
+			sc.flopsSum[l] += sc.flops[l][id]
+		}
+		executed++
+		for _, cid := range g.Children(int(id)) {
+			cready := sc.ready[int(cid)*k : int(cid)*k+k]
+			if sc.ref[cid] == g.indeg[cid] {
+				// First incoming edge: initialize the child's row as
+				// max(0, free) — exactly what folding into a zeroed row
+				// computes, without pre-zeroing the whole array.
+				for l := 0; l < k; l++ {
+					v := 0.0
+					if f := free[l]; f > 0 {
+						v = f
+					}
+					cready[l] = v
+				}
+			} else {
+				for l := 0; l < k; l++ {
+					if f := free[l]; f > cready[l] {
+						cready[l] = f // update the child task, lane l
+					}
+				}
+			}
+			sc.ref[cid]--
+			if sc.ref[cid] == 0 {
+				queue = append(queue, cid) // update the shared task queue
+			}
+		}
+	}
+
+	results := make([]Result, k)
+	for l := range results {
+		res := &results[l]
+		res.ComputeBusy = make([]float64, g.Devices)
+		res.CommBusy = make([]float64, g.Devices)
+		for d := 0; d < g.Devices; d++ {
+			res.ComputeBusy[d] = sc.busy[(2*d+int(ComputeStream))*k+l]
+			res.CommBusy[d] = sc.busy[(2*d+int(CommStream))*k+l]
+		}
+		// Max over slots in slot order, matching the sequential replay.
+		for slot := 0; slot < 2*g.Devices; slot++ {
+			if f := sc.free[slot*k+l]; f > res.IterTime {
+				res.IterTime = f
+			}
+		}
+		res.FLOPs = sc.flopsSum[l]
+		res.Executed = executed
+		res.ClassSeconds = make(map[string]float64, len(g.classes))
+		for c, name := range g.classes {
+			res.ClassSeconds[name] = sc.classSec[c*k+l]
+		}
+	}
+
+	sc.queue = queue[:0]
+	for l := range sc.dur {
+		sc.dur[l], sc.flops[l] = nil, nil // don't pin released tables
+	}
+	batchScratchPool.Put(sc)
+
+	if executed != n {
+		return results, fmt.Errorf("taskgraph: deadlock, executed %d of %d tasks", executed, n)
+	}
+	return results, nil
+}

@@ -1,0 +1,142 @@
+package taskgraph
+
+import (
+	"strings"
+	"testing"
+
+	"vtrain/internal/comm"
+	"vtrain/internal/gpu"
+	"vtrain/internal/hw"
+	"vtrain/internal/opgraph"
+	"vtrain/internal/parallel"
+	"vtrain/internal/profiler"
+)
+
+// batchFixture lowers one structural graph and binds a table per plan, the
+// way SimulateBatch feeds ReplayBatch: all plans share the graph's shape,
+// only their bound durations differ.
+func batchFixture(t *testing.T, plans []parallel.Plan) (*Graph, []*DurationTable) {
+	t.Helper()
+	c := hw.PaperCluster(8)
+	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
+	og, err := opgraph.Build(tinyModel(), plans[0], c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Lower(og, prof, OperatorLevel)
+	cm := comm.NewModel(c)
+	tables := make([]*DurationTable, len(plans))
+	for i, plan := range plans {
+		tables[i] = g.Bind(prof, cm, plan, c)
+	}
+	return g, tables
+}
+
+// requireIdentical fails unless got and want are bit-identical — float
+// equality is exact, not approximate, because each batch lane must perform
+// the sequential replay's operations in the same order.
+func requireIdentical(t *testing.T, lane int, got, want Result) {
+	t.Helper()
+	if got.IterTime != want.IterTime {
+		t.Fatalf("lane %d: IterTime %v != sequential %v", lane, got.IterTime, want.IterTime)
+	}
+	if got.FLOPs != want.FLOPs {
+		t.Fatalf("lane %d: FLOPs %v != sequential %v", lane, got.FLOPs, want.FLOPs)
+	}
+	if got.Executed != want.Executed {
+		t.Fatalf("lane %d: Executed %d != sequential %d", lane, got.Executed, want.Executed)
+	}
+	for d := range want.ComputeBusy {
+		if got.ComputeBusy[d] != want.ComputeBusy[d] {
+			t.Fatalf("lane %d: ComputeBusy[%d] %v != sequential %v", lane, d, got.ComputeBusy[d], want.ComputeBusy[d])
+		}
+		if got.CommBusy[d] != want.CommBusy[d] {
+			t.Fatalf("lane %d: CommBusy[%d] %v != sequential %v", lane, d, got.CommBusy[d], want.CommBusy[d])
+		}
+	}
+	if len(got.ClassSeconds) != len(want.ClassSeconds) {
+		t.Fatalf("lane %d: %d classes != sequential %d", lane, len(got.ClassSeconds), len(want.ClassSeconds))
+	}
+	for class, sec := range want.ClassSeconds {
+		if got.ClassSeconds[class] != sec {
+			t.Fatalf("lane %d: ClassSeconds[%q] %v != sequential %v", lane, class, got.ClassSeconds[class], sec)
+		}
+	}
+}
+
+// TestReplayBatchEquivalence pins the tentpole contract: ReplayBatch over K
+// tables returns exactly what K sequential Replay calls return — bit for
+// bit — at width 1, at width > 1, and for a shape group mixing micro-batch
+// sizes (same micro-batch count, so one structure; different data widths,
+// so different durations per lane).
+func TestReplayBatchEquivalence(t *testing.T) {
+	// All plans share (pipeline depth 2, 8 micro-batches): d=1,mb=2 and
+	// d=2,mb=1 both split GlobalBatch 16 into 8 micro-batches, and tensor
+	// width never affects structure. One graph, eight distinct tables.
+	plans := []parallel.Plan{
+		{Tensor: 1, Data: 1, Pipeline: 2, MicroBatch: 2, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 2, Data: 1, Pipeline: 2, MicroBatch: 2, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 1, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 4, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 4, Data: 1, Pipeline: 2, MicroBatch: 2, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 1, Data: 4, Pipeline: 2, MicroBatch: 2, GlobalBatch: 64, GradientBuckets: 2},
+		{Tensor: 2, Data: 4, Pipeline: 2, MicroBatch: 2, GlobalBatch: 64, GradientBuckets: 2},
+	}
+	g, tables := batchFixture(t, plans)
+
+	want := make([]Result, len(tables))
+	for i, tbl := range tables {
+		res, err := g.Replay(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+
+	for _, k := range []int{1, 3, len(tables)} {
+		got, err := g.ReplayBatch(tables[:k])
+		if err != nil {
+			t.Fatalf("width %d: %v", k, err)
+		}
+		if len(got) != k {
+			t.Fatalf("width %d: got %d results", k, len(got))
+		}
+		for lane := 0; lane < k; lane++ {
+			requireIdentical(t, lane, got[lane], want[lane])
+		}
+	}
+
+	// Batch composition must not leak between lanes: the same table in a
+	// different lane position still reproduces its sequential result.
+	perm := []*DurationTable{tables[5], tables[0], tables[3]}
+	got, err := g.ReplayBatch(perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane, wi := range []int{5, 0, 3} {
+		requireIdentical(t, lane, got[lane], want[wi])
+	}
+}
+
+// TestReplayBatchValidation pins the error contract: empty batches are a
+// nil no-op, nil and mis-sized tables are rejected before any replay work.
+func TestReplayBatchValidation(t *testing.T) {
+	plans := []parallel.Plan{
+		{Tensor: 1, Data: 1, Pipeline: 2, MicroBatch: 2, GlobalBatch: 16, GradientBuckets: 2},
+	}
+	g, tables := batchFixture(t, plans)
+
+	if res, err := g.ReplayBatch(nil); res != nil || err != nil {
+		t.Fatalf("empty batch: got (%v, %v), want (nil, nil)", res, err)
+	}
+	if _, err := g.ReplayBatch([]*DurationTable{tables[0], nil}); err == nil || !strings.Contains(err.Error(), "nil") {
+		t.Fatalf("nil table: err = %v", err)
+	}
+
+	other := parallel.Plan{Tensor: 1, Data: 1, Pipeline: 4, MicroBatch: 1, GlobalBatch: 8}
+	_, wrong := batchFixture(t, []parallel.Plan{other})
+	if _, err := g.ReplayBatch([]*DurationTable{wrong[0]}); err == nil || !strings.Contains(err.Error(), "binds") {
+		t.Fatalf("mis-sized table: err = %v", err)
+	}
+}

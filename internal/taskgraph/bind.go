@@ -62,6 +62,10 @@ type DurationTable struct {
 	// shapes) lazily.
 	prof *profiler.Profiler
 	plan parallel.Plan
+
+	// oversized counts consecutive pooled reuses whose capacity exceeded 4x
+	// the request (see wantShrink).
+	oversized int8
 }
 
 // Duration returns the bound execution time of task id in seconds.
@@ -75,15 +79,14 @@ func (t *DurationTable) Len() int { return len(t.dur) }
 // reuses the same slices.
 var tablePool = sync.Pool{New: func() any { return new(DurationTable) }}
 
-// tableFor returns a pooled table sized for n tasks.
+// tableFor returns a pooled table sized for n tasks. Like replay scratch,
+// capacity beyond 4x the requested size is shed per the hysteretic policy
+// of wantShrink, so one huge graph cannot pin worst-case storage forever.
 func tableFor(n int) *DurationTable {
 	t := tablePool.Get().(*DurationTable)
-	if cap(t.dur) < n {
-		t.dur = make([]float64, n)
-		t.flops = make([]float64, n)
-	}
-	t.dur = t.dur[:n]
-	t.flops = t.flops[:n]
+	drop := wantShrink(cap(t.dur), n, &t.oversized)
+	t.dur = fitRaw(t.dur, n, drop)
+	t.flops = fitRaw(t.flops, n, drop)
 	return t
 }
 
@@ -122,10 +125,11 @@ func (d *durDesc) operatorFor(g *Graph, plan parallel.Plan) profiler.Operator {
 // Binding never mutates the graph, so many goroutines may bind one shared
 // structural graph concurrently — the property shape-keyed caching relies
 // on. Compute descriptors are priced once per distinct descriptor (the
-// profiler memoizes kernel decompositions per operator shape);
-// communication tasks are priced individually in task-ID order, preserving
-// the call sequence a from-scratch lowering would present to a stateful
-// CommTimer.
+// profiler memoizes kernel decompositions per operator shape).
+// Communication descriptors are priced the same way when cm is a
+// StatelessCommTimer; otherwise communication tasks are priced individually
+// in task-ID order, preserving the call sequence a from-scratch lowering
+// would present to a stateful CommTimer.
 //
 // On a hand-built graph (no descriptors) Bind copies the tasks' eager
 // durations, so Replay behaves identically to Simulate.
@@ -142,7 +146,18 @@ func (g *Graph) Bind(prof *profiler.Profiler, cm CommTimer, plan parallel.Plan, 
 		return tbl
 	}
 
-	// Price the pure compute descriptors once each.
+	// The arithmetic below mirrors the operator-graph builder exactly
+	// (multiplication order included) so bound durations are bit-identical
+	// to a from-scratch lowering of the same plan.
+	gpn := c.Node.GPUsPerNode
+	stride := plan.Tensor * plan.Data
+	actBytes := 2 * float64(plan.MicroBatch) * float64(g.Model.SeqLen) * float64(g.Model.Hidden)
+
+	// Price the pure compute descriptors once each. A stateless timer
+	// additionally lets communication descriptors be priced here — once per
+	// distinct descriptor instead of once per task; a stateful timer keeps
+	// the per-task call sequence (see CommTimer).
+	_, stateless := cm.(StatelessCommTimer)
 	type val struct{ dur, flops float64 }
 	vals := make([]val, len(g.descs))
 	for i := range g.descs {
@@ -158,16 +173,35 @@ func (g *Graph) Bind(prof *profiler.Profiler, cm CommTimer, plan parallel.Plan, 
 		case descKernel:
 			k := prof.Profile(d.operatorFor(g, plan))[d.kernel]
 			vals[i] = val{k.Duration, k.Kernel.FLOPs}
+		case descAllReduceTP:
+			if stateless {
+				vals[i] = val{dur: cm.AllReduce(actBytes, plan.Tensor, plan.Tensor <= gpn)}
+			}
+		case descAllReduceDP:
+			if stateless {
+				bucketParams := d.stageParams / uint64(plan.Tensor) / uint64(d.buckets)
+				vals[i] = val{dur: cm.AllReduce(2*float64(bucketParams), plan.Data, stride <= gpn)}
+			}
+		case descP2P:
+			if stateless {
+				same := (int(d.from)*stride)/gpn == (int(d.to)*stride)/gpn
+				vals[i] = val{dur: cm.SendRecv(actBytes, same)}
+			}
 		}
 	}
 
-	// Fan out to tasks, pricing communication per task in ID order. The
-	// arithmetic mirrors the operator-graph builder exactly (multiplication
-	// order included) so bound durations are bit-identical to a from-scratch
-	// lowering of the same plan.
-	gpn := c.Node.GPUsPerNode
-	stride := plan.Tensor * plan.Data
-	actBytes := 2 * float64(plan.MicroBatch) * float64(g.Model.SeqLen) * float64(g.Model.Hidden)
+	if stateless {
+		for i := range g.Tasks {
+			v := vals[g.durIdx[i]]
+			tbl.dur[i] = v.dur
+			tbl.flops[i] = v.flops
+		}
+		return tbl
+	}
+
+	// Fan out to tasks, pricing communication per task in ID order — the
+	// call sequence a from-scratch lowering would present to a stateful
+	// CommTimer.
 	for i := range g.Tasks {
 		d := &g.descs[g.durIdx[i]]
 		switch d.kind {

@@ -1,0 +1,104 @@
+package taskgraph
+
+import (
+	"reflect"
+	"testing"
+
+	"vtrain/internal/comm"
+	"vtrain/internal/gpu"
+	"vtrain/internal/hw"
+	"vtrain/internal/opgraph"
+	"vtrain/internal/parallel"
+	"vtrain/internal/profiler"
+)
+
+// TestOperatorLowerFastPathMatchesBuilder pins the operator-level fast path
+// to the builder-based reference lowering: every slice of the structural
+// graph — tasks, CSR adjacency, class and descriptor tables — must match
+// exactly, across schedules, interleaving, uneven layer splits, and
+// recomputation.
+func TestOperatorLowerFastPathMatchesBuilder(t *testing.T) {
+	c := hw.PaperCluster(8)
+	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
+	plans := []parallel.Plan{
+		{Tensor: 1, Data: 1, Pipeline: 1, MicroBatch: 1, GlobalBatch: 2},
+		{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2},
+		{Tensor: 1, Data: 2, Pipeline: 4, MicroBatch: 1, GlobalBatch: 8, Schedule: parallel.GPipe},
+		{Tensor: 2, Data: 1, Pipeline: 2, MicroBatch: 2, GlobalBatch: 16, Recompute: true},
+		{Tensor: 1, Data: 1, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, VirtualStages: 2},
+	}
+	for _, plan := range plans {
+		og, err := opgraph.Build(tinyModel(), plan, c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast := lowerOperatorLevel(og)
+		ref := lowerBuilder(og, prof, OperatorLevel)
+
+		if got, want := len(fast.Tasks), len(ref.Tasks); got != want {
+			t.Fatalf("plan %s: %d tasks, want %d", plan, got, want)
+		}
+		for i := range ref.Tasks {
+			if fast.Tasks[i] != ref.Tasks[i] {
+				t.Fatalf("plan %s: task %d = %+v, want %+v", plan, i, fast.Tasks[i], ref.Tasks[i])
+			}
+		}
+		check := func(name string, got, want any) {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("plan %s: %s = %v, want %v", plan, name, got, want)
+			}
+		}
+		check("Devices", fast.Devices, ref.Devices)
+		check("Model", fast.Model, ref.Model)
+		check("childStart", fast.childStart, ref.childStart)
+		check("children", fast.children, ref.children)
+		check("indeg", fast.indeg, ref.indeg)
+		check("roots", fast.roots, ref.roots)
+		check("classes", fast.classes, ref.classes)
+		check("classOf", fast.classOf, ref.classOf)
+		check("descs", fast.descs, ref.descs)
+		check("durIdx", fast.durIdx, ref.durIdx)
+		if fast.labelOf == nil {
+			t.Fatalf("plan %s: fast path lost the label resolver", plan)
+		}
+	}
+}
+
+// TestBindStatelessMatchesStateful pins the stateless descriptor-level
+// communication pricing to the per-task path: a stateless timer hidden
+// behind a plain CommTimer wrapper (forcing the per-task path) must produce
+// bit-identical tables.
+func TestBindStatelessMatchesStateful(t *testing.T) {
+	c := hw.PaperCluster(8)
+	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
+	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
+	og, err := opgraph.Build(tinyModel(), plan, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Lower(og, prof, OperatorLevel)
+
+	cm := comm.NewModel(c)
+	if _, ok := CommTimer(cm).(StatelessCommTimer); !ok {
+		t.Fatal("comm model should be stateless")
+	}
+	fast := g.Bind(prof, cm, plan, c)
+	slow := g.Bind(prof, hideStateless{cm}, plan, c)
+	for i := range g.Tasks {
+		if fast.dur[i] != slow.dur[i] || fast.flops[i] != slow.flops[i] {
+			t.Fatalf("task %d: stateless bind (%g, %g) != per-task bind (%g, %g)",
+				i, fast.dur[i], fast.flops[i], slow.dur[i], slow.flops[i])
+		}
+	}
+}
+
+// hideStateless strips the StatelessComm marker from a timer, forcing Bind
+// onto the per-task communication path.
+type hideStateless struct{ cm StatelessCommTimer }
+
+func (h hideStateless) AllReduce(bytes float64, n int, intraNode bool) float64 {
+	return h.cm.AllReduce(bytes, n, intraNode)
+}
+func (h hideStateless) SendRecv(bytes float64, sameNode bool) float64 {
+	return h.cm.SendRecv(bytes, sameNode)
+}

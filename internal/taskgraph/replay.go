@@ -20,38 +20,27 @@ type scratch struct {
 	queue []int32
 	// classSec accumulates busy seconds per interned class.
 	classSec []float64
+	// oversized counts consecutive resets whose pooled capacity exceeded 4x
+	// the request (see wantShrink).
+	oversized int8
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
 
 // reset sizes the scratch for a graph with n tasks, devices devices, and
-// classes distinct classes, zeroing what the replay reads.
+// classes distinct classes, zeroing what the replay reads. Pooled storage
+// grown by one huge graph is dropped rather than pinned forever, per the
+// hysteretic policy of wantShrink.
 func (sc *scratch) reset(n, devices, classes int) {
-	if cap(sc.ref) < n {
-		sc.ref = make([]int32, n)
-		sc.ready = make([]float64, n)
+	drop := wantShrink(cap(sc.ready), n, &sc.oversized)
+	sc.ref = fitRaw(sc.ref, n, drop)
+	sc.ready = fitZero(sc.ready, n, drop)
+	if cap(sc.queue) < n || drop {
 		sc.queue = make([]int32, 0, n)
 	}
-	sc.ref = sc.ref[:n]
-	sc.ready = sc.ready[:n]
-	for i := range sc.ready {
-		sc.ready[i] = 0
-	}
-	if cap(sc.free) < 2*devices {
-		sc.free = make([]float64, 2*devices)
-	}
-	sc.free = sc.free[:2*devices]
-	for i := range sc.free {
-		sc.free[i] = 0
-	}
-	if cap(sc.classSec) < classes {
-		sc.classSec = make([]float64, classes)
-	}
-	sc.classSec = sc.classSec[:classes]
-	for i := range sc.classSec {
-		sc.classSec[i] = 0
-	}
 	sc.queue = sc.queue[:0]
+	sc.free = fitZero(sc.free, 2*devices, drop)
+	sc.classSec = fitZero(sc.classSec, classes, drop)
 }
 
 // replay runs Algorithm 1 over the immutable graph using pooled scratch
@@ -91,23 +80,26 @@ func (g *Graph) replay(tbl *DurationTable, capture bool) (Result, []Span, error)
 	executed := 0
 	for head := 0; head < len(queue); head++ {
 		id := queue[head] // fetch in FIFO order
-		u := &g.Tasks[id]
-		dur, fl := u.Duration, u.FLOPs
+		// slotOf keeps the loop off the wide Task values: a structural
+		// replay touches only the flat per-task arrays.
+		slot := int(g.slotOf[id])
+		var dur, fl float64
 		if durs != nil {
 			dur, fl = durs[id], flops[id]
+		} else {
+			u := &g.Tasks[id]
+			dur, fl = u.Duration, u.FLOPs
 		}
 		start := sc.ready[id]
-		slot := 2*u.Device + int(u.Stream)
 		if f := sc.free[slot]; f > start {
 			start = f
 		}
 		finish := start + dur
 		sc.free[slot] = finish // proceed the timeline
-		switch u.Stream {
-		case ComputeStream:
-			res.ComputeBusy[u.Device] += dur
-		case CommStream:
-			res.CommBusy[u.Device] += dur
+		if slot&1 == int(CommStream) {
+			res.CommBusy[slot>>1] += dur
+		} else {
+			res.ComputeBusy[slot>>1] += dur
 		}
 		sc.classSec[g.classOf[id]] += dur
 		res.FLOPs += fl
@@ -119,7 +111,7 @@ func (g *Graph) replay(tbl *DurationTable, capture bool) (Result, []Span, error)
 			} else {
 				label = g.TaskLabel(int(id))
 			}
-			spans = append(spans, Span{Device: u.Device, Stream: u.Stream, Start: start, End: finish, Label: label})
+			spans = append(spans, Span{Device: slot >> 1, Stream: Stream(slot & 1), Start: start, End: finish, Label: label})
 		}
 		for _, cid := range g.Children(int(id)) {
 			if finish > sc.ready[cid] {

@@ -138,6 +138,11 @@ type Graph struct {
 	// of a map.
 	classes []string
 	classOf []int32
+	// slotOf maps each task to its resource slot 2*Device + Stream. The
+	// replay loop reads it instead of the Task values: tasks are large
+	// (they carry strings and trace fields), so touching one per pop would
+	// cost a cache miss per task.
+	slotOf []int32
 	// descs is the compact duration-descriptor table of a structural
 	// graph (nil for hand-built graphs): every distinct way a task can be
 	// priced, deduplicated. durIdx maps each task to its descriptor. Bind
@@ -270,7 +275,9 @@ func (b *Builder) Build() *Graph {
 		g.children[cursor[e[0]]] = e[1]
 		cursor[e[0]]++
 	}
+	g.slotOf = make([]int32, n)
 	for i := 0; i < n; i++ {
+		g.slotOf[i] = int32(2*g.Tasks[i].Device) + int32(g.Tasks[i].Stream)
 		if g.indeg[i] == 0 {
 			g.roots = append(g.roots, int32(i))
 		}
@@ -289,6 +296,19 @@ type CommTimer interface {
 
 var _ CommTimer = (*comm.Model)(nil)
 
+// StatelessCommTimer is a CommTimer whose prices are pure functions of the
+// call arguments — no per-call state, no call-order dependence. Bind prices
+// communication for such timers at descriptor granularity (once per distinct
+// descriptor, like compute) instead of once per task. Implementations opt in
+// with the StatelessComm marker method; *comm.Model qualifies, the testbed's
+// congestion-sampling wrapper deliberately does not.
+type StatelessCommTimer interface {
+	CommTimer
+	StatelessComm()
+}
+
+var _ StatelessCommTimer = (*comm.Model)(nil)
+
 // Lower translates the operator graph into a structural task graph: tasks,
 // dependency edges, and one duration descriptor per task — no durations.
 // The result depends only on the plan's structural shape (schedule,
@@ -299,6 +319,20 @@ var _ CommTimer = (*comm.Model)(nil)
 // prof is consulted only for the kernel count of each operator (fixed per
 // operator kind), never for durations.
 func Lower(g *opgraph.Graph, prof *profiler.Profiler, fid Fidelity) *Graph {
+	if fid == OperatorLevel {
+		// At operator granularity the task graph is isomorphic to the
+		// operator graph (one task per node), so a direct translation
+		// skips the builder entirely — the sweep hot path. It produces
+		// exactly lowerBuilder's graph (asserted by tests).
+		return lowerOperatorLevel(g)
+	}
+	return lowerBuilder(g, prof, fid)
+}
+
+// lowerBuilder is the general builder-based lowering, used at TaskLevel
+// (where one operator expands into several kernel tasks) and as the
+// reference implementation the operator-level fast path is tested against.
+func lowerBuilder(g *opgraph.Graph, prof *profiler.Profiler, fid Fidelity) *Graph {
 	b := NewBuilder(g.Stages)
 	// Lowered tasks resolve labels lazily through a snapshot of the
 	// operator graph's label coordinates: no label string exists until a

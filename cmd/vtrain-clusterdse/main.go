@@ -12,6 +12,10 @@
 // bigger-but-faster clusters pay a visible reliability tax. -no-resilience
 // reproduces the ideal failure-free ranking.
 //
+// It is a thin client of internal/server: the same ClusterDSERequest the
+// long-lived vtrain-server streams over /v1/clusterdse runs here
+// in-process.
+//
 // Usage:
 //
 //	vtrain-clusterdse -model megatron-18.4b -batch 1024 -tokens 300e9 \
@@ -32,11 +36,8 @@ import (
 	"time"
 
 	"vtrain/internal/clusterdse"
-	"vtrain/internal/core"
 	"vtrain/internal/descfile"
-	"vtrain/internal/hw"
-	"vtrain/internal/resilience"
-	"vtrain/internal/taskgraph"
+	"vtrain/internal/server"
 )
 
 func main() {
@@ -70,42 +71,48 @@ func run(args []string, stdout, stderr io.Writer) error {
 		return err
 	}
 
-	m, err := descfile.LookupModel(*preset)
-	if err != nil {
-		return err
-	}
 	nodeCounts, err := parseInts(*nodesList)
 	if err != nil {
 		return err
 	}
-	offs, err := selectOfferings(*offerings, *cross)
-	if err != nil {
-		return err
-	}
-
 	if *mtbf < 0 || *ckptBW < 0 || *restart < 0 {
 		return fmt.Errorf("-mtbf, -ckpt-bw, and -restart must be non-negative (got %v, %v, %v)", *mtbf, *ckptBW, *restart)
 	}
-	space := clusterdse.DefaultSpace(m, *batch, uint64(*tokens), nodeCounts)
-	space.Offerings = offs
-	if *noRes {
-		space.Resilience = nil
-	} else {
-		space.Resilience = &resilience.Options{MTBF: *mtbf * 3600, WriteBandwidth: *ckptBW * 1e9, Restart: *restart}
+	var offNames []string
+	if *offerings != "all" {
+		for _, n := range strings.Split(*offerings, ",") {
+			offNames = append(offNames, strings.TrimSpace(n))
+		}
 	}
-	res := space.Resilience != nil
+	resSection := &descfile.ResilienceSection{
+		Disabled:               *noRes,
+		MTBFHours:              *mtbf,
+		CheckpointBandwidthGBs: *ckptBW,
+		RestartSeconds:         *restart,
+	}
 
-	sim, err := clusterdse.NewSimulator(space, core.WithFidelity(taskgraph.OperatorLevel))
+	eng := server.NewEngine()
+	sweep, err := eng.PrepareClusterDSE(server.ClusterDSERequest{
+		Model:              descfile.ModelSection{Preset: *preset},
+		GlobalBatch:        *batch,
+		TotalTokens:        uint64(*tokens),
+		NodeCounts:         nodeCounts,
+		Offerings:          offNames,
+		CrossInterconnects: *cross,
+		Resilience:         resSection,
+	})
 	if err != nil {
 		return err
 	}
+	m := sweep.Model()
+	res := sweep.Resilient()
 
 	start := time.Now()
 	var points []clusterdse.Point
-	err = clusterdse.ExploreFunc(sim, m, space, func(p clusterdse.Point) {
+	sum, err := sweep.Run(func(p clusterdse.Point) {
 		points = append(points, p)
 		if *progress && len(points)%1000 == 0 {
-			st := sim.CacheStats()
+			st := sweep.CacheStats()
 			fmt.Fprintf(stderr, "... %d points evaluated (%v) — structures %d hit / %d lowered\n",
 				len(points), time.Since(start).Round(time.Millisecond), st.StructHits, st.StructMisses)
 		}
@@ -115,9 +122,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	sorted := append([]clusterdse.Point(nil), points...)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Better(sorted[j]) })
-	st := sim.CacheStats()
+	st := sum.Cache
 	fmt.Fprintf(stdout, "explored %d (offering x nodes x plan) points across %d hardware candidates\n",
-		len(points), len(offs)*len(nodeCounts))
+		len(points), sum.Candidates)
 	fmt.Fprintf(stdout, "structural cache: %d graphs lowered, %.1f%% hit rate — hardware variants of a shape share one lowering\n",
 		st.StructMisses, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
 	fmt.Fprintf(stdout, "batched replay: %d plans over %d replays, mean batch width %.1f — shapes batch across hardware candidates\n",
@@ -203,37 +210,6 @@ func parseInts(s string) ([]int, error) {
 	}
 	if len(out) == 0 {
 		return nil, fmt.Errorf("no node counts given")
-	}
-	return out, nil
-}
-
-func selectOfferings(names string, cross bool) ([]hw.Offering, error) {
-	var base []hw.Offering
-	if names == "all" {
-		base = hw.Catalog()
-	} else {
-		for _, n := range strings.Split(names, ",") {
-			o, err := hw.LookupOffering(strings.TrimSpace(n))
-			if err != nil {
-				return nil, err
-			}
-			base = append(base, o)
-		}
-	}
-	if !cross {
-		return base, nil
-	}
-	// Cross every node type with every fabric tier (keeping the node's
-	// price): the "same machines, different network" axis.
-	var out []hw.Offering
-	for _, o := range base {
-		out = append(out, o)
-		for _, ic := range hw.Interconnects() {
-			if ic.Name == o.Interconnect.Name {
-				continue
-			}
-			out = append(out, o.WithInterconnect(ic))
-		}
 	}
 	return out, nil
 }

@@ -3,6 +3,9 @@
 // fastest and most cost-effective plans, and can dump every design point
 // for Fig. 10 / Fig. 11 style plots.
 //
+// It is a thin client of internal/server: the same SweepRequest the
+// long-lived vtrain-server streams over /v1/sweep runs here in-process.
+//
 // Usage:
 //
 //	vtrain-dse -model mt-nlg-530b -batch 1920 -nodes 6720 -tokens 270e9 [-top 10] [-csv points.csv]
@@ -12,45 +15,57 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"sort"
 	"strconv"
 	"time"
 
-	"vtrain/internal/core"
 	"vtrain/internal/cost"
 	"vtrain/internal/descfile"
 	"vtrain/internal/dse"
 	"vtrain/internal/hw"
-	"vtrain/internal/taskgraph"
+	"vtrain/internal/server"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vtrain-dse: ")
-
-	preset := flag.String("model", "mt-nlg-530b", "model preset (see descfile presets)")
-	batch := flag.Int("batch", 1920, "global batch size in sequences")
-	nodes := flag.Int("nodes", 6720, "cluster nodes (8 GPUs each); bounds the sweep")
-	tokens := flag.Float64("tokens", 270e9, "total training tokens for cost projection")
-	top := flag.Int("top", 10, "how many fastest plans to print")
-	maxGPUs := flag.Int("max-gpus", 0, "optional cap on t*d*p")
-	csvPath := flag.String("csv", "", "write every design point to this CSV file")
-	flag.Parse()
-
-	m, err := descfile.LookupModel(*preset)
-	if err != nil {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		log.Fatal(err)
 	}
-	sim, err := core.New(hw.PaperCluster(*nodes), core.WithFidelity(taskgraph.OperatorLevel))
-	if err != nil {
-		log.Fatal(err)
+}
+
+// run is the whole command behind a testable seam: golden CLI tests drive
+// it in-process with a buffer for stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vtrain-dse", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	preset := fs.String("model", "mt-nlg-530b", "model preset (see descfile presets)")
+	batch := fs.Int("batch", 1920, "global batch size in sequences")
+	nodes := fs.Int("nodes", 6720, "cluster nodes (8 GPUs each); bounds the sweep")
+	tokens := fs.Float64("tokens", 270e9, "total training tokens for cost projection")
+	top := fs.Int("top", 10, "how many fastest plans to print")
+	maxGPUs := fs.Int("max-gpus", 0, "optional cap on t*d*p")
+	csvPath := fs.String("csv", "", "write every design point to this CSV file")
+	progress := fs.Bool("progress", true, "report sweep progress on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
 	}
 
-	space := dse.DefaultSpace(m, *batch)
-	space.MaxGPUs = *maxGPUs
-	space.MaxMicroBatches = 512
+	eng := server.NewEngine()
+	sweep, err := eng.PrepareSweep(server.SweepRequest{
+		Model:       descfile.ModelSection{Preset: *preset},
+		Cluster:     descfile.ClusterSection{Nodes: *nodes},
+		GlobalBatch: *batch,
+		TotalTokens: uint64(*tokens),
+		MaxGPUs:     *maxGPUs,
+	})
+	if err != nil {
+		return err
+	}
+	cluster := sweep.Cluster()
 
 	start := time.Now()
 	// Stream the sweep so long explorations show progress; points arrive
@@ -59,55 +74,56 @@ func main() {
 	// (model, plan) configurations, structures deduplicate plans sharing a
 	// topology — the shape-keyed lowering cache.
 	var points []dse.Point
-	err = dse.ExploreFunc(sim, m, space, func(p dse.Point) {
+	sum, err := sweep.Run(func(p dse.Point) {
 		points = append(points, p)
-		if len(points)%1000 == 0 {
-			st := sim.CacheStats()
-			fmt.Fprintf(os.Stderr, "... %d points evaluated (%v) — reports %d hit / %d miss, structures %d hit / %d lowered\n",
+		if *progress && len(points)%1000 == 0 {
+			st := sweep.CacheStats()
+			fmt.Fprintf(stderr, "... %d points evaluated (%v) — reports %d hit / %d miss, structures %d hit / %d lowered\n",
 				len(points), time.Since(start).Round(time.Millisecond),
 				st.ReportHits, st.ReportMisses, st.StructHits, st.StructMisses)
 		}
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	sort.Slice(points, func(i, j int) bool { return points[i].Better(points[j]) })
 	elapsed := time.Since(start)
-	st := sim.CacheStats()
-	fmt.Printf("explored %d design points in %v (%d graphs lowered, %.1f%% structural-cache hit rate)\n",
+	st := sum.Cache
+	fmt.Fprintf(stdout, "explored %d design points in %v (%d graphs lowered, %.1f%% structural-cache hit rate)\n",
 		len(points), elapsed.Round(time.Millisecond),
 		st.StructMisses, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
-	fmt.Printf("batched replay: %d plans over %d replays, mean batch width %.1f — plans sharing a shape replay one graph together\n\n",
+	fmt.Fprintf(stdout, "batched replay: %d plans over %d replays, mean batch width %.1f — plans sharing a shape replay one graph together\n\n",
 		st.BatchedPlans, st.BatchReplays,
 		float64(st.BatchedPlans)/float64(max(st.BatchReplays, 1)))
 
-	fmt.Printf("%-28s %8s %8s %7s %8s %10s %9s\n",
+	fmt.Fprintf(stdout, "%-28s %8s %8s %7s %8s %10s %9s\n",
 		"plan", "GPUs", "iter(s)", "util%", "days", "$/hour", "$total(M)")
 	n := *top
 	if n > len(points) {
 		n = len(points)
 	}
 	for _, p := range points[:n] {
-		tr := cost.Train(m, *batch, p.Report.IterTime, p.Plan.GPUs(), uint64(*tokens), sim.Cluster())
-		fmt.Printf("%-28s %8d %8.2f %7.2f %8.2f %10.0f %9.2f\n",
+		tr := cost.Train(p.Report.Model, *batch, p.Report.IterTime, p.Plan.GPUs(), uint64(*tokens), cluster)
+		fmt.Fprintf(stdout, "%-28s %8d %8.2f %7.2f %8.2f %10.0f %9.2f\n",
 			p.Plan, p.Plan.GPUs(), p.Report.IterTime, 100*p.Report.Utilization,
 			tr.Days, tr.DollarsPerHour, tr.TotalDollars/1e6)
 	}
 
-	if best, tr, ok := dse.Cheapest(sim, points, uint64(*tokens)); ok {
-		fmt.Printf("\ncheapest plan: %s — %.2f days, $%.2fM, %.2f%% utilization\n",
+	if best, tr, ok := dse.CheapestOn(cluster, points, uint64(*tokens)); ok {
+		fmt.Fprintf(stdout, "\ncheapest plan: %s — %.2f days, $%.2fM, %.2f%% utilization\n",
 			best.Plan, tr.Days, tr.TotalDollars/1e6, 100*tr.Utilization)
 	}
 
 	if *csvPath != "" {
-		if err := dumpCSV(*csvPath, sim, points, m.Name, *batch, uint64(*tokens)); err != nil {
-			log.Fatal(err)
+		if err := dumpCSV(*csvPath, cluster, points, *batch, uint64(*tokens)); err != nil {
+			return err
 		}
-		fmt.Printf("wrote %d points to %s\n", len(points), *csvPath)
+		fmt.Fprintf(stdout, "wrote %d points to %s\n", len(points), *csvPath)
 	}
+	return nil
 }
 
-func dumpCSV(path string, sim *core.Simulator, points []dse.Point, name string, batch int, tokens uint64) error {
+func dumpCSV(path string, c hw.Cluster, points []dse.Point, batch int, tokens uint64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -119,9 +135,9 @@ func dumpCSV(path string, sim *core.Simulator, points []dse.Point, name string, 
 		return err
 	}
 	for _, p := range points {
-		tr := cost.Train(p.Report.Model, batch, p.Report.IterTime, p.Plan.GPUs(), tokens, sim.Cluster())
+		tr := cost.Train(p.Report.Model, batch, p.Report.IterTime, p.Plan.GPUs(), tokens, c)
 		rec := []string{
-			name,
+			p.Report.Model.Name,
 			strconv.Itoa(p.Plan.Tensor), strconv.Itoa(p.Plan.Data),
 			strconv.Itoa(p.Plan.Pipeline), strconv.Itoa(p.Plan.MicroBatch),
 			strconv.Itoa(p.Plan.GPUs()),

@@ -1,0 +1,85 @@
+// Command vtrain-server runs the vTrain simulator as a long-lived HTTP
+// service. Unlike the one-shot CLIs, its simulator pool keeps report and
+// structural caches warm across requests, so a team hammering the same
+// models concentrates onto shared lowered graphs instead of each request
+// paying cold lowering.
+//
+// Endpoints:
+//
+//	POST /v1/simulate    one configuration; body is a descfile description,
+//	                     response is the exact `vtrain -json` report
+//	POST /v1/sweep       plan-space sweep; streams NDJSON points + summary
+//	POST /v1/clusterdse  joint (hardware x plan) sweep; streams NDJSON
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /metrics        Prometheus text: cache counters, request counts,
+//	                     latency histograms
+//
+// Usage:
+//
+//	vtrain-server [-addr :8080] [-max-sweeps 4] [-simulate-timeout 2m]
+//
+// SIGINT/SIGTERM drain gracefully: health checks fail first, then the
+// listener closes once in-flight requests (including streaming sweeps)
+// finish, bounded by -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"vtrain/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("vtrain-server: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	maxSweeps := flag.Int("max-sweeps", 4, "max concurrently executing sweep streams (excess gets 429)")
+	simTimeout := flag.Duration("simulate-timeout", 2*time.Minute, "per-request /v1/simulate timeout")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "how long shutdown waits for in-flight requests")
+	maxBody := flag.Int64("max-body-bytes", 1<<20, "request body size limit")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		MaxBodyBytes:      *maxBody,
+		SimulateTimeout:   *simTimeout,
+		MaxInflightSweeps: *maxSweeps,
+	})
+
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on %s", l.Addr())
+
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case s := <-sig:
+		log.Printf("received %v, draining (timeout %v)", s, *drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+		log.Printf("drained cleanly")
+	}
+}

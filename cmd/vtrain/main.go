@@ -2,6 +2,11 @@
 // input description file (Fig. 4) and reports the predicted single-iteration
 // training time, utilization, memory, and end-to-end cost projection.
 //
+// It is a thin client of internal/server: the same SimulateRequest the
+// long-lived vtrain-server answers over HTTP runs here in-process, so
+// `vtrain -json` output and a /v1/simulate response body for the same
+// descfile are byte-identical (golden-locked in main_test.go).
+//
 // Usage:
 //
 //	vtrain -f description.json [-json] [-fidelity task|operator]
@@ -11,6 +16,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -18,130 +24,93 @@ import (
 	"vtrain/internal/core"
 	"vtrain/internal/cost"
 	"vtrain/internal/descfile"
-	"vtrain/internal/resilience"
+	"vtrain/internal/server"
 	"vtrain/internal/taskgraph"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vtrain: ")
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	file := flag.String("f", "", "path to the input description file (JSON)")
-	asJSON := flag.Bool("json", false, "emit the report as JSON")
-	fidelity := flag.String("fidelity", "task", "simulation granularity: task or operator")
-	tracePath := flag.String("trace", "", "write the execution timeline as a Chrome trace to this file")
-	flag.Parse()
-
+// run is the whole command behind a testable seam: golden CLI tests drive
+// it in-process with a buffer for stdout.
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("vtrain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	file := fs.String("f", "", "path to the input description file (JSON)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	fidelity := fs.String("fidelity", "task", "simulation granularity: task or operator")
+	tracePath := fs.String("trace", "", "write the execution timeline as a Chrome trace to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *file == "" {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return fmt.Errorf("missing -f description file")
 	}
 	desc, err := descfile.Load(*file)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	m, plan, cluster, err := desc.Resolve()
-	if err != nil {
-		log.Fatal(err)
-	}
+	req := server.SimulateRequest{Description: desc, Fidelity: *fidelity}
 
-	fid := taskgraph.TaskLevel
-	switch *fidelity {
-	case "task":
-	case "operator":
-		fid = taskgraph.OperatorLevel
-	default:
-		log.Fatalf("unknown fidelity %q (want task or operator)", *fidelity)
-	}
+	// One-shot process: nothing repeats, so skip the result cache.
+	eng := server.NewEngine(server.WithSimulatorOptions(core.WithCacheSize(0)))
 
-	// One-shot simulation: nothing repeats, so skip the result cache.
-	sim, err := core.New(cluster, core.WithFidelity(fid), core.WithCacheSize(0))
-	if err != nil {
-		log.Fatal(err)
-	}
-	var rep core.Report
+	var out server.SimulateOutcome
 	if *tracePath != "" {
 		var spans []taskgraph.Span
-		rep, spans, err = sim.SimulateTrace(m, plan)
+		out, spans, err = eng.SimulateTrace(req)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
 		if err := taskgraph.WriteChromeTrace(f, spans); err != nil {
 			f.Close()
-			log.Fatal(err)
+			return err
 		}
 		if err := f.Close(); err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %d spans to %s\n", len(spans), *tracePath)
+		fmt.Fprintf(stderr, "wrote %d spans to %s\n", len(spans), *tracePath)
 	} else {
-		rep, err = sim.Simulate(m, plan)
+		out, err = eng.Simulate(req)
 		if err != nil {
-			log.Fatal(err)
-		}
-	}
-
-	var train *cost.Training
-	var res *cost.Resilience
-	if desc.TotalTokens > 0 {
-		tr := cost.Train(m, plan.GlobalBatch, rep.IterTime, plan.GPUs(), desc.TotalTokens, cluster)
-		train = &tr
-		if opts, enabled := desc.ResilienceOptions(); enabled {
-			mod, err := resilience.For(m, cluster, plan.GPUs(), opts)
-			if err != nil {
-				log.Fatal(err)
-			}
-			r := cost.ApplyResilience(tr, mod)
-			res = &r
+			return err
 		}
 	}
 
 	if *asJSON {
-		out := struct {
-			Model         string           `json:"model"`
-			Plan          string           `json:"plan"`
-			GPUs          int              `json:"gpus"`
-			IterTime      float64          `json:"iteration_time_s"`
-			Utilization   float64          `json:"gpu_utilization"`
-			PeakMemoryGiB float64          `json:"peak_memory_gib"`
-			FitsMemory    bool             `json:"fits_memory"`
-			Tasks         int              `json:"tasks"`
-			Training      *cost.Training   `json:"training,omitempty"`
-			Resilience    *cost.Resilience `json:"resilience,omitempty"`
-		}{
-			Model: m.String(), Plan: plan.String(), GPUs: plan.GPUs(),
-			IterTime: rep.IterTime, Utilization: rep.Utilization,
-			PeakMemoryGiB: float64(rep.PeakMemoryBytes) / (1 << 30),
-			FitsMemory:    rep.FitsMemory, Tasks: rep.Tasks, Training: train,
-			Resilience: res,
-		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(out); err != nil {
-			log.Fatal(err)
-		}
-		return
+		return enc.Encode(out.Result())
 	}
 
-	fmt.Printf("model:           %s\n", m)
-	fmt.Printf("plan:            %s  (%d GPUs)\n", plan, plan.GPUs())
-	fmt.Printf("iteration time:  %.3f s  (%d tasks)\n", rep.IterTime, rep.Tasks)
-	fmt.Printf("GPU utilization: %.2f %%\n", 100*rep.Utilization)
-	fmt.Printf("compute / comm:  %.3f s / %.3f s per stage, bubble %.1f %%\n",
+	rep := out.Report
+	fmt.Fprintf(stdout, "model:           %s\n", out.Model)
+	fmt.Fprintf(stdout, "plan:            %s  (%d GPUs)\n", out.Plan, out.Plan.GPUs())
+	fmt.Fprintf(stdout, "iteration time:  %.3f s  (%d tasks)\n", rep.IterTime, rep.Tasks)
+	fmt.Fprintf(stdout, "GPU utilization: %.2f %%\n", 100*rep.Utilization)
+	fmt.Fprintf(stdout, "compute / comm:  %.3f s / %.3f s per stage, bubble %.1f %%\n",
 		rep.ComputeSeconds, rep.CommSeconds, 100*rep.BubbleFraction)
-	fmt.Printf("peak memory:     %.1f GiB per GPU (fits: %v)\n",
+	fmt.Fprintf(stdout, "peak memory:     %.1f GiB per GPU (fits: %v)\n",
 		float64(rep.PeakMemoryBytes)/(1<<30), rep.FitsMemory)
-	if train != nil {
-		fmt.Printf("end-to-end:      %d iterations, %.2f days, $%.2fM ($%.0f/hour)\n",
-			train.Iterations, train.Days, train.TotalDollars/1e6, train.DollarsPerHour)
+	if out.Training != nil {
+		fmt.Fprintf(stdout, "end-to-end:      %d iterations, %.2f days, $%.2fM ($%.0f/hour)\n",
+			out.Training.Iterations, out.Training.Days, out.Training.TotalDollars/1e6, out.Training.DollarsPerHour)
 	}
-	if res != nil {
-		fmt.Printf("with failures:   %.2f days, $%.2fM at %.2f%% goodput (ckpt every %s, ~%.0f failures expected)\n",
+	if out.Resilience != nil {
+		res := out.Resilience
+		fmt.Fprintf(stdout, "with failures:   %.2f days, $%.2fM at %.2f%% goodput (ckpt every %s, ~%.0f failures expected)\n",
 			res.EffectiveDays, res.EffectiveDollars/1e6, 100*res.GoodputFraction,
 			cost.Duration(res.CheckpointIntervalSeconds).Round(time.Second), res.ExpectedFailures)
 	}
+	return nil
 }

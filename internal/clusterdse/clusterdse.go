@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -77,6 +78,40 @@ func DefaultSpace(m model.Config, globalBatch int, totalTokens uint64, nodeCount
 		TotalTokens: totalTokens,
 		Resilience:  &resilience.Options{},
 	}
+}
+
+// SelectOfferings resolves offering names against the hardware catalog:
+// empty names mean the whole catalog. cross additionally pairs every node
+// type with every interconnect tier, keeping the node's price — the "same
+// machines, different network" axis. The CLI and the serving layer both
+// build their sweep spaces through it.
+func SelectOfferings(names []string, cross bool) ([]hw.Offering, error) {
+	var base []hw.Offering
+	if len(names) == 0 {
+		base = hw.Catalog()
+	} else {
+		for _, n := range names {
+			o, err := hw.LookupOffering(strings.TrimSpace(n))
+			if err != nil {
+				return nil, err
+			}
+			base = append(base, o)
+		}
+	}
+	if !cross {
+		return base, nil
+	}
+	var out []hw.Offering
+	for _, o := range base {
+		out = append(out, o)
+		for _, ic := range hw.Interconnects() {
+			if ic.Name == o.Interconnect.Name {
+				continue
+			}
+			out = append(out, o.WithInterconnect(ic))
+		}
+	}
+	return out, nil
 }
 
 // Candidate is one hardware configuration of the sweep.
@@ -257,7 +292,7 @@ func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) e
 		}
 	}
 	if len(entries) == 0 {
-		return fmt.Errorf("clusterdse: no feasible (offering, node count, plan) configuration for %s", m.Name)
+		return fmt.Errorf("clusterdse: no feasible (offering, node count, plan) configuration for %s: %w", m.Name, dse.ErrNoValidPlan)
 	}
 
 	// Pass 2: group entries by structural shape across candidates,

@@ -185,6 +185,20 @@ type CacheStats struct {
 	BatchReplays, BatchedPlans uint64
 }
 
+// Add returns the field-wise sum of s and t, for aggregating counters
+// across a pool of simulators — the serving layer's /metrics endpoint sums
+// every pooled simulator's stats into one scrape.
+func (s CacheStats) Add(t CacheStats) CacheStats {
+	return CacheStats{
+		ReportHits:   s.ReportHits + t.ReportHits,
+		ReportMisses: s.ReportMisses + t.ReportMisses,
+		StructHits:   s.StructHits + t.StructHits,
+		StructMisses: s.StructMisses + t.StructMisses,
+		BatchReplays: s.BatchReplays + t.BatchReplays,
+		BatchedPlans: s.BatchedPlans + t.BatchedPlans,
+	}
+}
+
 // CacheStats reports hit/miss counters for the report cache and the
 // structural cache.
 func (s *Simulator) CacheStats() CacheStats {

@@ -163,68 +163,114 @@ func Load(path string) (Description, error) {
 	return Parse(f)
 }
 
-// Resolve converts the parsed description into simulator inputs.
-func (d Description) Resolve() (model.Config, parallel.Plan, hw.Cluster, error) {
+// Resolve converts the model section into a validated model configuration:
+// the preset when named, the explicit hyperparameters otherwise.
+func (s ModelSection) Resolve() (model.Config, error) {
 	var m model.Config
-	if d.Model.Preset != "" {
+	if s.Preset != "" {
 		var err error
-		if m, err = LookupModel(d.Model.Preset); err != nil {
-			return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
+		if m, err = LookupModel(s.Preset); err != nil {
+			return model.Config{}, err
 		}
 	} else {
 		m = model.Config{
-			Name:   d.Model.Name,
-			Hidden: d.Model.Hidden, Layers: d.Model.Layers,
-			SeqLen: d.Model.SeqLen, Heads: d.Model.Heads, Vocab: d.Model.Vocab,
+			Name:   s.Name,
+			Hidden: s.Hidden, Layers: s.Layers,
+			SeqLen: s.SeqLen, Heads: s.Heads, Vocab: s.Vocab,
 		}
 		if m.Name == "" {
 			m.Name = "custom"
 		}
 	}
 	if err := m.Validate(); err != nil {
-		return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
+		return model.Config{}, err
 	}
+	return m, nil
+}
 
-	nodes := d.Cluster.Nodes
-	if nodes <= 0 {
-		return model.Config{}, parallel.Plan{}, hw.Cluster{}, fmt.Errorf("descfile: cluster.nodes must be positive")
+// Resolve materializes the cluster section: the paper's A100 testbed by
+// default, any hardware-catalog offering when named, with the alpha and
+// pricing overrides applied and the resilience overrides validated.
+func (s ClusterSection) Resolve() (hw.Cluster, error) {
+	if s.Nodes <= 0 {
+		return hw.Cluster{}, fmt.Errorf("descfile: cluster.nodes must be positive")
 	}
-	c := hw.PaperCluster(nodes)
-	if d.Cluster.Offering != "" {
-		off, err := hw.LookupOffering(d.Cluster.Offering)
+	c := hw.PaperCluster(s.Nodes)
+	if s.Offering != "" {
+		off, err := hw.LookupOffering(s.Offering)
 		if err != nil {
-			return model.Config{}, parallel.Plan{}, hw.Cluster{}, fmt.Errorf("descfile: %w", err)
+			return hw.Cluster{}, fmt.Errorf("descfile: %w", err)
 		}
-		c = off.Cluster(nodes)
+		c = off.Cluster(s.Nodes)
 	}
-	if d.Cluster.Alpha > 0 {
-		c.Alpha = d.Cluster.Alpha
+	if s.Alpha > 0 {
+		c.Alpha = s.Alpha
 	}
-	if d.Cluster.DollarsPerGPUHour > 0 {
-		c.DollarsPerGPUHour = d.Cluster.DollarsPerGPUHour
+	if s.DollarsPerGPUHour > 0 {
+		c.DollarsPerGPUHour = s.DollarsPerGPUHour
 	}
-	if err := d.Cluster.Resilience.Validate(); err != nil {
-		return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
+	if err := s.Resilience.Validate(); err != nil {
+		return hw.Cluster{}, err
 	}
+	return c, nil
+}
 
+// Resolve converts the plan section into a 3D-parallel plan validated
+// against the model and cluster it will simulate on.
+func (s PlanSection) Resolve(m model.Config, c hw.Cluster) (parallel.Plan, error) {
 	sched := parallel.OneFOneB
-	switch strings.ToLower(d.Plan.Schedule) {
+	switch strings.ToLower(s.Schedule) {
 	case "", "1f1b":
 	case "gpipe":
 		sched = parallel.GPipe
 	default:
-		return model.Config{}, parallel.Plan{}, hw.Cluster{}, fmt.Errorf("descfile: unknown schedule %q (want 1f1b or gpipe)", d.Plan.Schedule)
+		return parallel.Plan{}, fmt.Errorf("descfile: unknown schedule %q (want 1f1b or gpipe)", s.Schedule)
 	}
 	plan := parallel.Plan{
-		Tensor: d.Plan.Tensor, Data: d.Plan.Data, Pipeline: d.Plan.Pipeline,
-		MicroBatch: d.Plan.MicroBatch, GlobalBatch: d.Plan.GlobalBatch,
-		Schedule: sched, GradientBuckets: d.Plan.GradientBuckets,
-		Recompute: d.Plan.Recompute, VirtualStages: d.Plan.VirtualStages,
+		Tensor: s.Tensor, Data: s.Data, Pipeline: s.Pipeline,
+		MicroBatch: s.MicroBatch, GlobalBatch: s.GlobalBatch,
+		Schedule: sched, GradientBuckets: s.GradientBuckets,
+		Recompute: s.Recompute, VirtualStages: s.VirtualStages,
 	}
 	if err := plan.Validate(m, c); err != nil {
+		return parallel.Plan{}, err
+	}
+	return plan, nil
+}
+
+// Resolve converts the parsed description into simulator inputs.
+func (d Description) Resolve() (model.Config, parallel.Plan, hw.Cluster, error) {
+	m, err := d.Model.Resolve()
+	if err != nil {
+		return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
+	}
+	c, err := d.Cluster.Resolve()
+	if err != nil {
+		return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
+	}
+	plan, err := d.Plan.Resolve(m, c)
+	if err != nil {
 		return model.Config{}, parallel.Plan{}, hw.Cluster{}, err
 	}
 	return m, plan, c, nil
+}
+
+// Options converts the resilience section into the overrides
+// internal/resilience consumes. enabled is false when the section sets
+// "disabled": true; a nil section enables modeling with the cluster's
+// catalog defaults.
+func (r *ResilienceSection) Options() (o resilience.Options, enabled bool) {
+	if r == nil {
+		return resilience.Options{}, true
+	}
+	if r.Disabled {
+		return resilience.Options{}, false
+	}
+	return resilience.Options{
+		MTBF:           r.MTBFHours * 3600,
+		WriteBandwidth: r.CheckpointBandwidthGBs * 1e9,
+		Restart:        r.RestartSeconds,
+	}, true
 }
 
 // ResilienceOptions converts the description's resilience section into the
@@ -232,16 +278,5 @@ func (d Description) Resolve() (model.Config, parallel.Plan, hw.Cluster, error) 
 // section sets "disabled": true; a missing section enables modeling with
 // the cluster's catalog defaults.
 func (d Description) ResilienceOptions() (o resilience.Options, enabled bool) {
-	rs := d.Cluster.Resilience
-	if rs == nil {
-		return resilience.Options{}, true
-	}
-	if rs.Disabled {
-		return resilience.Options{}, false
-	}
-	return resilience.Options{
-		MTBF:           rs.MTBFHours * 3600,
-		WriteBandwidth: rs.CheckpointBandwidthGBs * 1e9,
-		Restart:        rs.RestartSeconds,
-	}, true
+	return d.Cluster.Resilience.Options()
 }

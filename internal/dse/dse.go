@@ -27,6 +27,7 @@ import (
 
 	"vtrain/internal/core"
 	"vtrain/internal/cost"
+	"vtrain/internal/hw"
 	"vtrain/internal/model"
 	"vtrain/internal/parallel"
 )
@@ -348,6 +349,13 @@ func Fastest(points []Point) (Point, bool) {
 // Cheapest returns the feasible point minimizing end-to-end training cost
 // for totalTokens, pricing each plan's GPU count at the cluster rate.
 func Cheapest(sim *core.Simulator, points []Point, totalTokens uint64) (Point, cost.Training, bool) {
+	return CheapestOn(sim.Cluster(), points, totalTokens)
+}
+
+// CheapestOn is Cheapest for callers holding only the cluster description
+// rather than a simulator — the serving layer's thin CLI clients rank
+// streamed points against the cluster their sweep resolved to.
+func CheapestOn(c hw.Cluster, points []Point, totalTokens uint64) (Point, cost.Training, bool) {
 	var (
 		best   Point
 		bestTr cost.Training
@@ -357,7 +365,7 @@ func Cheapest(sim *core.Simulator, points []Point, totalTokens uint64) (Point, c
 		if !p.Feasible {
 			continue
 		}
-		tr := cost.Train(p.Report.Model, p.Plan.GlobalBatch, p.Report.IterTime, p.Plan.GPUs(), totalTokens, sim.Cluster())
+		tr := cost.Train(p.Report.Model, p.Plan.GlobalBatch, p.Report.IterTime, p.Plan.GPUs(), totalTokens, c)
 		if !found || tr.TotalDollars < bestTr.TotalDollars {
 			best, bestTr, found = p, tr, true
 		}

@@ -1,0 +1,182 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// mixedSimulateBodies are one-shot configurations across three model
+// scales — the "team hammering different models" request mix.
+var mixedSimulateBodies = []string{
+	`{
+  "model": {"preset": "megatron-3.6b"},
+  "cluster": {"nodes": 1},
+  "plan": {"tensor": 2, "data": 2, "pipeline": 2, "micro_batch": 1, "global_batch": 64},
+  "total_tokens": 20000000000
+}`,
+	`{
+  "model": {"preset": "megatron-18.4b"},
+  "cluster": {"nodes": 8},
+  "plan": {"tensor": 8, "data": 4, "pipeline": 2, "micro_batch": 1, "global_batch": 128},
+  "total_tokens": 50000000000
+}`,
+	`{
+  "model": {"preset": "megatron-39.1b"},
+  "cluster": {"nodes": 4},
+  "plan": {"tensor": 4, "data": 2, "pipeline": 4, "micro_batch": 1, "global_batch": 64},
+  "total_tokens": 50000000000
+}`,
+}
+
+// mixedClusterBodies are small cluster-design sweeps. These are the
+// struct-cache exercisers: every request builds fresh per-candidate
+// siblings whose report caches start cold, so repeats land in the shared
+// root structural cache — unlike repeated simulates, which the report
+// cache absorbs without touching the structural counters.
+var mixedClusterBodies = []string{
+	`{
+  "model": {"preset": "megatron-3.6b"},
+  "global_batch": 64,
+  "total_tokens": 20000000000,
+  "node_counts": [1],
+  "offerings": ["a100-sxm-80gb"],
+  "tensor_widths": [2, 4],
+  "data_widths": [2, 4],
+  "pipeline_depths": [1],
+  "micro_batches": [1]
+}`,
+	`{
+  "model": {"preset": "megatron-3.6b"},
+  "global_batch": 64,
+  "total_tokens": 20000000000,
+  "node_counts": [2],
+  "offerings": ["h100-sxm-80gb"],
+  "tensor_widths": [2, 4],
+  "data_widths": [4, 8],
+  "pipeline_depths": [1],
+  "micro_batches": [1]
+}`,
+}
+
+// canonicalPoints drops the final (summary) line of an NDJSON stream and
+// sorts the point lines. The summary carries the shared engine's
+// cumulative cache counters, which legitimately differ with request
+// order; the point lines' order is nondeterministic across structural
+// shapes (concurrent batch workers); the point lines' bytes must not
+// differ at all.
+func canonicalPoints(t *testing.T, stream string) string {
+	t.Helper()
+	lines := strings.Split(strings.TrimRight(stream, "\n"), "\n")
+	if len(lines) < 2 || !strings.Contains(lines[len(lines)-1], `"summary"`) {
+		t.Fatalf("stream did not end in a summary line:\n%s", stream)
+	}
+	points := lines[:len(lines)-1]
+	sort.Strings(points)
+	return strings.Join(points, "\n")
+}
+
+// TestServerCacheConcentration is the serving layer's load lock, run under
+// -race in CI: 32 goroutines stream a mixed-model workload at a shared
+// server and assert that (a) every response is byte-identical to what a
+// sequential one-shot run produces — warm shared caches and single-flight
+// dedup must never change results — and (b) the structural cache hit rate
+// rises across the stream, the observable signature of requests
+// concentrating onto shared lowered graphs.
+func TestServerCacheConcentration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("concurrent load test")
+	}
+
+	// Sequential one-shot baselines: a fresh engine per request, exactly
+	// what the CLIs compute.
+	wantSim := make([]string, len(mixedSimulateBodies))
+	for i, body := range mixedSimulateBodies {
+		_, ts := newTestServer(t, Config{})
+		code, resp, _ := post(t, ts, "/v1/simulate", body)
+		if code != 200 {
+			t.Fatalf("baseline simulate %d: status %d: %s", i, code, resp)
+		}
+		wantSim[i] = resp
+	}
+	wantCluster := make([]string, len(mixedClusterBodies))
+	for i, body := range mixedClusterBodies {
+		_, ts := newTestServer(t, Config{})
+		code, resp, _ := post(t, ts, "/v1/clusterdse", body)
+		if code != 200 {
+			t.Fatalf("baseline clusterdse %d: status %d: %s", i, code, resp)
+		}
+		wantCluster[i] = canonicalPoints(t, resp)
+	}
+
+	srv, ts := newTestServer(t, Config{MaxInflightSweeps: 64})
+	structRate := func() float64 {
+		st := srv.Engine().CacheStats()
+		if st.StructHits+st.StructMisses == 0 {
+			return 0
+		}
+		return float64(st.StructHits) / float64(st.StructHits+st.StructMisses)
+	}
+
+	const goroutines = 32
+	const waves = 3
+	var rates []float64
+	for wave := 0; wave < waves; wave++ {
+		errs := make(chan error, goroutines)
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				// Rotate the order per goroutine so requests interleave
+				// across models rather than marching in lockstep.
+				for k := 0; k < len(mixedSimulateBodies); k++ {
+					i := (g + k) % len(mixedSimulateBodies)
+					code, resp, _ := post(t, ts, "/v1/simulate", mixedSimulateBodies[i])
+					if code != 200 {
+						errs <- fmt.Errorf("simulate %d: status %d: %s", i, code, resp)
+						return
+					}
+					if resp != wantSim[i] {
+						errs <- fmt.Errorf("simulate %d: concurrent response diverged from one-shot baseline:\n--- got ---\n%s\n--- want ---\n%s", i, resp, wantSim[i])
+						return
+					}
+				}
+				for k := 0; k < len(mixedClusterBodies); k++ {
+					i := (g + k) % len(mixedClusterBodies)
+					code, resp, _ := post(t, ts, "/v1/clusterdse", mixedClusterBodies[i])
+					if code != 200 {
+						errs <- fmt.Errorf("clusterdse %d: status %d: %s", i, code, resp)
+						return
+					}
+					if got := canonicalPoints(t, resp); got != wantCluster[i] {
+						errs <- fmt.Errorf("clusterdse %d: concurrent points diverged from one-shot baseline:\n--- got ---\n%s\n--- want ---\n%s", i, got, wantCluster[i])
+						return
+					}
+				}
+			}(g)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		rates = append(rates, structRate())
+	}
+
+	// The cumulative structural hit rate must rise wave over wave: after
+	// the cold wave pays every lowering, warm waves add hits and no
+	// misses.
+	t.Logf("struct-cache hit rate by wave: %v", rates)
+	for i := 1; i < len(rates); i++ {
+		if rates[i] <= rates[i-1] {
+			t.Errorf("struct hit rate did not rise: wave %d %.4f -> wave %d %.4f",
+				i-1, rates[i-1], i, rates[i])
+		}
+	}
+	if final := rates[len(rates)-1]; final < 0.5 {
+		t.Errorf("final struct hit rate %.2f%% — warm repeats are not concentrating on shared structures", 100*final)
+	}
+}

@@ -1,0 +1,401 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// compareGolden pins got against testdata/name, regenerable with -update —
+// the same convention as the CLI golden tests.
+func compareGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/server -update` to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// newTestServer builds a fresh server (fresh engine, so cache counters in
+// response summaries are deterministic) behind an httptest listener.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func post(t *testing.T, ts *httptest.Server, path, body string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b), resp.Header
+}
+
+// simulateBody is a complete descfile description: the same JSON a
+// `vtrain -f` run accepts is, unchanged, a /v1/simulate body.
+const simulateBody = `{
+  "model": {"preset": "megatron-3.6b"},
+  "cluster": {"nodes": 1},
+  "plan": {"tensor": 2, "data": 2, "pipeline": 2, "micro_batch": 1, "global_batch": 64},
+  "total_tokens": 20000000000
+}`
+
+// sweepBody constrains every plan axis to a single structural shape (t>1,
+// d=1, p=1), so the sweep flushes as one batch and the stream order is
+// deterministic — what makes an NDJSON golden possible.
+const sweepBody = `{
+  "model": {"preset": "megatron-3.6b"},
+  "cluster": {"nodes": 1},
+  "global_batch": 64,
+  "total_tokens": 20000000000,
+  "tensor_widths": [2, 4],
+  "data_widths": [1],
+  "pipeline_depths": [1],
+  "micro_batches": [1]
+}`
+
+// clusterBody provisions one 8-GPU node; cluster sweeps pin ExactGPUs to
+// the whole cluster, so the axes must multiply to 8. A single valid plan
+// (t=2,d=4) keeps the stream deterministic — plans of different structural
+// shapes batch on concurrent workers, so their relative order is not
+// goldenable (the sweep golden covers multi-point ordering within one
+// shape).
+const clusterBody = `{
+  "model": {"preset": "megatron-3.6b"},
+  "global_batch": 64,
+  "total_tokens": 20000000000,
+  "node_counts": [1],
+  "offerings": ["a100-sxm-80gb"],
+  "tensor_widths": [2],
+  "data_widths": [4],
+  "pipeline_depths": [1],
+  "micro_batches": [1]
+}`
+
+// TestGoldenSimulate pins the /v1/simulate success protocol: the response
+// body is the exact `vtrain -json` report (the CLI equivalence lock lives
+// in cmd/vtrain's tests).
+func TestGoldenSimulate(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body, hdr := post(t, ts, "/v1/simulate", simulateBody)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	compareGolden(t, "simulate.golden", []byte(body))
+}
+
+// TestGoldenSweepStream pins the /v1/sweep NDJSON protocol: one point line
+// per plan, then a summary line carrying the engine's cache counters.
+func TestGoldenSweepStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body, hdr := post(t, ts, "/v1/sweep", sweepBody)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type = %q, want application/x-ndjson", ct)
+	}
+	compareGolden(t, "sweep.golden", []byte(body))
+}
+
+// TestGoldenClusterDSEStream pins the /v1/clusterdse NDJSON protocol,
+// including the per-point resilience block (failure pricing defaults on).
+func TestGoldenClusterDSEStream(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body, _ := post(t, ts, "/v1/clusterdse", clusterBody)
+	if code != http.StatusOK {
+		t.Fatalf("status = %d, want 200; body: %s", code, body)
+	}
+	compareGolden(t, "clusterdse.golden", []byte(body))
+}
+
+// TestGoldenBadDescfile pins the malformed-request protocol: a resolvable
+// JSON body with an invalid descfile section must map to a structured 400,
+// not a 500 or a stream.
+func TestGoldenBadDescfile(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	bad := strings.Replace(simulateBody, `"nodes": 1`, `"nodes": 0`, 1)
+	code, body, hdr := post(t, ts, "/v1/simulate", bad)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body: %s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type = %q, want application/json", ct)
+	}
+	compareGolden(t, "bad-descfile.golden", []byte(body))
+}
+
+// TestGoldenMalformedJSON pins the undecodable-body error shape.
+func TestGoldenMalformedJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body, _ := post(t, ts, "/v1/simulate", `{"model": `)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body: %s", code, body)
+	}
+	compareGolden(t, "malformed-json.golden", []byte(body))
+}
+
+// TestGoldenEmptySweepSpace pins the no-valid-plan error: an impossible
+// plan axis must 400 with the dse.ErrNoValidPlan sentinel before any
+// stream starts.
+func TestGoldenEmptySweepSpace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	impossible := strings.Replace(sweepBody, `"tensor_widths": [2, 4]`, `"tensor_widths": [5]`, 1)
+	code, body, _ := post(t, ts, "/v1/sweep", impossible)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body: %s", code, body)
+	}
+	compareGolden(t, "empty-space.golden", []byte(body))
+}
+
+// TestClusterDSENoFeasible400 locks the lazy stream commit: a cluster
+// sweep whose plan axes fit no candidate fails before the first point, so
+// the client sees a real 400, not an in-band error inside a 200 stream.
+func TestClusterDSENoFeasible400(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	impossible := strings.Replace(clusterBody, `"tensor_widths": [2]`, `"tensor_widths": [5]`, 1)
+	code, body, _ := post(t, ts, "/v1/clusterdse", impossible)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body: %s", code, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal([]byte(body), &eb); err != nil {
+		t.Fatalf("error body is not structured JSON: %v\n%s", err, body)
+	}
+	if !strings.Contains(eb.Error.Message, "no feasible") {
+		t.Errorf("error message = %q, want the no-feasible explanation", eb.Error.Message)
+	}
+}
+
+// TestUnknownFieldRejected locks DisallowUnknownFields: typos in request
+// bodies fail loudly instead of being silently ignored.
+func TestUnknownFieldRejected(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	code, body, _ := post(t, ts, "/v1/sweep", `{"model": {"preset": "megatron-3.6b"}, "globel_batch": 64}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400; body: %s", code, body)
+	}
+	if !strings.Contains(body, "globel_batch") {
+		t.Errorf("error does not name the unknown field: %s", body)
+	}
+}
+
+// TestSweepBackpressure locks the bounded in-flight sweep contract: with a
+// single sweep slot taken, the next sweep gets 429 instead of queueing.
+func TestSweepBackpressure(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxInflightSweeps: 1})
+	srv.sweepSem <- struct{}{} // occupy the only slot
+	defer func() { <-srv.sweepSem }()
+	code, body, _ := post(t, ts, "/v1/sweep", sweepBody)
+	if code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429; body: %s", code, body)
+	}
+	var eb errorBody
+	if err := json.Unmarshal([]byte(body), &eb); err != nil {
+		t.Fatalf("429 body is not structured JSON: %v\n%s", err, body)
+	}
+	if eb.Error.Status != http.StatusTooManyRequests {
+		t.Errorf("error.status = %d, want 429", eb.Error.Status)
+	}
+}
+
+// TestHealthz locks liveness: 200 while serving, 503 once draining — load
+// balancers must see the flip before the listener closes.
+func TestHealthz(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d, want 200", resp.StatusCode)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Draining() {
+		t.Fatal("Draining() = false after Shutdown")
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+}
+
+// metricValue extracts a single sample's value from Prometheus text.
+func metricValue(t *testing.T, text, sample string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, sample+" ") {
+			var v float64
+			if _, err := fmt.Sscanf(line[len(sample)+1:], "%g", &v); err != nil {
+				t.Fatalf("parse %q: %v", line, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("sample %q not found in metrics:\n%s", sample, text)
+	return 0
+}
+
+func scrape(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestMetricsMonotone locks the /metrics contract: per-endpoint request
+// counters and engine cache counters are present and only ever rise.
+func TestMetricsMonotone(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	post(t, ts, "/v1/simulate", simulateBody)
+	m1 := scrape(t, ts)
+	c1 := metricValue(t, m1, `vtrain_http_requests_total{endpoint="/v1/simulate",code="200"}`)
+	if c1 != 1 {
+		t.Errorf("simulate 200 count = %v after one request, want 1", c1)
+	}
+	misses1 := metricValue(t, m1, "vtrain_cache_report_misses_total")
+	if misses1 == 0 {
+		t.Error("report misses = 0 after a cold simulate")
+	}
+
+	post(t, ts, "/v1/simulate", simulateBody)
+	post(t, ts, "/v1/simulate", `{"model": `)
+	m2 := scrape(t, ts)
+	if c2 := metricValue(t, m2, `vtrain_http_requests_total{endpoint="/v1/simulate",code="200"}`); c2 != c1+1 {
+		t.Errorf("simulate 200 count = %v, want %v", c2, c1+1)
+	}
+	if e := metricValue(t, m2, `vtrain_http_requests_total{endpoint="/v1/simulate",code="400"}`); e != 1 {
+		t.Errorf("simulate 400 count = %v, want 1", e)
+	}
+	if hits := metricValue(t, m2, "vtrain_cache_report_hits_total"); hits == 0 {
+		t.Error("report hits = 0 after repeating an identical simulate — the pool is not persisting caches")
+	}
+	if misses2 := metricValue(t, m2, "vtrain_cache_report_misses_total"); misses2 < misses1 {
+		t.Errorf("report misses fell from %v to %v — counters must be monotone", misses1, misses2)
+	}
+	if n := metricValue(t, m2, `vtrain_http_request_duration_seconds_count{endpoint="/v1/simulate"}`); n != 3 {
+		t.Errorf("simulate duration count = %v, want 3", n)
+	}
+	if n := metricValue(t, m2, `vtrain_http_request_duration_seconds_bucket{endpoint="/v1/simulate",le="+Inf"}`); n != 3 {
+		t.Errorf("simulate +Inf bucket = %v, want 3 (histogram must be cumulative)", n)
+	}
+}
+
+// TestShutdownDrainsInflightSweep locks the graceful-shutdown contract: a
+// SIGTERM-triggered Shutdown must let an in-flight streaming sweep finish
+// — the client reads a complete stream through the summary line — before
+// Serve returns.
+func TestShutdownDrainsInflightSweep(t *testing.T) {
+	srv := New(Config{})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	// A wide default space (no axis overrides) keeps the stream busy long
+	// enough for shutdown to begin mid-flight.
+	body := `{
+  "model": {"preset": "megatron-3.6b"},
+  "cluster": {"nodes": 2},
+  "global_batch": 256,
+  "total_tokens": 20000000000
+}`
+	resp, err := http.Post("http://"+l.Addr().String()+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		t.Fatalf("no first stream line: %v", sc.Err())
+	}
+	lines := []string{sc.Text()}
+
+	// Shutdown mid-stream, as the SIGTERM handler in cmd/vtrain-server
+	// does. It must block until the response above completes.
+	shutdownErr := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		shutdownErr <- srv.Shutdown(ctx)
+	}()
+
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream broke mid-shutdown: %v", err)
+	}
+	last := lines[len(lines)-1]
+	var line struct {
+		Summary *StreamSummary `json:"summary"`
+	}
+	if err := json.Unmarshal([]byte(last), &line); err != nil || line.Summary == nil {
+		t.Fatalf("stream did not drain to a summary line, got %q (err %v)", last, err)
+	}
+	if line.Summary.Points != len(lines)-1 {
+		t.Errorf("summary points = %d, streamed %d", line.Summary.Points, len(lines)-1)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("Serve = %v, want http.ErrServerClosed", err)
+	}
+}

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"vtrain/internal/clusterdse"
+	"vtrain/internal/core"
+	"vtrain/internal/cost"
+	"vtrain/internal/dse"
+	"vtrain/internal/hw"
+)
+
+// SweepPoint is one NDJSON line of a /v1/sweep stream.
+type SweepPoint struct {
+	Plan        string  `json:"plan"`
+	Tensor      int     `json:"t"`
+	Data        int     `json:"d"`
+	Pipeline    int     `json:"p"`
+	MicroBatch  int     `json:"m"`
+	GPUs        int     `json:"gpus"`
+	IterTime    float64 `json:"iteration_time_s"`
+	Utilization float64 `json:"gpu_utilization"`
+	// Training carries the end-to-end cost projection when the request
+	// set total_tokens.
+	Training *cost.Training `json:"training,omitempty"`
+}
+
+// NewSweepPoint projects a dse.Point onto the wire, pricing the full run
+// against the sweep's cluster when tokens > 0.
+func NewSweepPoint(p dse.Point, c hw.Cluster, tokens uint64) SweepPoint {
+	sp := SweepPoint{
+		Plan: p.Plan.String(), Tensor: p.Plan.Tensor, Data: p.Plan.Data,
+		Pipeline: p.Plan.Pipeline, MicroBatch: p.Plan.MicroBatch,
+		GPUs:     p.Plan.GPUs(),
+		IterTime: p.Report.IterTime, Utilization: p.Report.Utilization,
+	}
+	if tokens > 0 {
+		tr := cost.Train(p.Report.Model, p.Plan.GlobalBatch, p.Report.IterTime, p.Plan.GPUs(), tokens, c)
+		sp.Training = &tr
+	}
+	return sp
+}
+
+// ClusterPoint is one NDJSON line of a /v1/clusterdse stream.
+type ClusterPoint struct {
+	Offering     string  `json:"offering"`
+	Interconnect string  `json:"interconnect"`
+	Nodes        int     `json:"nodes"`
+	GPUs         int     `json:"gpus"`
+	Plan         string  `json:"plan"`
+	Tensor       int     `json:"t"`
+	Data         int     `json:"d"`
+	Pipeline     int     `json:"p"`
+	MicroBatch   int     `json:"m"`
+	IterTime     float64 `json:"iteration_time_s"`
+	Utilization  float64 `json:"gpu_utilization"`
+	Training     cost.Training `json:"training"`
+	// Resilience is present when the sweep models failures; ranking then
+	// uses its effective figures.
+	Resilience *cost.Resilience `json:"resilience,omitempty"`
+}
+
+// NewClusterPoint projects a clusterdse.Point onto the wire.
+func NewClusterPoint(p clusterdse.Point) ClusterPoint {
+	cp := ClusterPoint{
+		Offering:     p.Offering.Name,
+		Interconnect: p.Offering.Interconnect.Name,
+		Nodes:        p.Nodes, GPUs: p.GPUs(),
+		Plan: p.Plan.String(), Tensor: p.Plan.Tensor, Data: p.Plan.Data,
+		Pipeline: p.Plan.Pipeline, MicroBatch: p.Plan.MicroBatch,
+		IterTime: p.Report.IterTime, Utilization: p.Report.Utilization,
+		Training: p.Training,
+	}
+	if p.Resilience.GoodputFraction > 0 {
+		r := p.Resilience
+		cp.Resilience = &r
+	}
+	return cp
+}
+
+// CacheCounters is the wire shape of core.CacheStats.
+type CacheCounters struct {
+	ReportHits   uint64 `json:"report_hits"`
+	ReportMisses uint64 `json:"report_misses"`
+	StructHits   uint64 `json:"struct_hits"`
+	StructMisses uint64 `json:"struct_misses"`
+	BatchReplays uint64 `json:"batch_replays"`
+	BatchedPlans uint64 `json:"batched_plans"`
+}
+
+func newCacheCounters(st core.CacheStats) CacheCounters {
+	return CacheCounters{
+		ReportHits: st.ReportHits, ReportMisses: st.ReportMisses,
+		StructHits: st.StructHits, StructMisses: st.StructMisses,
+		BatchReplays: st.BatchReplays, BatchedPlans: st.BatchedPlans,
+	}
+}
+
+// StreamSummary is the final NDJSON line of a successful sweep stream. The
+// cache counters are cumulative across the server's lifetime: the rising
+// hit rate across a stream of requests is how operators observe cache
+// concentration working.
+type StreamSummary struct {
+	Points     int           `json:"points"`
+	Candidates int           `json:"candidates,omitempty"`
+	Cache      CacheCounters `json:"cache"`
+}
+
+// streamLine is the envelope of every NDJSON line: exactly one field set.
+type streamLine struct {
+	Point   any            `json:"point,omitempty"`
+	Summary *StreamSummary `json:"summary,omitempty"`
+	Error   *wireError     `json:"error,omitempty"`
+}
+
+// wireError is the structured error body, both for plain JSON error
+// responses and for the terminal line of a failed stream.
+type wireError struct {
+	Message string `json:"message"`
+	Status  int    `json:"status"`
+}
+
+type errorBody struct {
+	Error wireError `json:"error"`
+}

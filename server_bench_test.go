@@ -1,0 +1,133 @@
+package vtrain_bench
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"vtrain/internal/server"
+)
+
+// serverLoadBodies is the vtrain-server request mix: small cluster-design
+// sweeps over two GPU generations. Cluster sweeps are the structural
+// cache's stress case under serving — every request builds fresh
+// per-candidate simulators whose report caches start cold, so a warm
+// server answers repeats almost entirely from the shared structural
+// cache. (Repeated one-shot simulates are absorbed by the report cache
+// without touching the structural counters, so they cannot demonstrate
+// concentration.)
+var serverLoadBodies = []string{
+	`{
+  "model": {"preset": "megatron-3.6b"},
+  "global_batch": 64,
+  "total_tokens": 20000000000,
+  "node_counts": [1],
+  "offerings": ["a100-sxm-80gb"],
+  "tensor_widths": [2, 4],
+  "data_widths": [2, 4],
+  "pipeline_depths": [1],
+  "micro_batches": [1]
+}`,
+	`{
+  "model": {"preset": "megatron-3.6b"},
+  "global_batch": 64,
+  "total_tokens": 20000000000,
+  "node_counts": [2],
+  "offerings": ["h100-sxm-80gb"],
+  "tensor_widths": [2, 4],
+  "data_widths": [4, 8],
+  "pipeline_depths": [1],
+  "micro_batches": [1]
+}`,
+}
+
+// canonicalClusterPoints sorts a clusterdse NDJSON stream's point lines
+// and drops the summary (whose cumulative cache counters legitimately
+// grow with server age). Point order across structural shapes is
+// scheduler-dependent; point bytes are not.
+func canonicalClusterPoints(stream string) string {
+	lines := strings.Split(strings.TrimRight(stream, "\n"), "\n")
+	if n := len(lines); n > 0 && strings.Contains(lines[n-1], `"summary"`) {
+		lines = lines[:n-1]
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// BenchmarkServerLoad measures the long-lived serving layer under
+// concurrent mixed load: one op = one /v1/clusterdse request against a
+// shared warm vtrain-server. The acceptance bar is the reason the server
+// exists — after a cold warm-up pass, the steady-state structural-cache
+// hit rate must be >= 90% (requests ride graphs lowered by earlier
+// requests instead of re-lowering), and every warm response must be
+// byte-identical to the cold baseline: shared caches are an optimization,
+// never a semantic.
+func BenchmarkServerLoad(b *testing.B) {
+	srv := server.New(server.Config{MaxInflightSweeps: 64})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(body string) string {
+		resp, err := http.Post(ts.URL+"/v1/clusterdse", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		return string(data)
+	}
+
+	// Cold pass: pays every lowering once and pins the baseline bytes.
+	baseline := make(map[string]string, len(serverLoadBodies))
+	for _, body := range serverLoadBodies {
+		baseline[body] = canonicalClusterPoints(post(body))
+	}
+	cold := srv.Engine().CacheStats()
+
+	var divergence atomic.Value
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := serverLoadBodies[int(next.Add(1))%len(serverLoadBodies)]
+			if got := canonicalClusterPoints(post(body)); got != baseline[body] {
+				divergence.Store(fmt.Sprintf("warm response diverged from cold baseline:\n--- got ---\n%s\n--- want ---\n%s", got, baseline[body]))
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if msg := divergence.Load(); msg != nil {
+		b.Fatal(msg)
+	}
+
+	warm := srv.Engine().CacheStats()
+	hits := warm.StructHits - cold.StructHits
+	misses := warm.StructMisses - cold.StructMisses
+	hitPct := 100 * float64(hits) / float64(max(hits+misses, 1))
+	b.ReportMetric(hitPct, "warm_struct_hit_pct")
+	b.ReportMetric(float64(warm.BatchReplays), "batch_replays")
+	once("server-load", func() {
+		fmt.Printf("\nServer load — %d warm requests, struct cache %d hits / %d misses (%.1f%% hit):\n",
+			b.N, hits, misses, hitPct)
+	})
+
+	// The serving-layer acceptance bar: a warm server must answer from
+	// shared structures. Any steady-state miss means a request re-lowered
+	// a graph the pool had already paid for.
+	if b.N >= len(serverLoadBodies) && hitPct < 90 {
+		b.Fatalf("warm structural-cache hit rate %.1f%% (%d hits, %d misses), want >= 90%%",
+			hitPct, hits, misses)
+	}
+}

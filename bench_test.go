@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"vtrain/internal/chinchilla"
 	"vtrain/internal/cluster"
@@ -614,7 +615,7 @@ func BenchmarkDSESweep(b *testing.B) {
 	}
 	b.StopTimer()
 	st := sim.CacheStats()
-	lowerings := float64(st.StructMisses)
+	lowerings := float64(st.Lowerings)
 	width := float64(st.BatchedPlans) / float64(max(st.BatchReplays, 1))
 	b.ReportMetric(float64(len(points)), "design_points")
 	b.ReportMetric(lowerings, "lowerings")
@@ -631,6 +632,83 @@ func BenchmarkDSESweep(b *testing.B) {
 	if width <= 1 {
 		b.Fatalf("mean batch width %.2f (%d plans over %d replays), want > 1",
 			width, st.BatchedPlans, st.BatchReplays)
+	}
+}
+
+// BenchmarkDSESweepWarmDisk measures the persistent artifact tier: the
+// same 563-point sweep as BenchmarkDSESweep, but served by a fresh
+// simulator (empty memory caches — a new process, in effect) over an
+// artifact directory a previous sweep populated. One op = one whole warm
+// sweep. The cold baseline is the first-ever run with the same artifact
+// directory enabled — the run a user actually pays for once per machine:
+// it lowers every structure AND persists it. The acceptance bars are
+// hard: every structural load must come from disk (disk_hit_pct = 100,
+// zero lowerings), and the warm sweep must be at least 3x faster than
+// that cold first run.
+//
+// The cold baseline is captured once per process: under -count=N every run
+// still populates its own directory, but a repeat populate inside a warm
+// process (grown heap, primed scratch pools) understates the cost a truly
+// cold process pays, so only the first — genuinely cold — measurement
+// stands as the baseline.
+var coldSweepOnce sync.Once
+var coldSweep time.Duration
+
+func BenchmarkDSESweepWarmDisk(b *testing.B) {
+	m := model.Megatron39_1B()
+	cluster := hw.PaperCluster(256)
+	dir := b.TempDir()
+
+	// Cold baseline: the first run against an empty artifact directory
+	// pays lowering plus marshal/checksum/write for every structure. This
+	// is also what populates the directory for the warm runs below.
+	popSim, err := core.New(cluster, core.WithFidelity(taskgraph.OperatorLevel), core.WithCacheSize(0), core.WithArtifactDir(dir))
+	if err != nil {
+		b.Fatal(err)
+	}
+	coldStart := time.Now()
+	if _, err := dse.Explore(popSim, m, dseSweepSpace()); err != nil {
+		b.Fatal(err)
+	}
+	coldSweepOnce.Do(func() { coldSweep = time.Since(coldStart) })
+	cold := coldSweep
+
+	var points []dse.Point
+	var sim *core.Simulator
+	var warm time.Duration // fastest warm sweep observed
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		iterStart := time.Now()
+		sim, err = core.New(cluster, core.WithFidelity(taskgraph.OperatorLevel), core.WithCacheSize(0), core.WithArtifactDir(dir))
+		if err != nil {
+			b.Fatal(err)
+		}
+		points, err = dse.Explore(sim, m, dseSweepSpace())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The speedup gate compares the minimum iteration, not the mean:
+		// scheduler preemption and GC pauses only ever add time, so the
+		// minimum is the noise-robust estimate of the intrinsic warm cost.
+		if d := time.Since(iterStart); warm == 0 || d < warm {
+			warm = d
+		}
+	}
+	b.StopTimer()
+	st := sim.CacheStats()
+	hitPct := 100 * float64(st.DiskHits) / float64(max(st.DiskHits+st.DiskMisses, 1))
+	b.ReportMetric(float64(len(points)), "design_points")
+	b.ReportMetric(hitPct, "disk_hit_pct")
+	b.ReportMetric(float64(st.Lowerings), "lowerings")
+	b.ReportMetric(cold.Seconds()/warm.Seconds(), "speedup_vs_cold")
+	if hitPct < 100 {
+		b.Fatalf("disk hit rate %.1f%% (%d hits, %d misses), want 100%%", hitPct, st.DiskHits, st.DiskMisses)
+	}
+	if st.Lowerings != 0 {
+		b.Fatalf("warm sweep lowered %d graphs, want 0", st.Lowerings)
+	}
+	if warm*3 > cold {
+		b.Fatalf("warm sweep %v not >= 3x faster than cold first run %v", warm, cold)
 	}
 }
 

@@ -26,12 +26,17 @@ func main() {
 	gpus := flag.Int("gpus", 3360, "GPU budget (the paper uses 420 DGX A100 nodes)")
 	days := flag.Float64("days", 30, "wall-clock budget in days")
 	batch := flag.Int("batch", 3360, "global batch in sequences")
+	cacheDir := flag.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
 	flag.Parse()
 
 	if *gpus%8 != 0 {
 		log.Fatalf("gpus must be a multiple of 8, got %d", *gpus)
 	}
-	sim, err := core.New(hw.PaperCluster(*gpus/8), core.WithFidelity(taskgraph.OperatorLevel))
+	simOpts := []core.Option{core.WithFidelity(taskgraph.OperatorLevel)}
+	if *cacheDir != "" {
+		simOpts = append(simOpts, core.WithArtifactDir(*cacheDir))
+	}
+	sim, err := core.New(hw.PaperCluster(*gpus/8), simOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}

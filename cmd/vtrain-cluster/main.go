@@ -55,6 +55,7 @@ func run(args []string, stdout io.Writer) error {
 	restart := fs.Float64("restart", 0, "failure-recovery latency in seconds (0 = default)")
 	noRes := fs.Bool("no-resilience", false, "schedule against ideal failure-free profiles")
 	timing := fs.Bool("timing", true, "report wall-clock progress")
+	cacheDir := fs.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,7 +69,11 @@ func run(args []string, stdout io.Writer) error {
 
 	start := time.Now()
 	cl := hw.PaperCluster(*gpus / 8)
-	sim, err := core.New(cl, core.WithFidelity(taskgraph.OperatorLevel))
+	simOpts := []core.Option{core.WithFidelity(taskgraph.OperatorLevel)}
+	if *cacheDir != "" {
+		simOpts = append(simOpts, core.WithArtifactDir(*cacheDir))
+	}
+	sim, err := core.New(cl, simOpts...)
 	if err != nil {
 		return err
 	}

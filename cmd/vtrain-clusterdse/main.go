@@ -67,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	restart := fs.Float64("restart", 0, "failure-recovery latency in seconds (0 = default)")
 	noRes := fs.Bool("no-resilience", false, "rank by ideal failure-free cost (pre-resilience behavior)")
 	progress := fs.Bool("progress", true, "report sweep progress on stderr")
+	cacheDir := fs.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,7 +92,11 @@ func run(args []string, stdout, stderr io.Writer) error {
 		RestartSeconds:         *restart,
 	}
 
-	eng := server.NewEngine()
+	var engOpts []server.EngineOption
+	if *cacheDir != "" {
+		engOpts = append(engOpts, server.WithArtifactDir(*cacheDir))
+	}
+	eng := server.NewEngine(engOpts...)
 	sweep, err := eng.PrepareClusterDSE(server.ClusterDSERequest{
 		Model:              descfile.ModelSection{Preset: *preset},
 		GlobalBatch:        *batch,
@@ -126,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "explored %d (offering x nodes x plan) points across %d hardware candidates\n",
 		len(points), sum.Candidates)
 	fmt.Fprintf(stdout, "structural cache: %d graphs lowered, %.1f%% hit rate — hardware variants of a shape share one lowering\n",
-		st.StructMisses, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
+		st.Lowerings, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
 	fmt.Fprintf(stdout, "batched replay: %d plans over %d replays, mean batch width %.1f — shapes batch across hardware candidates\n",
 		st.BatchedPlans, st.BatchReplays,
 		float64(st.BatchedPlans)/float64(max(st.BatchReplays, 1)))

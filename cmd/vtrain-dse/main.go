@@ -50,11 +50,16 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxGPUs := fs.Int("max-gpus", 0, "optional cap on t*d*p")
 	csvPath := fs.String("csv", "", "write every design point to this CSV file")
 	progress := fs.Bool("progress", true, "report sweep progress on stderr")
+	cacheDir := fs.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	eng := server.NewEngine()
+	var engOpts []server.EngineOption
+	if *cacheDir != "" {
+		engOpts = append(engOpts, server.WithArtifactDir(*cacheDir))
+	}
+	eng := server.NewEngine(engOpts...)
 	sweep, err := eng.PrepareSweep(server.SweepRequest{
 		Model:       descfile.ModelSection{Preset: *preset},
 		Cluster:     descfile.ClusterSection{Nodes: *nodes},
@@ -91,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	st := sum.Cache
 	fmt.Fprintf(stdout, "explored %d design points in %v (%d graphs lowered, %.1f%% structural-cache hit rate)\n",
 		len(points), elapsed.Round(time.Millisecond),
-		st.StructMisses, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
+		st.Lowerings, 100*float64(st.StructHits)/float64(max(st.StructHits+st.StructMisses, 1)))
 	fmt.Fprintf(stdout, "batched replay: %d plans over %d replays, mean batch width %.1f — plans sharing a shape replay one graph together\n\n",
 		st.BatchedPlans, st.BatchReplays,
 		float64(st.BatchedPlans)/float64(max(st.BatchReplays, 1)))

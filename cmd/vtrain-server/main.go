@@ -47,9 +47,15 @@ func main() {
 	simTimeout := flag.Duration("simulate-timeout", 2*time.Minute, "per-request /v1/simulate timeout")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "how long shutdown waits for in-flight requests")
 	maxBody := flag.Int64("max-body-bytes", 1<<20, "request body size limit")
+	cacheDir := flag.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
 	flag.Parse()
 
+	var eng *server.Engine
+	if *cacheDir != "" {
+		eng = server.NewEngine(server.WithArtifactDir(*cacheDir))
+	}
 	srv := server.New(server.Config{
+		Engine:            eng,
 		MaxBodyBytes:      *maxBody,
 		SimulateTimeout:   *simTimeout,
 		MaxInflightSweeps: *maxSweeps,

@@ -9,7 +9,7 @@
 //
 // Usage:
 //
-//	vtrain -f description.json [-json] [-fidelity task|operator]
+//	vtrain -f description.json [-json] [-fidelity task|operator] [-cache-dir DIR] [-cache-stats]
 package main
 
 import (
@@ -45,6 +45,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	fidelity := fs.String("fidelity", "task", "simulation granularity: task or operator")
 	tracePath := fs.String("trace", "", "write the execution timeline as a Chrome trace to this file")
+	cacheDir := fs.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
+	cacheStats := fs.Bool("cache-stats", false, "print the tiered cache counters on stderr after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,8 +60,14 @@ func run(args []string, stdout, stderr io.Writer) error {
 	}
 	req := server.SimulateRequest{Description: desc, Fidelity: *fidelity}
 
-	// One-shot process: nothing repeats, so skip the result cache.
-	eng := server.NewEngine(server.WithSimulatorOptions(core.WithCacheSize(0)))
+	// One-shot process: nothing repeats, so skip the result cache. A
+	// -cache-dir still pays off across *processes*: the lowered graph is
+	// loaded from (or persisted to) the artifact tier.
+	opts := []server.EngineOption{server.WithSimulatorOptions(core.WithCacheSize(0))}
+	if *cacheDir != "" {
+		opts = append(opts, server.WithArtifactDir(*cacheDir))
+	}
+	eng := server.NewEngine(opts...)
 
 	var out server.SimulateOutcome
 	if *tracePath != "" {
@@ -90,7 +98,13 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(out.Result())
+		if err := enc.Encode(out.Result()); err != nil {
+			return err
+		}
+		if *cacheStats {
+			printCacheStats(stderr, eng.CacheStats())
+		}
+		return nil
 	}
 
 	rep := out.Report
@@ -112,5 +126,23 @@ func run(args []string, stdout, stderr io.Writer) error {
 			res.EffectiveDays, res.EffectiveDollars/1e6, 100*res.GoodputFraction,
 			cost.Duration(res.CheckpointIntervalSeconds).Round(time.Second), res.ExpectedFailures)
 	}
+	if *cacheStats {
+		printCacheStats(stderr, eng.CacheStats())
+	}
 	return nil
+}
+
+// printCacheStats renders the full tiered counter set in one place:
+// plan-level reports, shape-keyed structures (with the graphs actually
+// lowered — misses served from disk don't lower), the persistent disk
+// tier, and batched replay. Written to stderr so -json output stays a
+// clean report document.
+func printCacheStats(w io.Writer, st core.CacheStats) {
+	fmt.Fprintf(w, "cache: reports %d hit / %d miss\n", st.ReportHits, st.ReportMisses)
+	fmt.Fprintf(w, "cache: structures %d hit / %d miss (%d graphs lowered)\n",
+		st.StructHits, st.StructMisses, st.Lowerings)
+	fmt.Fprintf(w, "cache: disk %d hit / %d miss / %d written\n",
+		st.DiskHits, st.DiskMisses, st.DiskWrites)
+	fmt.Fprintf(w, "cache: batched replay %d plans over %d passes\n",
+		st.BatchedPlans, st.BatchReplays)
 }

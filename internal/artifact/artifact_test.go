@@ -1,0 +1,286 @@
+package artifact
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vtrain/internal/gpu"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/opgraph"
+	"vtrain/internal/parallel"
+	"vtrain/internal/profiler"
+	"vtrain/internal/taskgraph"
+)
+
+// testGraph lowers one real structural graph — corruption tests must
+// exercise the decoder against genuine encodings, not synthetic byte
+// strings.
+func testGraph(t testing.TB) *taskgraph.Graph {
+	t.Helper()
+	c := hw.PaperCluster(8)
+	m := model.Config{Name: "tiny", Hidden: 256, Layers: 4, SeqLen: 128, Heads: 4, Vocab: 1024}
+	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
+	og, err := opgraph.Build(m, plan, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return taskgraph.Lower(og, profiler.New(gpu.NewDevice(c.Node.GPU)), taskgraph.OperatorLevel)
+}
+
+func TestKeyIsLengthPrefixed(t *testing.T) {
+	if Key("a", "b") != Key("a", "b") {
+		t.Fatal("Key is not deterministic")
+	}
+	if Key("a", "b") == Key("ab") {
+		t.Fatal("concatenation collides")
+	}
+	if Key("a", "b") == Key("a", "b", "") {
+		t.Fatal("trailing empty part collides")
+	}
+}
+
+// assertGraphEquivalent verifies a store-loaded graph reproduces the saved
+// one task for task, edge for edge, and label for label, fetching labels
+// through the store's companion label artifact exactly as a trace would.
+func assertGraphEquivalent(t *testing.T, st *Store, key string, got, want *taskgraph.Graph) {
+	t.Helper()
+	if got.NumTasks() != want.NumTasks() || got.LabelCount() != want.LabelCount() {
+		t.Fatalf("loaded graph has %d tasks / %d labels, want %d / %d",
+			got.NumTasks(), got.LabelCount(), want.NumTasks(), want.LabelCount())
+	}
+	got.SetLabelSource(func() *opgraph.LabelTable {
+		lt, _ := st.LoadLabels(key)
+		return lt
+	})
+	for id := 0; id < want.NumTasks(); id++ {
+		if got.TaskAt(id) != want.TaskAt(id) ||
+			got.TaskLabel(id) != want.TaskLabel(id) ||
+			!reflect.DeepEqual(got.Children(id), want.Children(id)) {
+			t.Fatalf("loaded graph differs from the saved one at task %d", id)
+		}
+	}
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t)
+	key := Key("graph", "test")
+
+	if _, ok := st.LoadGraph(key); ok {
+		t.Fatal("load from an empty store succeeded")
+	}
+	if !st.SaveGraph(key, g) {
+		t.Fatal("save failed")
+	}
+	got, ok := st.LoadGraph(key)
+	if !ok {
+		t.Fatal("load after save missed")
+	}
+	// One graph save writes two artifacts: structure and labels. The label
+	// load below (through assertGraphEquivalent's source) adds a hit.
+	if s := st.Stats(); s != (Stats{Hits: 1, Misses: 1, Writes: 2}) {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 2 writes", s)
+	}
+	assertGraphEquivalent(t, st, key, got, g)
+	if s := st.Stats(); s != (Stats{Hits: 2, Misses: 1, Writes: 2}) {
+		t.Fatalf("stats after label load = %+v, want 2 hits / 1 miss / 2 writes", s)
+	}
+
+	// A second store over the same directory starts cold on counters but
+	// warm on content: the cross-process case.
+	st2, err := Open(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st2.LoadGraph(key); !ok {
+		t.Fatal("fresh store over the same directory missed")
+	}
+}
+
+func TestOperatorsRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := []profiler.TableEntry{
+		{
+			Key: profiler.Key{Kind: profiler.FwdMHA, Hidden: 256, SeqLen: 128, Heads: 4, MicroBatch: 1, Tensor: 2},
+			Tasks: []profiler.Task{
+				{Kernel: gpu.Kernel{Name: "gemm_qkv", Duration: 1e-5, FLOPs: 3e9, Bytes: 2e6}, Duration: 1.5e-5},
+				{Kernel: gpu.Kernel{Name: "softmax", Duration: 2e-6, Bytes: 1e6}, Duration: 2e-6},
+			},
+		},
+		{
+			Key:   profiler.Key{Kind: profiler.WeightUpdate, Params: 1 << 30},
+			Tasks: []profiler.Task{{Kernel: gpu.Kernel{Name: "adam"}, Duration: 4e-4}},
+		},
+	}
+	key := Key("ops", "test")
+	if _, ok := st.LoadOperators(key); ok {
+		t.Fatal("load from an empty store succeeded")
+	}
+	if !st.SaveOperators(key, entries) {
+		t.Fatal("save failed")
+	}
+	got, ok := st.LoadOperators(key)
+	if !ok {
+		t.Fatal("load after save missed")
+	}
+	if !reflect.DeepEqual(got, entries) {
+		t.Fatalf("loaded table = %+v, want %+v", got, entries)
+	}
+}
+
+// TestCorruptArtifactsAreMisses mangles every byte region of a stored
+// artifact — magic, container version, kind tag, length, checksum, payload,
+// truncations — and requires each mangled file to load as a silent miss,
+// after which a re-save must fully recover the entry. A corrupt cache may
+// cost time; it must never cost correctness or crash the process.
+func TestCorruptArtifactsAreMisses(t *testing.T) {
+	g := testGraph(t)
+	key := Key("graph", "corruption")
+	path := func(st *Store) string { return filepath.Join(st.Dir(), graphFile(key)) }
+
+	mangles := []struct {
+		name string
+		fn   func(data []byte) []byte
+	}{
+		{"empty file", func(data []byte) []byte { return nil }},
+		{"truncated header", func(data []byte) []byte { return data[:headerSize-1] }},
+		{"truncated payload", func(data []byte) []byte { return data[:len(data)-1] }},
+		{"flipped magic", flipByte(0)},
+		{"flipped container version", flipByte(8)},
+		{"flipped kind tag", flipByte(12)},
+		{"flipped payload length", flipByte(16)},
+		{"flipped checksum", flipByte(24)},
+		{"flipped payload start", flipByte(headerSize)},
+		{"flipped payload middle", func(data []byte) []byte {
+			data[headerSize+(len(data)-headerSize)/2] ^= 0x40
+			return data
+		}},
+		{"flipped payload end", func(data []byte) []byte {
+			data[len(data)-1] ^= 0x01
+			return data
+		}},
+	}
+	for _, m := range mangles {
+		t.Run(m.name, func(t *testing.T) {
+			st, err := Open(t.TempDir())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !st.SaveGraph(key, g) {
+				t.Fatal("save failed")
+			}
+			data, err := os.ReadFile(path(st))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path(st), m.fn(data), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := st.LoadGraph(key); ok {
+				t.Fatal("corrupt artifact loaded successfully")
+			}
+			// Recovery: the slot is re-writable and serves again.
+			if !st.SaveGraph(key, g) {
+				t.Fatal("re-save over the corrupt file failed")
+			}
+			got, ok := st.LoadGraph(key)
+			if !ok {
+				t.Fatal("re-saved artifact did not recover")
+			}
+			assertGraphEquivalent(t, st, key, got, g)
+		})
+	}
+}
+
+// TestCorruptLabelArtifactIsMiss mangles the companion label file of an
+// intact graph artifact: the graph must still load (labels are not on the
+// sweeping path), the label load must be a silent miss, and a re-save must
+// recover it.
+func TestCorruptLabelArtifactIsMiss(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t)
+	key := Key("graph", "labels")
+	if !st.SaveGraph(key, g) {
+		t.Fatal("save failed")
+	}
+	lpath := filepath.Join(st.Dir(), labelsFile(key))
+	data, err := os.ReadFile(lpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[headerSize+(len(data)-headerSize)/2] ^= 0x40
+	if err := os.WriteFile(lpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.LoadGraph(key); !ok {
+		t.Fatal("graph load should not depend on the label artifact")
+	}
+	if _, ok := st.LoadLabels(key); ok {
+		t.Fatal("corrupt label artifact loaded successfully")
+	}
+	if !st.SaveGraph(key, g) {
+		t.Fatal("re-save failed")
+	}
+	lt, ok := st.LoadLabels(key)
+	if !ok || lt.Len() != g.LabelCount() {
+		t.Fatal("re-saved label artifact did not recover")
+	}
+}
+
+func flipByte(off int) func([]byte) []byte {
+	return func(data []byte) []byte {
+		data[off] ^= 0x80
+		return data
+	}
+}
+
+// TestPayloadVersionSkewIsMiss re-frames a payload whose *encoding* version
+// is from the future with a correct container checksum: the container
+// validates, the payload decoder must still reject it as a miss.
+func TestPayloadVersionSkewIsMiss(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t)
+	payload, err := g.MarshalArtifact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload[0] ^= 0xFF // encoding version is the payload's first u32
+	if !st.write(graphFile("skew"), kindGraph, payload) {
+		t.Fatal("framed write failed")
+	}
+	if _, ok := st.LoadGraph("skew"); ok {
+		t.Fatal("version-skewed payload loaded successfully")
+	}
+}
+
+// TestKindConfusionIsMiss stores an operator table, then asks for it as a
+// graph: the kind tag must keep the two namespaces apart even under a key
+// collision.
+func TestKindConfusionIsMiss(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := encodeOps(nil)
+	if !st.write(graphFile("confused"), kindOps, payload) {
+		t.Fatal("framed write failed")
+	}
+	if _, ok := st.LoadGraph("confused"); ok {
+		t.Fatal("ops-kind artifact loaded as a graph")
+	}
+}

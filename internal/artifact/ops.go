@@ -1,0 +1,149 @@
+package artifact
+
+// Operator-table persistence: the profiler's cache of operator-to-kernel
+// decompositions, saved alongside the structural graphs so a warm-start
+// process skips analytic profiling as well as lowering. The table is tiny
+// (one entry per distinct operator shape the sweep touched) and keyed by
+// the device it was profiled on, so a different GPU never reads another's
+// timings.
+
+import (
+	"encoding/binary"
+	"math"
+
+	"vtrain/internal/gpu"
+	"vtrain/internal/profiler"
+)
+
+// OpsEncodingVersion identifies the operator-table payload layout.
+const OpsEncodingVersion = 1
+
+// LoadOperators loads the operator table stored under key, reporting false
+// — and counting a miss — on absence, corruption, or version skew.
+func (s *Store) LoadOperators(key string) ([]profiler.TableEntry, bool) {
+	payload, ok := s.read(opsFile(key), kindOps)
+	if ok {
+		if entries, ok := decodeOps(payload); ok {
+			s.hits.Add(1)
+			return entries, true
+		}
+	}
+	s.misses.Add(1)
+	return nil, false
+}
+
+// SaveOperators persists the operator table under key. Like SaveGraph,
+// failures are reported but never returned as errors.
+func (s *Store) SaveOperators(key string, entries []profiler.TableEntry) bool {
+	if !s.write(opsFile(key), kindOps, encodeOps(entries)) {
+		return false
+	}
+	s.writes.Add(1)
+	return true
+}
+
+func appendF64(b []byte, v float64) []byte {
+	return binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+}
+
+func encodeOps(entries []profiler.TableEntry) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, OpsEncodingVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(entries)))
+	for _, e := range entries {
+		for _, v := range []int{int(e.Key.Kind), e.Key.Hidden, e.Key.SeqLen, e.Key.Heads, e.Key.Vocab, e.Key.MicroBatch, e.Key.Tensor} {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
+		}
+		buf = binary.LittleEndian.AppendUint64(buf, e.Key.Params)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Tasks)))
+		for _, t := range e.Tasks {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t.Kernel.Name)))
+			buf = append(buf, t.Kernel.Name...)
+			buf = appendF64(buf, t.Kernel.Duration)
+			buf = appendF64(buf, t.Kernel.FLOPs)
+			buf = appendF64(buf, t.Kernel.Bytes)
+			buf = appendF64(buf, t.Duration)
+		}
+	}
+	return buf
+}
+
+func decodeOps(payload []byte) ([]profiler.TableEntry, bool) {
+	off := 0
+	u32 := func() (uint32, bool) {
+		if off+4 > len(payload) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint32(payload[off:])
+		off += 4
+		return v, true
+	}
+	u64 := func() (uint64, bool) {
+		if off+8 > len(payload) {
+			return 0, false
+		}
+		v := binary.LittleEndian.Uint64(payload[off:])
+		off += 8
+		return v, true
+	}
+	ver, ok := u32()
+	if !ok || ver != OpsEncodingVersion {
+		return nil, false
+	}
+	n, ok := u32()
+	if !ok || uint64(n) > uint64(len(payload)-off) {
+		return nil, false
+	}
+	entries := make([]profiler.TableEntry, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var e profiler.TableEntry
+		ints := make([]int64, 7)
+		for j := range ints {
+			v, ok := u64()
+			if !ok {
+				return nil, false
+			}
+			ints[j] = int64(v)
+		}
+		e.Key.Kind = profiler.OpKind(ints[0])
+		if e.Key.Kind < 0 || e.Key.Kind > profiler.WeightUpdate {
+			return nil, false
+		}
+		e.Key.Hidden, e.Key.SeqLen, e.Key.Heads = int(ints[1]), int(ints[2]), int(ints[3])
+		e.Key.Vocab, e.Key.MicroBatch, e.Key.Tensor = int(ints[4]), int(ints[5]), int(ints[6])
+		params, ok := u64()
+		if !ok {
+			return nil, false
+		}
+		e.Key.Params = params
+		nt, ok := u32()
+		if !ok || uint64(nt) > uint64(len(payload)-off) {
+			return nil, false
+		}
+		e.Tasks = make([]profiler.Task, 0, nt)
+		for j := uint32(0); j < nt; j++ {
+			nameLen, ok := u32()
+			if !ok || int(nameLen) > len(payload)-off {
+				return nil, false
+			}
+			name := string(payload[off : off+int(nameLen)])
+			off += int(nameLen)
+			var f [4]float64
+			for k := range f {
+				v, ok := u64()
+				if !ok {
+					return nil, false
+				}
+				f[k] = math.Float64frombits(v)
+			}
+			e.Tasks = append(e.Tasks, profiler.Task{
+				Kernel:   gpu.Kernel{Name: name, Duration: f[0], FLOPs: f[1], Bytes: f[2]},
+				Duration: f[3],
+			})
+		}
+		entries = append(entries, e)
+	}
+	if off != len(payload) {
+		return nil, false
+	}
+	return entries, true
+}

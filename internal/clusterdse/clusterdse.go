@@ -314,14 +314,24 @@ func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) e
 	}
 
 	// Pass 3: evaluate shape batches on a bounded worker pool, streaming
-	// each batch's points under the gate.
+	// each batch's points under the gate. A shape-prefetch pool walks the
+	// batches alongside the workers and warms the shared structural cache
+	// through each batch's first entry, so cold lowerings (or persistent-
+	// tier disk loads) overlap the binding and replay of resident shapes;
+	// EnsureStructure shares the cache's single-flight entries, so no shape
+	// is ever lowered twice.
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(batches) {
 		workers = len(batches)
 	}
+	var gate dse.StreamGate
+	waitWarm := dse.WarmShapes(len(batches), workers, gate.Stopped, func(bi int) {
+		e := entries[batches[bi][0]]
+		e.sim.EnsureStructure(m, e.plan)
+	})
+	defer waitWarm()
 	var (
 		next atomic.Int64
-		gate dse.StreamGate
 		wg   sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {

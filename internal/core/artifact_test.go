@@ -1,0 +1,202 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"vtrain/internal/hw"
+	"vtrain/internal/parallel"
+	"vtrain/internal/taskgraph"
+)
+
+// mangleArtifacts flips one byte in the middle of every file in dir.
+func mangleArtifacts(t *testing.T, dir string) {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) == 0 {
+		t.Fatal("no artifacts to mangle")
+	}
+	for _, e := range ents {
+		p := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xFF
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestEnsureStructurePrefetchAccounting pins the prefetch contract: warming
+// a shape ahead of demand must not perturb the demand-side hit/miss
+// counters — the first demand get of a prefetched entry counts as the miss
+// it would have been, later gets as hits — so sweep statistics are
+// byte-identical whether or not the prefetcher ran.
+func TestEnsureStructurePrefetchAccounting(t *testing.T) {
+	s := sim(t, 4, WithFidelity(taskgraph.OperatorLevel))
+	m, plan := forClusterModel(), forClusterPlan()
+
+	s.EnsureStructure(m, plan)
+	if st := s.CacheStats(); st.StructHits != 0 || st.StructMisses != 0 {
+		t.Fatalf("prefetch counted demand traffic: %+v", st)
+	}
+	if st := s.CacheStats(); st.Lowerings != 1 {
+		t.Fatalf("prefetch lowered %d graphs, want 1", st.Lowerings)
+	}
+
+	if _, err := s.Simulate(m, plan); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.StructHits != 0 || st.StructMisses != 1 {
+		t.Fatalf("first demand get of a prefetched shape must count as the miss: %+v", st)
+	}
+	// Same shape (t/d widths don't change structure, microBatches stays
+	// 4), different plan: a structural hit.
+	plan2 := parallel.Plan{Tensor: 2, Data: 4, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2}
+	if _, err := s.Simulate(m, plan2); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.CacheStats(); st.StructHits != 1 || st.StructMisses != 1 || st.Lowerings != 1 {
+		t.Fatalf("after demand hit: %+v", st)
+	}
+
+	// Prefetching an invalid configuration is a silent no-op: the demand
+	// path will surface the error to the caller who can handle it.
+	s.EnsureStructure(m, parallel.Plan{})
+	if st := s.CacheStats(); st.Lowerings != 1 {
+		t.Fatalf("invalid prefetch changed counters: %+v", st)
+	}
+}
+
+// TestArtifactTierWarmStart is the cross-process promise in miniature: a
+// second simulator over the same artifact directory must produce an
+// identical report with zero lowerings, serving structure and operator
+// table from disk.
+func TestArtifactTierWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	m, plan := forClusterModel(), forClusterPlan()
+
+	cold := sim(t, 4, WithFidelity(taskgraph.OperatorLevel), WithArtifactDir(dir))
+	repCold, err := cold.Simulate(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stCold := cold.CacheStats()
+	if stCold.Lowerings != 1 {
+		t.Fatalf("cold run lowered %d graphs, want 1", stCold.Lowerings)
+	}
+	if stCold.DiskMisses == 0 || stCold.DiskWrites == 0 {
+		t.Fatalf("cold run did not touch the disk tier: %+v", stCold)
+	}
+	if stCold.DiskHits != 0 {
+		t.Fatalf("cold run hit a disk artifact in a fresh directory: %+v", stCold)
+	}
+
+	warm := sim(t, 4, WithFidelity(taskgraph.OperatorLevel), WithArtifactDir(dir))
+	repWarm, err := warm.Simulate(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(repWarm, repCold) {
+		t.Fatalf("warm report %+v differs from cold report %+v", repWarm, repCold)
+	}
+	stWarm := warm.CacheStats()
+	if stWarm.Lowerings != 0 {
+		t.Fatalf("warm run lowered %d graphs, want 0", stWarm.Lowerings)
+	}
+	// The graph load must hit. (The operator table may legitimately miss:
+	// it is persisted piggyback on later graph writes, and a one-shape cold
+	// run never wrote again after profiling filled the table.)
+	if stWarm.DiskHits == 0 {
+		t.Fatalf("warm run missed the disk tier: %+v", stWarm)
+	}
+	// Warm demand traffic still reads as a structural miss — the
+	// memory-tier counters describe memory, not where the fill came from.
+	if stWarm.StructMisses != 1 {
+		t.Fatalf("warm StructMisses = %d, want 1", stWarm.StructMisses)
+	}
+}
+
+// TestArtifactTierDisabledByDefault: without WithArtifactDir the simulator
+// never touches the disk counters, pinning the no-behavior-change contract.
+func TestArtifactTierDisabledByDefault(t *testing.T) {
+	s := sim(t, 4, WithFidelity(taskgraph.OperatorLevel))
+	if _, err := s.Simulate(forClusterModel(), forClusterPlan()); err != nil {
+		t.Fatal(err)
+	}
+	st := s.CacheStats()
+	if st.DiskHits != 0 || st.DiskMisses != 0 || st.DiskWrites != 0 {
+		t.Fatalf("disk counters moved without an artifact dir: %+v", st)
+	}
+}
+
+// TestForClusterSharesArtifactStore: siblings inherit the parent's store —
+// structural artifacts are hardware-invariant, so a joint sweep shares one
+// directory — and an attempt to re-point a sibling elsewhere is rejected
+// like any other shared-cache mutation.
+func TestForClusterSharesArtifactStore(t *testing.T) {
+	dir := t.TempDir()
+	root, err := New(hw.PaperCluster(4), WithFidelity(taskgraph.OperatorLevel), WithArtifactDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sib, err := root.ForCluster(hw.Catalog()[0].Cluster(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sib.artifacts != root.artifacts {
+		t.Fatal("sibling does not share the parent's artifact store")
+	}
+	if _, err := root.ForCluster(hw.Catalog()[0].Cluster(1), WithArtifactDir(t.TempDir())); err == nil {
+		t.Fatal("ForCluster accepted a different artifact dir")
+	}
+
+	if _, err := sib.Simulate(forClusterModel(), forClusterPlan()); err != nil {
+		t.Fatal(err)
+	}
+	// The sibling's disk traffic shows up in the parent's stats: one
+	// shared store, one set of counters.
+	if st := root.CacheStats(); st.DiskWrites == 0 {
+		t.Fatalf("sibling write invisible in parent stats: %+v", st)
+	}
+}
+
+// TestArtifactCorruptionFallsBackToLowering: a mangled on-disk artifact
+// must cost a re-lowering, not an error and not a wrong report.
+func TestArtifactCorruptionFallsBackToLowering(t *testing.T) {
+	dir := t.TempDir()
+	m, plan := forClusterModel(), forClusterPlan()
+
+	ref, err := sim(t, 4, WithFidelity(taskgraph.OperatorLevel)).Simulate(m, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := sim(t, 4, WithFidelity(taskgraph.OperatorLevel), WithArtifactDir(dir))
+	if _, err := cold.Simulate(m, plan); err != nil {
+		t.Fatal(err)
+	}
+	mangleArtifacts(t, dir)
+
+	warm := sim(t, 4, WithFidelity(taskgraph.OperatorLevel), WithArtifactDir(dir))
+	rep, err := warm.Simulate(m, plan)
+	if err != nil {
+		t.Fatalf("corrupt artifacts must fall back silently, got %v", err)
+	}
+	if !reflect.DeepEqual(rep, ref) {
+		t.Fatalf("report after corruption %+v differs from reference %+v", rep, ref)
+	}
+	st := warm.CacheStats()
+	if st.Lowerings != 1 {
+		t.Fatalf("corrupt graph artifact was not re-lowered: %+v", st)
+	}
+	if st.DiskHits != 0 {
+		t.Fatalf("corrupt artifacts counted as hits: %+v", st)
+	}
+}

@@ -12,7 +12,10 @@ package core
 
 import (
 	"fmt"
+	"strconv"
+	"sync/atomic"
 
+	"vtrain/internal/artifact"
 	"vtrain/internal/comm"
 	"vtrain/internal/cost"
 	"vtrain/internal/gpu"
@@ -39,6 +42,20 @@ type Simulator struct {
 	structSize int
 	structs    *structCache
 	batches    *batchStats
+	// artifacts is the persistent tier below the in-memory structural
+	// cache (nil unless WithArtifactDir/WithArtifactStore is given):
+	// memory miss -> disk load -> lowering, with fresh lowerings written
+	// back. ForCluster siblings share it, like the structural cache.
+	artifactDir string
+	artifacts   *artifact.Store
+	// lowerings counts actual taskgraph.Lower invocations. It is shared
+	// across ForCluster siblings; with a persistent tier it can be smaller
+	// than StructMisses, since misses served from disk do not lower.
+	lowerings *atomic.Uint64
+	// opsSaved tracks the profiler entry count at the last operator-table
+	// save, so the table is re-persisted only when it grew. Shared with
+	// siblings that share the profiler.
+	opsSaved *atomic.Int64
 }
 
 // Option configures a Simulator.
@@ -79,6 +96,26 @@ func WithStructCacheSize(n int) Option {
 	return func(s *Simulator) { s.structSize = n }
 }
 
+// WithArtifactDir enables the persistent artifact tier rooted at dir:
+// structural graphs (and the profiler's operator table) missing from the
+// in-memory caches are loaded from the content-addressed on-disk store
+// before being lowered, and fresh lowerings are written back, so a new
+// process starts warm with whatever any previous process already paid for.
+// Artifacts are keyed by shape, fidelity, encoding version, and build ID,
+// and reports are byte-identical whether a graph was lowered, memory-
+// cached, or disk-loaded. An empty dir leaves the tier disabled (the
+// default).
+func WithArtifactDir(dir string) Option {
+	return func(s *Simulator) { s.artifactDir = dir }
+}
+
+// WithArtifactStore is WithArtifactDir for callers that already hold an
+// open store: the serving layer opens one store and shares it (counters
+// included) across its whole simulator pool.
+func WithArtifactStore(st *artifact.Store) Option {
+	return func(s *Simulator) { s.artifacts = st }
+}
+
 // New builds a simulator for the cluster, profiling its intra-node fabric.
 func New(c hw.Cluster, opts ...Option) (*Simulator, error) {
 	if err := c.Validate(); err != nil {
@@ -106,6 +143,16 @@ func New(c hw.Cluster, opts ...Option) (*Simulator, error) {
 	s.cache = newReportCache(s.cacheSize)
 	s.structs = newStructCache(s.structSize)
 	s.batches = new(batchStats)
+	s.lowerings = new(atomic.Uint64)
+	s.opsSaved = new(atomic.Int64)
+	if s.artifacts == nil && s.artifactDir != "" {
+		st, err := artifact.Open(s.artifactDir)
+		if err != nil {
+			return nil, err
+		}
+		s.artifacts = st
+	}
+	s.loadOps()
 	return s, nil
 }
 
@@ -142,13 +189,15 @@ func (s *Simulator) ForCluster(c hw.Cluster, opts ...Option) (*Simulator, error)
 		prof = profiler.New(dev)
 	}
 	sib := &Simulator{
-		cluster:    c,
-		device:     dev,
-		profiler:   prof,
-		comm:       comm.NewModel(c),
-		fidelity:   s.fidelity,
-		cacheSize:  s.cacheSize,
-		structSize: s.structSize,
+		cluster:     c,
+		device:      dev,
+		profiler:    prof,
+		comm:        comm.NewModel(c),
+		fidelity:    s.fidelity,
+		cacheSize:   s.cacheSize,
+		structSize:  s.structSize,
+		artifactDir: s.artifactDir,
+		artifacts:   s.artifacts,
 	}
 	for _, o := range opts {
 		o(sib)
@@ -159,11 +208,24 @@ func (s *Simulator) ForCluster(c hw.Cluster, opts ...Option) (*Simulator, error)
 	if sib.structSize != s.structSize {
 		return nil, fmt.Errorf("core: ForCluster cannot resize the structural cache: it is shared with the parent")
 	}
+	if sib.artifacts != s.artifacts || sib.artifactDir != s.artifactDir {
+		return nil, fmt.Errorf("core: ForCluster cannot change the artifact store: it is shared with the parent")
+	}
 	sib.cache = newReportCache(sib.cacheSize)
 	sib.structs = s.structs
-	// Batch counters are shared like the structural cache, so a
-	// multi-cluster sweep's mean batch width is reported in one place.
+	// Batch, lowering, and artifact counters are shared like the
+	// structural cache, so a multi-cluster sweep's totals are reported in
+	// one place.
 	sib.batches = s.batches
+	sib.lowerings = s.lowerings
+	if sib.profiler == s.profiler {
+		sib.opsSaved = s.opsSaved
+	} else {
+		// A different GPU means a fresh profiler and its own persisted
+		// operator table.
+		sib.opsSaved = new(atomic.Int64)
+		sib.loadOps()
+	}
 	return sib, nil
 }
 
@@ -183,6 +245,19 @@ type CacheStats struct {
 	// BatchedPlans/BatchReplays is the sweep's mean batch width. Shared
 	// across ForCluster siblings, like the structural counters.
 	BatchReplays, BatchedPlans uint64
+	// Lowerings counts actual graph lowerings (taskgraph.Lower runs).
+	// Without a persistent tier it equals StructMisses — every miss lowers;
+	// with one it can be smaller, since misses served from disk skip the
+	// lowering. This is the "cold work actually paid" figure a fully warm
+	// disk pins to zero. Shared across ForCluster siblings.
+	Lowerings uint64
+	// DiskHits / DiskMisses / DiskWrites count the persistent artifact
+	// tier's loads and stores (all zero when WithArtifactDir is unset). A
+	// corrupt, truncated, or version-skewed artifact counts as a miss and
+	// falls back to lowering; it is never an error. The counters live on
+	// the artifact store, so simulators sharing one store (ForCluster
+	// siblings, a serving pool) report the same store-wide totals.
+	DiskHits, DiskMisses, DiskWrites uint64
 }
 
 // Add returns the field-wise sum of s and t, for aggregating counters
@@ -196,6 +271,10 @@ func (s CacheStats) Add(t CacheStats) CacheStats {
 		StructMisses: s.StructMisses + t.StructMisses,
 		BatchReplays: s.BatchReplays + t.BatchReplays,
 		BatchedPlans: s.BatchedPlans + t.BatchedPlans,
+		Lowerings:    s.Lowerings + t.Lowerings,
+		DiskHits:     s.DiskHits + t.DiskHits,
+		DiskMisses:   s.DiskMisses + t.DiskMisses,
+		DiskWrites:   s.DiskWrites + t.DiskWrites,
 	}
 }
 
@@ -212,6 +291,13 @@ func (s *Simulator) CacheStats() CacheStats {
 	if s.batches != nil {
 		st.BatchReplays = s.batches.replays.Load()
 		st.BatchedPlans = s.batches.plans.Load()
+	}
+	if s.lowerings != nil {
+		st.Lowerings = s.lowerings.Load()
+	}
+	if s.artifacts != nil {
+		as := s.artifacts.Stats()
+		st.DiskHits, st.DiskMisses, st.DiskWrites = as.Hits, as.Misses, as.Writes
 	}
 	return st
 }
@@ -305,29 +391,153 @@ func (s *Simulator) simulate(m model.Config, plan parallel.Plan, capture bool) (
 }
 
 // structural returns the structural task graph for (m, plan) at the
-// simulator's fidelity, serving it from the shape-keyed cache when enabled.
-// The plan is fully validated on every call — a cache hit must not skip the
-// per-plan checks that Build would perform.
+// simulator's fidelity, serving it from the tier chain: shape-keyed
+// in-memory cache, then the persistent artifact store, then a fresh
+// lowering. The plan is fully validated on every call — a cache or disk
+// hit must not skip the per-plan checks that Build would perform.
 func (s *Simulator) structural(m model.Config, plan parallel.Plan) (*taskgraph.Graph, error) {
-	build := func() (*taskgraph.Graph, error) {
-		og, err := opgraph.Build(m, plan, s.cluster)
-		if err != nil {
-			return nil, err
-		}
-		tg := taskgraph.Lower(og, s.profiler, s.fidelity)
-		// Lower copies everything the task graph needs (structure, label
-		// snapshot), so the operator graph goes straight back to the
-		// construction pool.
-		og.Recycle()
-		return tg, nil
-	}
-	if s.structs == nil {
-		return build()
+	if s.structs == nil && s.artifacts == nil {
+		return s.lower(m, plan)
 	}
 	if err := opgraph.Validate(m, plan, s.cluster); err != nil {
 		return nil, err
 	}
-	return s.structs.get(shapeOf(m, plan, s.fidelity), build)
+	if s.structs == nil {
+		return s.buildStructural(m, plan)
+	}
+	return s.structs.get(shapeOf(m, plan, s.fidelity), func() (*taskgraph.Graph, error) {
+		return s.buildStructural(m, plan)
+	})
+}
+
+// EnsureStructure warms the structural cache for (m, plan) without
+// simulating anything: the shape-prefetch planner in dse/clusterdse calls
+// it from a bounded pool so cold lowerings (or disk loads) overlap the
+// binding and replay of already-resident shapes. It shares the cache's
+// single-flight entries, so a concurrent demand miss for the same shape
+// joins this build instead of repeating it, and it never perturbs the
+// demand hit/miss accounting. A no-op when the structural cache is
+// disabled; invalid plans are skipped silently — the demand path surfaces
+// their errors.
+func (s *Simulator) EnsureStructure(m model.Config, plan parallel.Plan) {
+	if s.structs == nil {
+		return
+	}
+	if err := opgraph.Validate(m, plan, s.cluster); err != nil {
+		return
+	}
+	s.structs.ensure(shapeOf(m, plan, s.fidelity), func() (*taskgraph.Graph, error) {
+		return s.buildStructural(m, plan)
+	})
+}
+
+// buildStructural is the tier chain below the in-memory structural cache:
+// load from the artifact store when one is configured, otherwise (or on a
+// disk miss) lower from scratch and write the result back.
+func (s *Simulator) buildStructural(m model.Config, plan parallel.Plan) (*taskgraph.Graph, error) {
+	if s.artifacts == nil {
+		return s.lower(m, plan)
+	}
+	key := s.graphKey(m, plan)
+	if g, ok := s.artifacts.LoadGraph(key); ok {
+		// The structure artifact carries no labels (sweeps never render
+		// one); traces fetch them lazily from the companion label file. A
+		// missing, corrupt, or short label artifact falls back to a full
+		// re-lowering — slow, but correct, and only ever paid by a trace
+		// whose label file was damaged after the graph file was written.
+		g.SetLabelSource(func() *opgraph.LabelTable {
+			if t, ok := s.artifacts.LoadLabels(key); ok && t.Len() >= g.LabelCount() {
+				return t
+			}
+			fresh, err := s.lower(m, plan)
+			if err != nil {
+				return nil
+			}
+			return fresh.Labels()
+		})
+		return g, nil
+	}
+	g, err := s.lower(m, plan)
+	if err != nil {
+		return nil, err
+	}
+	if s.artifacts.SaveGraph(key, g) {
+		// Piggyback the operator table on graph writes: by the time a
+		// graph is persisted the profiler holds every kernel count the
+		// lowering consulted, and re-saving only when the table grew keeps
+		// the write traffic bounded.
+		s.saveOps()
+	}
+	return g, nil
+}
+
+// lower builds the structural graph from scratch — every cache tier
+// missed — counting the lowering.
+func (s *Simulator) lower(m model.Config, plan parallel.Plan) (*taskgraph.Graph, error) {
+	og, err := opgraph.Build(m, plan, s.cluster)
+	if err != nil {
+		return nil, err
+	}
+	tg := taskgraph.Lower(og, s.profiler, s.fidelity)
+	// Lower copies everything the task graph needs (structure, label
+	// records), so the operator graph goes straight back to the
+	// construction pool.
+	og.Recycle()
+	if s.lowerings != nil {
+		s.lowerings.Add(1)
+	}
+	return tg, nil
+}
+
+// graphKey is the artifact store address of (m, plan)'s structural graph:
+// the shape key (which embeds the model and fidelity), the payload
+// encoding version, and the build ID, so new code or a new encoding misses
+// cleanly instead of reading stale structure.
+func (s *Simulator) graphKey(m model.Config, plan parallel.Plan) string {
+	return artifact.Key(
+		"graph",
+		strconv.Itoa(taskgraph.EncodingVersion),
+		artifact.BuildID(),
+		fmt.Sprintf("%+v", shapeOf(m, plan, s.fidelity)),
+	)
+}
+
+// opsKey is the artifact store address of the profiler's operator table,
+// keyed by the full device timing model: a different GPU — or a tuned
+// device — must never read another's kernel timings.
+func (s *Simulator) opsKey() string {
+	return artifact.Key(
+		"ops",
+		strconv.Itoa(artifact.OpsEncodingVersion),
+		artifact.BuildID(),
+		fmt.Sprintf("%+v|%g|%g", s.device.Spec, s.device.MaxTensorEff, s.device.MemEff),
+	)
+}
+
+// loadOps pre-warms the profiler from the persisted operator table, if the
+// store has one for this device. Installed entries count as neither hits
+// nor misses, so profiler statistics still reflect this process's demand.
+func (s *Simulator) loadOps() {
+	if s.artifacts == nil {
+		return
+	}
+	if entries, ok := s.artifacts.LoadOperators(s.opsKey()); ok {
+		s.profiler.Install(entries)
+		s.opsSaved.Store(int64(s.profiler.Entries()))
+	}
+}
+
+// saveOps persists the operator table when it grew since the last save.
+// Concurrent savers may both write; the content is deterministic per
+// device, so the duplicate write is harmless.
+func (s *Simulator) saveOps() {
+	n := int64(s.profiler.Entries())
+	if n == 0 || n == s.opsSaved.Load() {
+		return
+	}
+	if s.artifacts.SaveOperators(s.opsKey(), s.profiler.Table()) {
+		s.opsSaved.Store(n)
+	}
 }
 
 // assembleReport derives the Report quantities from a replay result.

@@ -1,0 +1,129 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"vtrain/internal/core"
+	"vtrain/internal/hw"
+	"vtrain/internal/model"
+	"vtrain/internal/parallel"
+	"vtrain/internal/taskgraph"
+)
+
+// populateEnv names the artifact directory the re-exec'd populate helper
+// writes into; unset in normal test runs, so the helper is a no-op there.
+const populateEnv = "VTRAIN_TEST_POPULATE_DIR"
+
+// crossProcessSweep runs the fixed sweep-and-trace workload against an
+// artifact directory and serializes its outputs: the ranked design points
+// as JSON and the best plan's execution timeline as a Chrome trace. Both
+// the populate helper (cold, separate process) and the warm verification
+// run the same function, so any byte difference is the disk tier's fault.
+func crossProcessSweep(dir string) (report, trace []byte, st core.CacheStats, err error) {
+	sim, err := core.New(hw.PaperCluster(8),
+		core.WithFidelity(taskgraph.OperatorLevel), core.WithArtifactDir(dir))
+	if err != nil {
+		return nil, nil, st, err
+	}
+	m := model.Megatron3_6B()
+	points, err := Explore(sim, m, smallSpace(16))
+	if err != nil {
+		return nil, nil, st, err
+	}
+	// Rank with a deterministic total order: Better, then the plan string
+	// as a tie-break, so completion order cannot leak into the bytes.
+	sort.Slice(points, func(i, j int) bool {
+		if points[i].Better(points[j]) {
+			return true
+		}
+		if points[j].Better(points[i]) {
+			return false
+		}
+		return points[i].Plan.String() < points[j].Plan.String()
+	})
+	report, err = json.MarshalIndent(points, "", " ")
+	if err != nil {
+		return nil, nil, st, err
+	}
+	tracePlan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2}
+	_, spans, err := sim.SimulateTrace(m, tracePlan)
+	if err != nil {
+		return nil, nil, st, err
+	}
+	var buf bytes.Buffer
+	if err := taskgraph.WriteChromeTrace(&buf, spans); err != nil {
+		return nil, nil, st, err
+	}
+	return report, buf.Bytes(), sim.CacheStats(), nil
+}
+
+// TestCrossProcessPopulateHelper is not a test: it is the cold half of
+// TestCrossProcessWarmEquivalence, re-exec'd as a separate process so the
+// artifact directory is populated by a genuinely different simulator
+// lifetime (fresh memory caches, fresh profiler).
+func TestCrossProcessPopulateHelper(t *testing.T) {
+	dir := os.Getenv(populateEnv)
+	if dir == "" {
+		t.Skip("populate helper: only runs re-exec'd")
+	}
+	report, trace, st, err := crossProcessSweep(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.DiskWrites == 0 {
+		t.Fatalf("cold populate wrote nothing: %+v", st)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "report.json"), report, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "trace.json"), trace, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrossProcessWarmEquivalence is the tentpole's contract test: a sweep
+// served from a disk populated by another process must produce
+// byte-identical ranked reports and Chrome traces, without performing a
+// single lowering.
+func TestCrossProcessWarmEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary")
+	}
+	dir := t.TempDir()
+	cmd := exec.Command(os.Args[0], "-test.run=^TestCrossProcessPopulateHelper$", "-test.v")
+	cmd.Env = append(os.Environ(), populateEnv+"="+dir)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("populate process failed: %v\n%s", err, out)
+	}
+	wantReport, err := os.ReadFile(filepath.Join(dir, "report.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTrace, err := os.ReadFile(filepath.Join(dir, "trace.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	report, trace, st, err := crossProcessSweep(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Lowerings != 0 {
+		t.Errorf("warm sweep lowered %d graphs, want 0", st.Lowerings)
+	}
+	if st.DiskMisses != 0 {
+		t.Errorf("warm sweep missed the disk tier %d times, want 0", st.DiskMisses)
+	}
+	if !bytes.Equal(report, wantReport) {
+		t.Error("warm ranked report differs from the cold process's bytes")
+	}
+	if !bytes.Equal(trace, wantTrace) {
+		t.Error("warm Chrome trace differs from the cold process's bytes")
+	}
+}

@@ -220,6 +220,43 @@ func (g *StreamGate) FirstErr() error {
 	return g.err
 }
 
+// WarmShapes runs warm(0..n-1) across a bounded pool of workers, in
+// ascending order, and returns a wait function the caller must invoke
+// before returning, so no warming goroutine outlives its sweep. It is the
+// shape-prefetch planner shared by this package and clusterdse: each warm
+// call drives one distinct structural shape through
+// core.Simulator.EnsureStructure, so cold lowerings (and persistent-tier
+// disk loads) proceed in parallel with the binding and replay of shapes
+// that are already resident. stopped is polled between items and aborts
+// the remaining work — sweeps pass their StreamGate so a failed sweep does
+// not keep warming shapes nobody will replay.
+func WarmShapes(n, workers int, stopped func() bool, warm func(batch int)) (wait func()) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 0 {
+		return func() {}
+	}
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stopped() {
+				bi := int(next.Add(1)) - 1
+				if bi >= n {
+					return
+				}
+				warm(bi)
+			}
+		}()
+	}
+	return wg.Wait
+}
+
 // ExploreFunc simulates every plan of the space with a bounded worker pool
 // and streams each evaluated Point to fn as it completes. Every streamed
 // point is feasible (Enumerate excludes plans that cannot fit memory).
@@ -263,9 +300,20 @@ func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) e
 	if workers > len(batches) {
 		workers = len(batches)
 	}
+	var gate StreamGate
+	// Shape-prefetch planner: the distinct shapes of the space are known up
+	// front, so a second bounded pool walks them in batch order and warms
+	// the structural cache while the workers below bind and replay whatever
+	// is already resident — cold lowering (or disk loading) overlaps replay
+	// instead of serializing inside whichever worker first misses.
+	// EnsureStructure shares the cache's single-flight entries, so the two
+	// pools never lower one shape twice.
+	waitWarm := WarmShapes(len(batches), workers, gate.Stopped, func(bi int) {
+		sim.EnsureStructure(m, plans[batches[bi][0]])
+	})
+	defer waitWarm()
 	var (
 		next atomic.Int64
-		gate StreamGate
 		wg   sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {

@@ -112,6 +112,30 @@ type TableEntry struct {
 	Tasks []Task
 }
 
+// Install pre-populates the cache with previously profiled entries — the
+// persistent artifact tier loading the operator table an earlier process
+// saved. Installed entries count as neither hits nor misses, so cache
+// statistics keep reporting only this process's demand. Entries already
+// present are kept: profiling is deterministic per device, so both sides
+// are identical anyway.
+func (p *Profiler) Install(entries []TableEntry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range entries {
+		if _, ok := p.cache[e.Key]; !ok {
+			p.cache[e.Key] = e.Tasks
+		}
+	}
+}
+
+// Entries reports the number of cached operator decompositions, installed
+// or profiled.
+func (p *Profiler) Entries() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cache)
+}
+
 // decompose maps an operator to the kernel sequence its Megatron
 // implementation launches on one GPU, with tensor-parallel sharding t.
 func (p *Profiler) decompose(op Operator) []gpu.Kernel {

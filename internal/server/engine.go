@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sync"
 
+	"vtrain/internal/artifact"
 	"vtrain/internal/clusterdse"
 	"vtrain/internal/core"
 	"vtrain/internal/cost"
@@ -32,10 +33,23 @@ type Engine struct {
 	simOpts  []core.Option
 	poolSize int
 
+	// artifactDir, when set, backs every simulator with one shared
+	// persistent artifact store: an evicted pool entry's lowered graphs
+	// survive on disk, and a restarted server is warm at request one. The
+	// store opens lazily on first simulator construction.
+	artifactDir  string
+	artifactOnce sync.Once
+	artifacts    *artifact.Store
+	artifactErr  error
+
 	mu    sync.Mutex
 	sims  map[simKey]*core.Simulator
 	order []simKey // insertion order, for FIFO eviction
 	roots map[taskgraph.Fidelity]*core.Simulator
+	// retired accumulates the final counters of evicted simulators, so the
+	// engine-wide totals (and therefore /metrics) stay monotone when the
+	// pool thrashes. Guarded by mu.
+	retired core.CacheStats
 }
 
 type simKey struct {
@@ -51,6 +65,27 @@ type EngineOption func(*Engine)
 // configurations never repeat, so the report cache would only hold garbage.
 func WithSimulatorOptions(opts ...core.Option) EngineOption {
 	return func(e *Engine) { e.simOpts = append(e.simOpts, opts...) }
+}
+
+// WithArtifactDir enables the persistent artifact tier for every simulator
+// the engine creates: one shared content-addressed store under dir, so
+// lowered graphs survive pool eviction and process restarts, and the disk
+// counters in /metrics are store-wide totals. An empty dir leaves the tier
+// disabled (the default).
+func WithArtifactDir(dir string) EngineOption {
+	return func(e *Engine) { e.artifactDir = dir }
+}
+
+// artifactStore lazily opens the engine's shared store; nil when no
+// artifact dir is configured.
+func (e *Engine) artifactStore() (*artifact.Store, error) {
+	if e.artifactDir == "" {
+		return nil, nil
+	}
+	e.artifactOnce.Do(func() {
+		e.artifacts, e.artifactErr = artifact.Open(e.artifactDir)
+	})
+	return e.artifacts, e.artifactErr
 }
 
 // WithPoolSize bounds the simulator pool to n entries (DefaultPoolSize if
@@ -88,11 +123,18 @@ func (e *Engine) simulator(c hw.Cluster, fid taskgraph.Fidelity) (*core.Simulato
 	if s, ok := e.sims[key]; ok {
 		return s, nil
 	}
-	s, err := core.New(c, append([]core.Option{core.WithFidelity(fid)}, e.simOpts...)...)
+	opts, err := e.coreOptions(fid)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.New(c, opts...)
 	if err != nil {
 		return nil, badRequest(err)
 	}
 	if len(e.order) >= e.poolSize {
+		if old := e.sims[e.order[0]]; old != nil {
+			e.retired = e.retired.Add(old.CacheStats())
+		}
 		delete(e.sims, e.order[0])
 		e.order = e.order[1:]
 	}
@@ -113,7 +155,11 @@ func (e *Engine) clusterRoot(fid taskgraph.Fidelity) (*core.Simulator, error) {
 	if s, ok := e.roots[fid]; ok {
 		return s, nil
 	}
-	s, err := core.New(hw.Catalog()[0].Cluster(1), append([]core.Option{core.WithFidelity(fid)}, e.simOpts...)...)
+	opts, err := e.coreOptions(fid)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.New(hw.Catalog()[0].Cluster(1), opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -121,17 +167,42 @@ func (e *Engine) clusterRoot(fid taskgraph.Fidelity) (*core.Simulator, error) {
 	return s, nil
 }
 
+// coreOptions assembles the option list for a new pooled simulator:
+// fidelity, the engine-wide simulator options, and the shared artifact
+// store when one is configured.
+func (e *Engine) coreOptions(fid taskgraph.Fidelity) ([]core.Option, error) {
+	opts := append([]core.Option{core.WithFidelity(fid)}, e.simOpts...)
+	st, err := e.artifactStore()
+	if err != nil {
+		return nil, err
+	}
+	if st != nil {
+		opts = append(opts, core.WithArtifactStore(st))
+	}
+	return opts, nil
+}
+
 // CacheStats sums the counters of every pooled simulator and cluster-sweep
 // root: the serving layer's cache-concentration view, exported by /metrics.
 func (e *Engine) CacheStats() core.CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	var st core.CacheStats
+	st := e.retired
 	for _, s := range e.sims {
 		st = st.Add(s.CacheStats())
 	}
 	for _, s := range e.roots {
 		st = st.Add(s.CacheStats())
+	}
+	// Every pooled simulator shares the engine's one artifact store and
+	// therefore reports the same store-wide disk totals; summing them
+	// would multiply the counters by the pool size, so take the store's
+	// numbers once instead. (It also keeps the totals monotone across
+	// pool eviction, unlike per-simulator counters that vanish with their
+	// simulator.)
+	if st2 := e.artifacts; st2 != nil {
+		as := st2.Stats()
+		st.DiskHits, st.DiskMisses, st.DiskWrites = as.Hits, as.Misses, as.Writes
 	}
 	return st
 }

@@ -1,0 +1,129 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// operatorBody is simulateBody at operator fidelity: same cluster, a
+// different pool key.
+const operatorBody = `{
+  "model": {"preset": "megatron-3.6b"},
+  "cluster": {"nodes": 1},
+  "plan": {"tensor": 2, "data": 2, "pipeline": 2, "micro_batch": 1, "global_batch": 64},
+  "total_tokens": 20000000000,
+  "fidelity": "operator"
+}`
+
+// twoNodeBody is simulateBody on a two-node cluster: a third pool key.
+const twoNodeBody = `{
+  "model": {"preset": "megatron-3.6b"},
+  "cluster": {"nodes": 2},
+  "plan": {"tensor": 2, "data": 2, "pipeline": 2, "micro_batch": 1, "global_batch": 64},
+  "total_tokens": 20000000000
+}`
+
+func poolLen(e *Engine) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.sims)
+}
+
+// TestEnginePoolFIFOEviction drives a 2-entry pool through three distinct
+// (cluster, fidelity) keys and back: the oldest entry is evicted, the pool
+// never exceeds its bound, and a re-warmed evicted configuration answers
+// with byte-identical response bodies — eviction may cost time, never
+// content.
+func TestEnginePoolFIFOEviction(t *testing.T) {
+	eng := NewEngine(WithPoolSize(2))
+	srv := New(Config{Engine: eng})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mustPost := func(body string) string {
+		t.Helper()
+		code, resp, _ := post(t, ts, "/v1/simulate", body)
+		if code != 200 {
+			t.Fatalf("status %d: %s", code, resp)
+		}
+		return resp
+	}
+
+	respA := mustPost(simulateBody) // key A: (1 node, task)
+	mustPost(operatorBody)          // key B: (1 node, operator)
+	if n := poolLen(eng); n != 2 {
+		t.Fatalf("pool holds %d simulators after two keys, want 2", n)
+	}
+	respC := mustPost(twoNodeBody) // key C evicts A
+	if n := poolLen(eng); n != 2 {
+		t.Fatalf("pool holds %d simulators after eviction, want 2", n)
+	}
+	if got := mustPost(simulateBody); got != respA { // A re-warms (evicts B)
+		t.Error("re-warmed response for evicted key A differs from its original bytes")
+	}
+	if n := poolLen(eng); n != 2 {
+		t.Fatalf("pool holds %d simulators after re-warm, want 2", n)
+	}
+	if got := mustPost(twoNodeBody); got != respC { // C still pooled: warm hit
+		t.Error("pooled response for key C drifted")
+	}
+}
+
+// TestEnginePoolEvictionRewarmsFromDisk is the eviction test with the
+// artifact tier on: a single-entry pool thrashes, but the evicted entry's
+// lowered graph survives on disk, so the re-warm is a disk hit — visible in
+// the tiered counters — and still byte-identical.
+func TestEnginePoolEvictionRewarmsFromDisk(t *testing.T) {
+	eng := NewEngine(WithPoolSize(1), WithArtifactDir(t.TempDir()))
+	srv := New(Config{Engine: eng})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	mustPost := func(body string) string {
+		t.Helper()
+		code, resp, _ := post(t, ts, "/v1/simulate", body)
+		if code != 200 {
+			t.Fatalf("status %d: %s", code, resp)
+		}
+		return resp
+	}
+
+	respA := mustPost(simulateBody)
+	if st := eng.CacheStats(); st.DiskWrites == 0 {
+		t.Fatalf("cold request persisted nothing: %+v", st)
+	}
+	mustPost(operatorBody) // evicts A's simulator
+	hitsBefore := eng.CacheStats().DiskHits
+
+	if got := mustPost(simulateBody); got != respA {
+		t.Error("disk-rewarmed response differs from the original bytes")
+	}
+	st := eng.CacheStats()
+	if st.DiskHits <= hitsBefore {
+		t.Errorf("re-warm after eviction did not hit the disk tier: hits %d -> %d", hitsBefore, st.DiskHits)
+	}
+
+	// The new tiered counters are exported and monotone under further
+	// traffic; the pre-existing Prometheus names stay present (locked by
+	// TestMetricsMonotone).
+	m1 := scrape(t, ts)
+	lo1 := metricValue(t, m1, "vtrain_lowerings_total")
+	dh1 := metricValue(t, m1, "vtrain_cache_disk_hits_total")
+	dm1 := metricValue(t, m1, "vtrain_cache_disk_misses_total")
+	dw1 := metricValue(t, m1, "vtrain_cache_disk_writes_total")
+	if lo1 == 0 || dh1 == 0 || dw1 == 0 {
+		t.Errorf("tiered counters missing activity: lowerings=%v disk_hits=%v disk_writes=%v", lo1, dh1, dw1)
+	}
+	mustPost(operatorBody) // evict + re-warm once more
+	m2 := scrape(t, ts)
+	for name, before := range map[string]float64{
+		"vtrain_lowerings_total":         lo1,
+		"vtrain_cache_disk_hits_total":   dh1,
+		"vtrain_cache_disk_misses_total": dm1,
+		"vtrain_cache_disk_writes_total": dw1,
+	} {
+		if after := metricValue(t, m2, name); after < before {
+			t.Errorf("%s fell from %v to %v — counters must be monotone across eviction", name, before, after)
+		}
+	}
+}

@@ -106,6 +106,18 @@ func (m *metrics) write(w io.Writer, e *Engine) {
 	fmt.Fprintf(w, "# HELP vtrain_batched_plans_total Plans carried by batched replay passes.\n")
 	fmt.Fprintf(w, "# TYPE vtrain_batched_plans_total counter\n")
 	fmt.Fprintf(w, "vtrain_batched_plans_total %d\n", st.BatchedPlans)
+	fmt.Fprintf(w, "# HELP vtrain_lowerings_total Graph lowerings actually performed (structural misses not served from the artifact tier).\n")
+	fmt.Fprintf(w, "# TYPE vtrain_lowerings_total counter\n")
+	fmt.Fprintf(w, "vtrain_lowerings_total %d\n", st.Lowerings)
+	fmt.Fprintf(w, "# HELP vtrain_cache_disk_hits_total Persistent artifact tier loads served from disk.\n")
+	fmt.Fprintf(w, "# TYPE vtrain_cache_disk_hits_total counter\n")
+	fmt.Fprintf(w, "vtrain_cache_disk_hits_total %d\n", st.DiskHits)
+	fmt.Fprintf(w, "# HELP vtrain_cache_disk_misses_total Persistent artifact tier load attempts that fell back to lowering (absent, corrupt, or version-skewed files).\n")
+	fmt.Fprintf(w, "# TYPE vtrain_cache_disk_misses_total counter\n")
+	fmt.Fprintf(w, "vtrain_cache_disk_misses_total %d\n", st.DiskMisses)
+	fmt.Fprintf(w, "# HELP vtrain_cache_disk_writes_total Artifacts persisted to the artifact tier.\n")
+	fmt.Fprintf(w, "# TYPE vtrain_cache_disk_writes_total counter\n")
+	fmt.Fprintf(w, "vtrain_cache_disk_writes_total %d\n", st.DiskWrites)
 
 	m.mu.Lock()
 	names := make([]string, 0, len(m.endpoints))

@@ -41,17 +41,17 @@ func NewSweepPoint(p dse.Point, c hw.Cluster, tokens uint64) SweepPoint {
 
 // ClusterPoint is one NDJSON line of a /v1/clusterdse stream.
 type ClusterPoint struct {
-	Offering     string  `json:"offering"`
-	Interconnect string  `json:"interconnect"`
-	Nodes        int     `json:"nodes"`
-	GPUs         int     `json:"gpus"`
-	Plan         string  `json:"plan"`
-	Tensor       int     `json:"t"`
-	Data         int     `json:"d"`
-	Pipeline     int     `json:"p"`
-	MicroBatch   int     `json:"m"`
-	IterTime     float64 `json:"iteration_time_s"`
-	Utilization  float64 `json:"gpu_utilization"`
+	Offering     string        `json:"offering"`
+	Interconnect string        `json:"interconnect"`
+	Nodes        int           `json:"nodes"`
+	GPUs         int           `json:"gpus"`
+	Plan         string        `json:"plan"`
+	Tensor       int           `json:"t"`
+	Data         int           `json:"d"`
+	Pipeline     int           `json:"p"`
+	MicroBatch   int           `json:"m"`
+	IterTime     float64       `json:"iteration_time_s"`
+	Utilization  float64       `json:"gpu_utilization"`
 	Training     cost.Training `json:"training"`
 	// Resilience is present when the sweep models failures; ranking then
 	// uses its effective figures.
@@ -84,6 +84,10 @@ type CacheCounters struct {
 	StructMisses uint64 `json:"struct_misses"`
 	BatchReplays uint64 `json:"batch_replays"`
 	BatchedPlans uint64 `json:"batched_plans"`
+	Lowerings    uint64 `json:"lowerings"`
+	DiskHits     uint64 `json:"disk_hits"`
+	DiskMisses   uint64 `json:"disk_misses"`
+	DiskWrites   uint64 `json:"disk_writes"`
 }
 
 func newCacheCounters(st core.CacheStats) CacheCounters {
@@ -91,6 +95,8 @@ func newCacheCounters(st core.CacheStats) CacheCounters {
 		ReportHits: st.ReportHits, ReportMisses: st.ReportMisses,
 		StructHits: st.StructHits, StructMisses: st.StructMisses,
 		BatchReplays: st.BatchReplays, BatchedPlans: st.BatchedPlans,
+		Lowerings: st.Lowerings,
+		DiskHits:  st.DiskHits, DiskMisses: st.DiskMisses, DiskWrites: st.DiskWrites,
 	}
 }
 

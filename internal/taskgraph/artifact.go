@@ -1,0 +1,461 @@
+package taskgraph
+
+// Artifact encoding: the flat, versioned, little-endian serialization of a
+// lowered structural Graph that the persistent artifact tier
+// (internal/artifact) writes to disk. The layout mirrors the in-memory
+// representation exactly — value slabs, CSR adjacency, a deduplicated
+// descriptor table, columnar label coordinates — and every slab section is
+// padded to a 4-byte payload offset, so on little-endian hosts a load
+// aliases the slabs straight out of the read buffer: no per-task decode
+// loop, no bulk copies, O(#slabs) pointer work plus validation scans.
+// Durations are not stored: a structural graph has none, which is exactly
+// why one artifact serves every plan of its shape on any hardware.
+//
+// The container around this payload (magic, format version, checksum) is
+// internal/artifact's concern; UnmarshalArtifact still validates every
+// count and index it reads, so corrupt bytes that somehow pass the
+// checksum produce an error, never a panic.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"unsafe"
+
+	"vtrain/internal/model"
+	"vtrain/internal/opgraph"
+	"vtrain/internal/profiler"
+)
+
+// EncodingVersion identifies the artifact payload layout produced by
+// Graph.MarshalArtifact. It is embedded in the payload and in the artifact
+// store's content hash, so a version bump makes old files silent cache
+// misses instead of misdecodes.
+const EncodingVersion = 1
+
+// ErrBadArtifact is returned by UnmarshalArtifact for any malformed
+// payload: wrong version, truncated data, trailing bytes, or an index out
+// of range. Callers treat it as a cache miss and re-lower.
+var ErrBadArtifact = errors.New("taskgraph: malformed artifact payload")
+
+// maxDescKernel bounds the kernel index a decoded descriptor may carry; the
+// largest real operator decomposition is 13 kernels, so anything near the
+// bound signals corruption.
+const maxDescKernel = 64
+
+// hostLittle reports whether the host stores integers little-endian, in
+// which case slab encode/decode is a single byte-reinterpreting copy.
+var hostLittle = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// int32Bytes reinterprets an int32 slab as its in-memory bytes. Only
+// meaningful on little-endian hosts (the stored byte order).
+func int32Bytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), 4*len(s))
+}
+
+func appendInt32Slab(b []byte, s []int32) []byte {
+	if hostLittle {
+		return append(b, int32Bytes(s)...)
+	}
+	for _, v := range s {
+		b = binary.LittleEndian.AppendUint32(b, uint32(v))
+	}
+	return b
+}
+
+func appendString(b []byte, s string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// pad4 zero-pads the payload to the next 4-byte boundary. Every int32
+// section is padded to a 4-aligned payload offset so the decoder can alias
+// it straight out of the (heap-aligned) read buffer instead of copying.
+func pad4(b []byte) []byte {
+	for len(b)%4 != 0 {
+		b = append(b, 0)
+	}
+	return b
+}
+
+// MarshalArtifact serializes a lowered structural graph — structure only.
+// Labels are deliberately excluded (see MarshalLabels): they are over half
+// the graph's bytes and only trace rendering reads them, so the sweeping
+// hot path should never pay to load them. The payload still records the
+// label count, which bounds the source indices and tells a lazy label
+// loader how many records to expect. Only graphs produced by Lower
+// qualify: hand-built graphs carry eager durations and closures the
+// encoding cannot represent.
+func (g *Graph) MarshalArtifact() ([]byte, error) {
+	if !g.Structural() || g.labels == nil {
+		return nil, errors.New("taskgraph: only lowered structural graphs can be marshaled")
+	}
+	n := g.NumTasks()
+	nL := g.labels.Len()
+	size := 4 + 4 + len(g.Model.Name) + 6*8 + 6*8 +
+		len(g.descs)*33 + 4*(4*n+1) + 4 + 4*len(g.children) + 8
+	for _, c := range g.classes {
+		size += 4 + len(c)
+	}
+	buf := make([]byte, 0, size)
+
+	buf = binary.LittleEndian.AppendUint32(buf, EncodingVersion)
+	buf = appendString(buf, g.Model.Name)
+	for _, v := range []int{g.Model.Hidden, g.Model.Layers, g.Model.SeqLen, g.Model.Heads, g.Model.Vocab, g.Devices} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
+	}
+	// A zero source count means the identity mapping (operator-level
+	// graphs), costing nothing on disk instead of 4 bytes per task.
+	for _, v := range []int{n, len(g.children), len(g.classes), len(g.descs), nL, len(g.sources)} {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(v)))
+	}
+	for _, c := range g.classes {
+		buf = appendString(buf, c)
+	}
+	for _, d := range g.descs {
+		buf = append(buf, byte(d.kind))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(d.op)))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d.kernel))
+		buf = binary.LittleEndian.AppendUint64(buf, d.stageParams)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d.buckets))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d.from))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(d.to))
+	}
+	buf = pad4(buf)
+	buf = appendInt32Slab(buf, g.sources)
+	buf = appendInt32Slab(buf, g.classOf)
+	buf = appendInt32Slab(buf, g.durIdx)
+	buf = appendInt32Slab(buf, g.slotOf)
+	buf = appendInt32Slab(buf, g.childStart)
+	buf = appendInt32Slab(buf, g.children)
+	return buf, nil
+}
+
+// MarshalLabels serializes the graph's label table as a standalone
+// payload: the artifact store keeps labels in their own file so warm
+// sweeps — which never render a label — load pure structure, and traces
+// fetch the label bytes on first use (see SetLabelSource). The columns are
+// already the on-disk layout, so encoding is a handful of slab dumps.
+func (g *Graph) MarshalLabels() ([]byte, error) {
+	if g.labels == nil {
+		return nil, errors.New("taskgraph: graph carries no label table")
+	}
+	nL := g.labels.Len()
+	buf := make([]byte, 0, 4+8+nL*25+4)
+	buf = binary.LittleEndian.AppendUint32(buf, EncodingVersion)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(nL))
+	buf = append(buf, g.labels.Kinds...)
+	buf = pad4(buf)
+	for _, c := range [6][]int32{
+		g.labels.Stage, g.labels.Micro, g.labels.Chunk,
+		g.labels.Layer, g.labels.LayerEnd, g.labels.Bucket,
+	} {
+		buf = appendInt32Slab(buf, c)
+	}
+	return buf, nil
+}
+
+// UnmarshalLabels decodes a payload produced by MarshalLabels, aliasing
+// the columns out of data where alignment allows (the caller must not
+// modify data afterwards). Any malformed input returns ErrBadArtifact.
+func UnmarshalLabels(data []byte) (*opgraph.LabelTable, error) {
+	r := &artifactReader{data: data}
+	if v := r.u32(); r.bad || v != EncodingVersion {
+		return nil, fmt.Errorf("%w: version", ErrBadArtifact)
+	}
+	nL := r.count()
+	t := &opgraph.LabelTable{Kinds: r.u8Slab(nL)}
+	r.align4()
+	t.Stage = r.i32Slab(nL)
+	t.Micro = r.i32Slab(nL)
+	t.Chunk = r.i32Slab(nL)
+	t.Layer = r.i32Slab(nL)
+	t.LayerEnd = r.i32Slab(nL)
+	t.Bucket = r.i32Slab(nL)
+	if r.bad || r.off != len(r.data) {
+		return nil, fmt.Errorf("%w: truncated or trailing bytes", ErrBadArtifact)
+	}
+	for _, k := range t.Kinds {
+		if int(k) >= opgraph.NumLabelKinds {
+			return nil, fmt.Errorf("%w: label kind", ErrBadArtifact)
+		}
+	}
+	return t, nil
+}
+
+// artifactReader walks an artifact payload, latching the first failure so
+// callers can read a whole section and check err once. Every read bounds
+// itself against the remaining bytes before allocating.
+type artifactReader struct {
+	data []byte
+	off  int
+	bad  bool
+}
+
+func (r *artifactReader) fail() {
+	r.bad = true
+}
+
+func (r *artifactReader) u8() byte {
+	if r.bad || r.off >= len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := r.data[r.off]
+	r.off++
+	return v
+}
+
+func (r *artifactReader) u32() uint32 {
+	if r.bad || r.off+4 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.data[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *artifactReader) u64() uint64 {
+	if r.bad || r.off+8 > len(r.data) {
+		r.fail()
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.data[r.off:])
+	r.off += 8
+	return v
+}
+
+// count reads a u64 section length and rejects anything that cannot
+// possibly fit in the remaining payload (each element costs at least one
+// byte), bounding every downstream allocation by len(data).
+func (r *artifactReader) count() int {
+	v := r.u64()
+	if r.bad || v > uint64(len(r.data)-r.off) {
+		r.fail()
+		return 0
+	}
+	return int(v)
+}
+
+func (r *artifactReader) str() string {
+	n := int(r.u32())
+	if r.bad || n < 0 || r.off+n > len(r.data) {
+		r.fail()
+		return ""
+	}
+	s := string(r.data[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// align4 skips the zero padding the encoder inserted before a 4-aligned
+// section.
+func (r *artifactReader) align4() {
+	pad := (4 - r.off%4) % 4
+	if r.bad || r.off+pad > len(r.data) {
+		r.fail()
+		return
+	}
+	r.off += pad
+}
+
+// u8Slab returns the next n bytes, aliasing the payload buffer: decoded
+// slabs are read-only (Graph is immutable once built), so sharing the
+// buffer is safe and saves the copy.
+func (r *artifactReader) u8Slab(n int) []byte {
+	if r.bad || n < 0 || r.off+n > len(r.data) {
+		r.fail()
+		return nil
+	}
+	out := r.data[r.off : r.off+n : r.off+n]
+	r.off += n
+	return out
+}
+
+// i32Slab returns the next n little-endian int32s. On a little-endian host
+// with the section 4-aligned in memory — the encoder pads sections so any
+// heap-backed buffer qualifies — the slab is a pointer reinterpretation of
+// the payload bytes: zero copies, zero allocations, which is what makes a
+// disk load O(#slabs) instead of O(bytes). The copying path remains as the
+// fallback for big-endian hosts and unaligned buffers (e.g. fuzzed
+// subslices).
+func (r *artifactReader) i32Slab(n int) []int32 {
+	if r.bad || n < 0 || n > (len(r.data)-r.off)/4 {
+		r.fail()
+		return nil
+	}
+	if n == 0 {
+		return []int32{}
+	}
+	base := &r.data[r.off]
+	if hostLittle && uintptr(unsafe.Pointer(base))%4 == 0 {
+		out := unsafe.Slice((*int32)(unsafe.Pointer(base)), n)
+		r.off += 4 * n
+		return out
+	}
+	out := make([]int32, n)
+	if hostLittle {
+		copy(int32Bytes(out), r.data[r.off:r.off+4*n])
+	} else {
+		for i := range out {
+			out[i] = int32(binary.LittleEndian.Uint32(r.data[r.off+4*i:]))
+		}
+	}
+	r.off += 4 * n
+	return out
+}
+
+// UnmarshalArtifact decodes a payload produced by MarshalArtifact into a
+// structural Graph equivalent to the freshly lowered one: same tasks, same
+// CSR adjacency, same descriptor table. Labels are not part of the
+// structure payload — the graph comes back label-less, and callers that
+// render traces install a lazy source via SetLabelSource. The dependency
+// counts and roots are recomputed from the adjacency rather than trusted
+// from the payload. Any malformed input returns ErrBadArtifact.
+//
+// The returned Graph aliases data where alignment allows: the caller must
+// not modify the payload afterwards. The artifact store reads a fresh
+// buffer per load, so it satisfies this for free.
+func UnmarshalArtifact(data []byte) (*Graph, error) {
+	r := &artifactReader{data: data}
+	if v := r.u32(); r.bad || v != EncodingVersion {
+		return nil, fmt.Errorf("%w: version", ErrBadArtifact)
+	}
+	g := &Graph{}
+	g.Model = model.Config{
+		Name:   r.str(),
+		Hidden: int(int64(r.u64())),
+		Layers: int(int64(r.u64())),
+		SeqLen: int(int64(r.u64())),
+		Heads:  int(int64(r.u64())),
+		Vocab:  int(int64(r.u64())),
+	}
+	g.Devices = int(int64(r.u64()))
+	nTasks := r.count()
+	nEdges := r.count()
+	nClasses := r.count()
+	nDescs := r.count()
+	nLabels := r.count()
+	nSources := r.count()
+	if r.bad || nTasks < 1 || g.Devices < 1 || g.Devices > nTasks {
+		return nil, fmt.Errorf("%w: header", ErrBadArtifact)
+	}
+	// Sources are either absent (identity mapping: every task labels
+	// through its own node, so nLabels must cover the task range) or one
+	// per task.
+	if nSources != 0 && nSources != nTasks {
+		return nil, fmt.Errorf("%w: source count", ErrBadArtifact)
+	}
+	if nSources == 0 && nLabels != nTasks {
+		return nil, fmt.Errorf("%w: label count", ErrBadArtifact)
+	}
+
+	g.classes = make([]string, nClasses)
+	for i := range g.classes {
+		g.classes[i] = r.str()
+	}
+	if r.bad || nDescs > (len(r.data)-r.off)/33 {
+		return nil, fmt.Errorf("%w: classes", ErrBadArtifact)
+	}
+	g.descs = make([]durDesc, nDescs)
+	for i := range g.descs {
+		d := &g.descs[i]
+		d.kind = descKind(r.u8())
+		d.op = profiler.OpKind(int64(r.u64()))
+		d.kernel = int32(r.u32())
+		d.stageParams = r.u64()
+		d.buckets = int32(r.u32())
+		d.from = int32(r.u32())
+		d.to = int32(r.u32())
+		if r.bad {
+			return nil, fmt.Errorf("%w: descriptors", ErrBadArtifact)
+		}
+		switch d.kind {
+		case descOperator, descKernel:
+			if d.op < 0 || d.op > profiler.WeightUpdate {
+				return nil, fmt.Errorf("%w: descriptor operator", ErrBadArtifact)
+			}
+			if d.kernel < 0 || d.kernel >= maxDescKernel {
+				return nil, fmt.Errorf("%w: descriptor kernel", ErrBadArtifact)
+			}
+		case descAllReduceTP:
+		case descAllReduceDP:
+			if d.buckets < 1 {
+				return nil, fmt.Errorf("%w: descriptor buckets", ErrBadArtifact)
+			}
+		case descP2P:
+			if d.from < 0 || int(d.from) >= g.Devices || d.to < 0 || int(d.to) >= g.Devices {
+				return nil, fmt.Errorf("%w: descriptor stages", ErrBadArtifact)
+			}
+		default:
+			return nil, fmt.Errorf("%w: descriptor kind", ErrBadArtifact)
+		}
+	}
+
+	r.align4()
+	if nSources > 0 {
+		g.sources = r.i32Slab(nSources)
+	}
+	g.classOf = r.i32Slab(nTasks)
+	g.durIdx = r.i32Slab(nTasks)
+	g.slotOf = r.i32Slab(nTasks)
+	g.childStart = r.i32Slab(nTasks + 1)
+	g.children = r.i32Slab(nEdges)
+	if r.bad || r.off != len(r.data) {
+		return nil, fmt.Errorf("%w: truncated or trailing bytes", ErrBadArtifact)
+	}
+	// Labels live in their own artifact (see MarshalLabels); the decoded
+	// graph records only their count, and composes none until a label
+	// source is installed (SetLabelSource) and a trace asks for one.
+	g.nLabels = nLabels
+
+	// Index validation: everything the replay loop, Bind, and TaskLabel
+	// will dereference must be in range.
+	if g.childStart[0] != 0 || int(g.childStart[nTasks]) != nEdges {
+		return nil, fmt.Errorf("%w: adjacency bounds", ErrBadArtifact)
+	}
+	for i := 0; i < nTasks; i++ {
+		if g.childStart[i] > g.childStart[i+1] {
+			return nil, fmt.Errorf("%w: adjacency order", ErrBadArtifact)
+		}
+		if uint32(g.classOf[i]) >= uint32(nClasses) ||
+			uint32(g.durIdx[i]) >= uint32(nDescs) ||
+			uint32(g.slotOf[i]) >= uint32(2*g.Devices) {
+			return nil, fmt.Errorf("%w: task indices", ErrBadArtifact)
+		}
+	}
+	for _, s := range g.sources {
+		if uint32(s) >= uint32(nLabels) {
+			return nil, fmt.Errorf("%w: task source", ErrBadArtifact)
+		}
+	}
+	// Rebuild the derived slabs (indeg, roots) instead of trusting them
+	// from disk: recomputing from the validated adjacency guarantees
+	// internal consistency, and the recomputation doubles as the edge-target
+	// bounds check. No task arena is materialized — a structural graph is
+	// its slabs (see Graph), so the artifact loads with O(#slabs) work plus
+	// these validation scans.
+	g.indeg = make([]int32, nTasks)
+	for _, c := range g.children {
+		if uint32(c) >= uint32(nTasks) {
+			return nil, fmt.Errorf("%w: edge target", ErrBadArtifact)
+		}
+		g.indeg[c]++
+	}
+	for i := 0; i < nTasks; i++ {
+		if g.indeg[i] == 0 {
+			g.roots = append(g.roots, int32(i))
+		}
+	}
+	if len(g.roots) == 0 {
+		return nil, fmt.Errorf("%w: no roots", ErrBadArtifact)
+	}
+	return g, nil
+}

@@ -61,9 +61,13 @@ type batchScratch struct {
 	// dur and flops hold each lane's bound table columns; the replay reads
 	// them in place (k parallel sequential streams as the queue advances —
 	// stacking them lane-major would cost a strided transpose pass that
-	// overwhelms the walk it saves).
-	dur   [][]float64
-	flops [][]float64
+	// overwhelms the walk it saves). Lanes bound by descriptor instead carry
+	// their table's priced-value slice and durIdx slab in vals and durIdx,
+	// with dur/flops nil.
+	dur    [][]float64
+	flops  [][]float64
+	vals   [][]descVal
+	durIdx [][]int32
 	// ready[id*k+lane] is lane's earliest dependency-permitted start. Not
 	// pre-zeroed: a task's row is written in full by its first incoming
 	// edge (detected via the untouched ref count), and root rows — which
@@ -98,9 +102,13 @@ func (sc *batchScratch) reset(n, devices, classes, k int) {
 	if cap(sc.dur) < k {
 		sc.dur = make([][]float64, k)
 		sc.flops = make([][]float64, k)
+		sc.vals = make([][]descVal, k)
+		sc.durIdx = make([][]int32, k)
 	}
 	sc.dur = sc.dur[:k]
 	sc.flops = sc.flops[:k]
+	sc.vals = sc.vals[:k]
+	sc.durIdx = sc.durIdx[:k]
 	sc.ready = fitRaw(sc.ready, n*k, drop)
 	sc.free = fitZero(sc.free, 2*devices*k, drop)
 	sc.busy = fitZero(sc.busy, 2*devices*k, drop)
@@ -124,7 +132,7 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 	if k == 0 {
 		return nil, nil
 	}
-	n := len(g.Tasks)
+	n := g.NumTasks()
 	if n == 0 {
 		return nil, fmt.Errorf("taskgraph: graph has no tasks")
 	}
@@ -132,8 +140,8 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 		if tbl == nil {
 			return nil, fmt.Errorf("taskgraph: batch table %d is nil; Bind a DurationTable per lane", i)
 		}
-		if len(tbl.dur) != n {
-			return nil, fmt.Errorf("taskgraph: batch table %d binds %d tasks, graph has %d", i, len(tbl.dur), n)
+		if tbl.Len() != n {
+			return nil, fmt.Errorf("taskgraph: batch table %d binds %d tasks, graph has %d", i, tbl.Len(), n)
 		}
 	}
 
@@ -141,8 +149,13 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 	sc.reset(n, g.Devices, len(g.classes), k)
 
 	for l, tbl := range tables {
-		sc.dur[l] = tbl.dur
-		sc.flops[l] = tbl.flops
+		if tbl.byDesc {
+			sc.vals[l], sc.durIdx[l] = tbl.vals, tbl.durIdx
+			sc.dur[l], sc.flops[l] = nil, nil
+		} else {
+			sc.dur[l], sc.flops[l] = tbl.dur, tbl.flops
+			sc.vals[l], sc.durIdx[l] = nil, nil
+		}
 	}
 
 	copy(sc.ref, g.indeg)
@@ -158,11 +171,18 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 		// float operations on the same columnar state with lane subscripts
 		// collapsed away.
 		dur, flops := sc.dur[0], sc.flops[0]
+		vals, durIdx := sc.vals[0], sc.durIdx[0]
 		flopsSum := 0.0
 		for head := 0; head < len(queue); head++ {
 			id := queue[head]
 			slot := g.slotOf[id]
-			d := dur[id]
+			var d, fl float64
+			if vals != nil {
+				dv := &vals[durIdx[id]]
+				d, fl = dv.dur, dv.flops
+			} else {
+				d, fl = dur[id], flops[id]
+			}
 			start := sc.ready[id]
 			if f := sc.free[slot]; f > start {
 				start = f
@@ -171,7 +191,7 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 			sc.free[slot] = finish
 			sc.busy[slot] += d
 			sc.classSec[g.classOf[id]] += d
-			flopsSum += flops[id]
+			flopsSum += fl
 			executed++
 			for _, cid := range g.Children(int(id)) {
 				if sc.ref[cid] == g.indeg[cid] {
@@ -203,7 +223,13 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 		busy := sc.busy[slot*k : slot*k+k]
 		classSec := sc.classSec[int(g.classOf[id])*k : int(g.classOf[id])*k+k]
 		for l := 0; l < k; l++ {
-			dur := sc.dur[l][id]
+			var dur, fl float64
+			if v := sc.vals[l]; v != nil {
+				dv := &v[sc.durIdx[l][id]]
+				dur, fl = dv.dur, dv.flops
+			} else {
+				dur, fl = sc.dur[l][id], sc.flops[l][id]
+			}
 			start := ready[l]
 			if f := free[l]; f > start {
 				start = f
@@ -211,7 +237,7 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 			free[l] = start + dur // proceed lane l's timeline
 			busy[l] += dur
 			classSec[l] += dur
-			sc.flopsSum[l] += sc.flops[l][id]
+			sc.flopsSum[l] += fl
 		}
 		executed++
 		for _, cid := range g.Children(int(id)) {
@@ -267,6 +293,7 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 	sc.queue = queue[:0]
 	for l := range sc.dur {
 		sc.dur[l], sc.flops[l] = nil, nil // don't pin released tables
+		sc.vals[l], sc.durIdx[l] = nil, nil
 	}
 	batchScratchPool.Put(sc)
 

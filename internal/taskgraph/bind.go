@@ -48,14 +48,28 @@ type durDesc struct {
 	from, to int32
 }
 
+// descVal is one priced descriptor: the duration and FLOPs every task of
+// that descriptor shares under one plan.
+type descVal struct{ dur, flops float64 }
+
 // DurationTable holds the per-plan numbers of one (structural graph, plan)
-// binding: a flat duration and FLOPs value per task ID. The table is
+// binding. It has two representations. A stateless binding — the sweep hot
+// path — stores one priced value per *descriptor* (vals, a few dozen
+// entries that live in L1) plus a reference to the graph's durIdx slab;
+// replay gathers vals[durIdx[id]] on the fly, so binding never materializes
+// — or even touches — a per-task array. Stateful communication timers and
+// hand-built graphs still fan out to flat per-task columns (dur, flops),
+// because their values genuinely vary per task. Either way the table is
 // read-only during replay, so one shared structural graph can be bound to
-// many plans and replayed concurrently, each replay combining the immutable
-// structure with its own table.
+// many plans and replayed concurrently.
 type DurationTable struct {
+	n     int
 	dur   []float64
 	flops []float64
+	// byDesc selects the descriptor-gather representation.
+	byDesc bool
+	vals   []descVal
+	durIdx []int32
 
 	// Binding context, retained so trace capture can resolve the
 	// plan-dependent parts of task labels (kernel symbols embed tensor
@@ -68,26 +82,48 @@ type DurationTable struct {
 	oversized int8
 }
 
+// taskValues returns the bound (duration, FLOPs) of task id regardless of
+// representation.
+func (t *DurationTable) taskValues(id int) (float64, float64) {
+	if t.byDesc {
+		v := t.vals[t.durIdx[id]]
+		return v.dur, v.flops
+	}
+	return t.dur[id], t.flops[id]
+}
+
 // Duration returns the bound execution time of task id in seconds.
-func (t *DurationTable) Duration(id int) float64 { return t.dur[id] }
+func (t *DurationTable) Duration(id int) float64 {
+	d, _ := t.taskValues(id)
+	return d
+}
 
 // Len returns the number of bound tasks.
-func (t *DurationTable) Len() int { return len(t.dur) }
+func (t *DurationTable) Len() int { return t.n }
 
 // tablePool recycles DurationTables across Bind/Release cycles, keeping
 // sweep workers allocation-lean: a worker that binds thousands of plans
 // reuses the same slices.
 var tablePool = sync.Pool{New: func() any { return new(DurationTable) }}
 
-// tableFor returns a pooled table sized for n tasks. Like replay scratch,
-// capacity beyond 4x the requested size is shed per the hysteretic policy
-// of wantShrink, so one huge graph cannot pin worst-case storage forever.
+// tableFor returns a pooled table bound to n tasks. The per-task columns
+// are sized lazily (fitTasks) because the stateless binding path never
+// touches them.
 func tableFor(n int) *DurationTable {
 	t := tablePool.Get().(*DurationTable)
+	t.n = n
+	t.byDesc = false
+	return t
+}
+
+// fitTasks sizes the per-task columns for the fan-out representation. Like
+// replay scratch, capacity beyond 4x the requested size is shed per the
+// hysteretic policy of wantShrink, so one huge graph cannot pin worst-case
+// storage forever.
+func (t *DurationTable) fitTasks(n int) {
 	drop := wantShrink(cap(t.dur), n, &t.oversized)
 	t.dur = fitRaw(t.dur, n, drop)
 	t.flops = fitRaw(t.flops, n, drop)
-	return t
 }
 
 // Release returns the table to the binding pool. Callers that are done with
@@ -99,6 +135,8 @@ func (t *DurationTable) Release() {
 	}
 	t.prof = nil
 	t.plan = parallel.Plan{}
+	t.byDesc = false
+	t.durIdx = nil // graph slab: do not pin the graph through the pool
 	tablePool.Put(t)
 }
 
@@ -134,11 +172,12 @@ func (d *durDesc) operatorFor(g *Graph, plan parallel.Plan) profiler.Operator {
 // On a hand-built graph (no descriptors) Bind copies the tasks' eager
 // durations, so Replay behaves identically to Simulate.
 func (g *Graph) Bind(prof *profiler.Profiler, cm CommTimer, plan parallel.Plan, c hw.Cluster) *DurationTable {
-	n := len(g.Tasks)
+	n := g.NumTasks()
 	tbl := tableFor(n)
 	tbl.prof = prof
 	tbl.plan = plan
 	if g.descs == nil {
+		tbl.fitTasks(n)
 		for i := range g.Tasks {
 			tbl.dur[i] = g.Tasks[i].Duration
 			tbl.flops[i] = g.Tasks[i].FLOPs
@@ -158,8 +197,12 @@ func (g *Graph) Bind(prof *profiler.Profiler, cm CommTimer, plan parallel.Plan, 
 	// distinct descriptor instead of once per task; a stateful timer keeps
 	// the per-task call sequence (see CommTimer).
 	_, stateless := cm.(StatelessCommTimer)
-	type val struct{ dur, flops float64 }
-	vals := make([]val, len(g.descs))
+	if cap(tbl.vals) < len(g.descs) {
+		tbl.vals = make([]descVal, len(g.descs))
+	}
+	vals := tbl.vals[:len(g.descs)]
+	clear(vals) // pooled reuse may carry stale entries
+	tbl.vals = vals
 	for i := range g.descs {
 		d := &g.descs[i]
 		switch d.kind {
@@ -169,40 +212,41 @@ func (g *Graph) Bind(prof *profiler.Profiler, cm CommTimer, plan parallel.Plan, 
 				dur += k.Duration
 				flops += k.Kernel.FLOPs
 			}
-			vals[i] = val{dur, flops}
+			vals[i] = descVal{dur, flops}
 		case descKernel:
 			k := prof.Profile(d.operatorFor(g, plan))[d.kernel]
-			vals[i] = val{k.Duration, k.Kernel.FLOPs}
+			vals[i] = descVal{k.Duration, k.Kernel.FLOPs}
 		case descAllReduceTP:
 			if stateless {
-				vals[i] = val{dur: cm.AllReduce(actBytes, plan.Tensor, plan.Tensor <= gpn)}
+				vals[i] = descVal{dur: cm.AllReduce(actBytes, plan.Tensor, plan.Tensor <= gpn)}
 			}
 		case descAllReduceDP:
 			if stateless {
 				bucketParams := d.stageParams / uint64(plan.Tensor) / uint64(d.buckets)
-				vals[i] = val{dur: cm.AllReduce(2*float64(bucketParams), plan.Data, stride <= gpn)}
+				vals[i] = descVal{dur: cm.AllReduce(2*float64(bucketParams), plan.Data, stride <= gpn)}
 			}
 		case descP2P:
 			if stateless {
 				same := (int(d.from)*stride)/gpn == (int(d.to)*stride)/gpn
-				vals[i] = val{dur: cm.SendRecv(actBytes, same)}
+				vals[i] = descVal{dur: cm.SendRecv(actBytes, same)}
 			}
 		}
 	}
 
 	if stateless {
-		for i := range g.Tasks {
-			v := vals[g.durIdx[i]]
-			tbl.dur[i] = v.dur
-			tbl.flops[i] = v.flops
-		}
+		// Every descriptor is fully priced: hand replay the per-descriptor
+		// table and the graph's durIdx slab instead of fanning out ~2 eight-
+		// byte writes per task — binding becomes O(#descriptors).
+		tbl.byDesc = true
+		tbl.durIdx = g.durIdx
 		return tbl
 	}
 
 	// Fan out to tasks, pricing communication per task in ID order — the
 	// call sequence a from-scratch lowering would present to a stateful
 	// CommTimer.
-	for i := range g.Tasks {
+	tbl.fitTasks(n)
+	for i := 0; i < n; i++ {
 		d := &g.descs[g.durIdx[i]]
 		switch d.kind {
 		case descOperator, descKernel:

@@ -62,11 +62,11 @@ func TestStructureHardwareInvariance(t *testing.T) {
 		gA, profA := lowerOn(t, m, plan, cA, fid)
 		gB, profB := lowerOn(t, m, plan, cB, fid)
 
-		// Task arena: every task, field for field. Structural tasks carry
-		// no durations, FLOPs, or kernel names, so equality here means the
-		// topology and classification are hardware-free.
-		if !reflect.DeepEqual(gA.Tasks, gB.Tasks) {
-			t.Fatalf("fidelity %v: task arenas differ between clusters", fid)
+		// Per-task slabs: every task, attribute for attribute. Structural
+		// tasks carry no durations, FLOPs, or kernel names, so equality
+		// here means the topology and classification are hardware-free.
+		if gA.NumTasks() != gB.NumTasks() {
+			t.Fatalf("fidelity %v: task counts differ between clusters", fid)
 		}
 		if gA.Devices != gB.Devices || gA.Model != gB.Model {
 			t.Fatalf("fidelity %v: graph headers differ", fid)
@@ -82,6 +82,8 @@ func TestStructureHardwareInvariance(t *testing.T) {
 			"classOf":    {gA.classOf, gB.classOf},
 			"descs":      {gA.descs, gB.descs},
 			"durIdx":     {gA.durIdx, gB.durIdx},
+			"slotOf":     {gA.slotOf, gB.slotOf},
+			"sources":    {gA.sources, gB.sources},
 		} {
 			if !reflect.DeepEqual(pair[0], pair[1]) {
 				t.Fatalf("fidelity %v: %s differs between clusters", fid, name)
@@ -89,7 +91,7 @@ func TestStructureHardwareInvariance(t *testing.T) {
 		}
 		// Labels resolve through the source operator graph; they must not
 		// embed hardware either.
-		for id := range gA.Tasks {
+		for id := 0; id < gA.NumTasks(); id++ {
 			if la, lb := gA.TaskLabel(id), gB.TaskLabel(id); la != lb {
 				t.Fatalf("fidelity %v: task %d label %q != %q", fid, id, la, lb)
 			}
@@ -152,11 +154,11 @@ func TestBindingDiffersAcrossInterconnectTiers(t *testing.T) {
 	defer tblFast.Release()
 
 	commDiffer, computeDiffer := 0, 0
-	for i := range g.Tasks {
+	for i := 0; i < g.NumTasks(); i++ {
 		if tblSlow.Duration(i) == tblFast.Duration(i) {
 			continue
 		}
-		if g.Tasks[i].Stream == CommStream {
+		if g.TaskAt(i).Stream == CommStream {
 			commDiffer++
 		} else {
 			computeDiffer++

@@ -28,9 +28,8 @@ func lowerOperatorLevel(og *opgraph.Graph) *Graph {
 	g := &Graph{
 		Devices: og.Stages,
 		Model:   og.Model,
-		labelOf: og.LabelSnapshot(),
+		labels:  og.LabelTable(),
 	}
-	g.Tasks = make([]Task, n)
 	g.classOf = make([]int32, n)
 	g.durIdx = make([]int32, n)
 	g.indeg = make([]int32, n)
@@ -84,13 +83,11 @@ func lowerOperatorLevel(og *opgraph.Graph) *Graph {
 			g.childStart[d+1]++
 		}
 
-		t := &g.Tasks[id]
-		t.ID = id
-		t.Device = int(nd.Stage)
-		t.Source = id
+		// Task id lowers from node id (the isomorphism): Source is the
+		// identity mapping, which the Graph encodes as a nil sources slab.
+		stream := ComputeStream
 		switch nd.Kind {
 		case opgraph.Compute:
-			// Stream zero value is ComputeStream.
 			op := int(nd.Op)
 			ci := int32(-1)
 			if op >= 0 && op < len(opClass) {
@@ -113,9 +110,8 @@ func lowerOperatorLevel(og *opgraph.Graph) *Graph {
 				}
 			}
 			g.classOf[id], g.durIdx[id] = ci, di
-			t.Class = g.classes[ci]
 		case opgraph.AllReduceTP:
-			t.Stream = CommStream
+			stream = CommStream
 			ci := kindClass[nd.Kind]
 			if ci < 0 {
 				ci = internClass(nd.Kind.String())
@@ -125,9 +121,8 @@ func lowerOperatorLevel(og *opgraph.Graph) *Graph {
 				tpDesc = internDesc(durDesc{kind: descAllReduceTP})
 			}
 			g.classOf[id], g.durIdx[id] = ci, tpDesc
-			t.Class = g.classes[ci]
 		case opgraph.AllReduceDP:
-			t.Stream = CommStream
+			stream = CommStream
 			ci := kindClass[nd.Kind]
 			if ci < 0 {
 				ci = internClass(nd.Kind.String())
@@ -135,9 +130,8 @@ func lowerOperatorLevel(og *opgraph.Graph) *Graph {
 			}
 			di := internDesc(durDesc{kind: descAllReduceDP, stageParams: nd.StageParams, buckets: nd.Buckets})
 			g.classOf[id], g.durIdx[id] = ci, di
-			t.Class = g.classes[ci]
 		case opgraph.P2P:
-			t.Stream = CommStream
+			stream = CommStream
 			ci := kindClass[nd.Kind]
 			if ci < 0 {
 				ci = internClass(nd.Kind.String())
@@ -145,11 +139,10 @@ func lowerOperatorLevel(og *opgraph.Graph) *Graph {
 			}
 			di := internDesc(durDesc{kind: descP2P, from: nd.FromStage, to: nd.Stage})
 			g.classOf[id], g.durIdx[id] = ci, di
-			t.Class = g.classes[ci]
 		default:
 			panic(fmt.Sprintf("taskgraph: unknown node kind %v", nd.Kind))
 		}
-		g.slotOf[id] = int32(2*t.Device) + int32(t.Stream)
+		g.slotOf[id] = 2*nd.Stage + int32(stream)
 	}
 
 	for i := 0; i < n; i++ {

@@ -35,13 +35,8 @@ func TestOperatorLowerFastPathMatchesBuilder(t *testing.T) {
 		fast := lowerOperatorLevel(og)
 		ref := lowerBuilder(og, prof, OperatorLevel)
 
-		if got, want := len(fast.Tasks), len(ref.Tasks); got != want {
+		if got, want := fast.NumTasks(), ref.NumTasks(); got != want {
 			t.Fatalf("plan %s: %d tasks, want %d", plan, got, want)
-		}
-		for i := range ref.Tasks {
-			if fast.Tasks[i] != ref.Tasks[i] {
-				t.Fatalf("plan %s: task %d = %+v, want %+v", plan, i, fast.Tasks[i], ref.Tasks[i])
-			}
 		}
 		check := func(name string, got, want any) {
 			if !reflect.DeepEqual(got, want) {
@@ -58,8 +53,11 @@ func TestOperatorLowerFastPathMatchesBuilder(t *testing.T) {
 		check("classOf", fast.classOf, ref.classOf)
 		check("descs", fast.descs, ref.descs)
 		check("durIdx", fast.durIdx, ref.durIdx)
-		if fast.labelOf == nil {
-			t.Fatalf("plan %s: fast path lost the label resolver", plan)
+		check("slotOf", fast.slotOf, ref.slotOf)
+		check("sources", fast.sources, ref.sources)
+		check("labels", fast.labels, ref.labels)
+		if fast.labels == nil {
+			t.Fatalf("plan %s: fast path lost the label records", plan)
 		}
 	}
 }
@@ -84,10 +82,12 @@ func TestBindStatelessMatchesStateful(t *testing.T) {
 	}
 	fast := g.Bind(prof, cm, plan, c)
 	slow := g.Bind(prof, hideStateless{cm}, plan, c)
-	for i := range g.Tasks {
-		if fast.dur[i] != slow.dur[i] || fast.flops[i] != slow.flops[i] {
+	for i := 0; i < g.NumTasks(); i++ {
+		fd, ff := fast.taskValues(i)
+		sd, sf := slow.taskValues(i)
+		if fd != sd || ff != sf {
 			t.Fatalf("task %d: stateless bind (%g, %g) != per-task bind (%g, %g)",
-				i, fast.dur[i], fast.flops[i], slow.dur[i], slow.flops[i])
+				i, fd, ff, sd, sf)
 		}
 	}
 }

@@ -48,7 +48,7 @@ func (sc *scratch) reset(n, devices, classes int) {
 // are safe. tbl supplies the per-plan durations of a structural graph; for
 // hand-built graphs it may be nil, falling back to the tasks' eager values.
 func (g *Graph) replay(tbl *DurationTable, capture bool) (Result, []Span, error) {
-	n := len(g.Tasks)
+	n := g.NumTasks()
 	if n == 0 {
 		return Result{}, nil, fmt.Errorf("taskgraph: graph has no tasks")
 	}
@@ -56,11 +56,17 @@ func (g *Graph) replay(tbl *DurationTable, capture bool) (Result, []Span, error)
 		return Result{}, nil, fmt.Errorf("taskgraph: structural graph has no durations; Bind a DurationTable and use Replay")
 	}
 	var durs, flops []float64
+	var vals []descVal
+	var durIdx []int32
 	if tbl != nil {
-		if len(tbl.dur) != n {
-			return Result{}, nil, fmt.Errorf("taskgraph: duration table binds %d tasks, graph has %d", len(tbl.dur), n)
+		if tbl.Len() != n {
+			return Result{}, nil, fmt.Errorf("taskgraph: duration table binds %d tasks, graph has %d", tbl.Len(), n)
 		}
-		durs, flops = tbl.dur, tbl.flops
+		if tbl.byDesc {
+			vals, durIdx = tbl.vals, tbl.durIdx
+		} else {
+			durs, flops = tbl.dur, tbl.flops
+		}
 	}
 	sc := scratchPool.Get().(*scratch)
 	sc.reset(n, g.Devices, len(g.classes))
@@ -84,9 +90,15 @@ func (g *Graph) replay(tbl *DurationTable, capture bool) (Result, []Span, error)
 		// replay touches only the flat per-task arrays.
 		slot := int(g.slotOf[id])
 		var dur, fl float64
-		if durs != nil {
+		switch {
+		case vals != nil:
+			// Descriptor-gather binding: the priced table is a few dozen
+			// L1-resident entries, indexed through the graph's durIdx slab.
+			v := &vals[durIdx[id]]
+			dur, fl = v.dur, v.flops
+		case durs != nil:
 			dur, fl = durs[id], flops[id]
-		} else {
+		default:
 			u := &g.Tasks[id]
 			dur, fl = u.Duration, u.FLOPs
 		}

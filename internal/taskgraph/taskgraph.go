@@ -36,6 +36,7 @@ package taskgraph
 
 import (
 	"fmt"
+	"sync"
 
 	"vtrain/internal/comm"
 	"vtrain/internal/model"
@@ -109,11 +110,22 @@ type Task struct {
 	Kernel string
 }
 
-// Graph is the task-granularity execution graph: a value-typed task arena
-// plus CSR-style flat adjacency. Once built it is never mutated, so it is
-// safe to share across goroutines and replay any number of times.
+// Graph is the task-granularity execution graph: flat per-task slabs plus
+// CSR-style adjacency. Once built it is never mutated, so it is safe to
+// share across goroutines and replay any number of times.
+//
+// Structural graphs (produced by Lower) are slab-only: Tasks stays nil,
+// and every per-task attribute lives in a flat slice (slotOf, classOf,
+// durIdx, sources). A structural task would carry nothing but indices —
+// its durations bind per plan, its label resolves through the source
+// operator — so materializing a 100-byte Task value per task would only
+// burn allocation, zeroing, and GC scan time in the sweep hot path, and
+// would make disk-loaded graphs pay a per-task decode loop. Hand-built
+// graphs (tests, ad-hoc experiments) keep the eager arena.
 type Graph struct {
-	// Tasks is the value-typed task arena in ID order. Read-only after
+	// Tasks is the value-typed task arena in ID order for hand-built
+	// graphs; nil for structural graphs, whose per-task attributes live
+	// in the flat slabs below (use NumTasks and TaskAt). Read-only after
 	// Build; replay never mutates it.
 	Tasks []Task
 	// Devices is the number of logical devices (pipeline stages), each
@@ -141,17 +153,39 @@ type Graph struct {
 	// slotOf maps each task to its resource slot 2*Device + Stream. The
 	// replay loop reads it instead of the Task values: tasks are large
 	// (they carry strings and trace fields), so touching one per pop would
-	// cost a cache miss per task.
+	// cost a cache miss per task. It is filled for every graph and doubles
+	// as the per-task length (see NumTasks).
 	slotOf []int32
+	// sources maps each task to its originating operator-graph node. A nil
+	// slice means the identity mapping — at operator granularity the task
+	// graph is isomorphic to the operator graph, so storing 4 bytes per
+	// task (in memory and in every disk artifact) would encode nothing.
+	sources []int32
 	// descs is the compact duration-descriptor table of a structural
 	// graph (nil for hand-built graphs): every distinct way a task can be
 	// priced, deduplicated. durIdx maps each task to its descriptor. Bind
 	// resolves descriptors into concrete per-task durations for one plan.
 	descs  []durDesc
 	durIdx []int32
-	// labelOf lazily resolves a task's base label from its Source node in
-	// the originating operator graph; nil for hand-built graphs, which
-	// fall back to Task.Label. Only trace capture calls it.
+	// labels holds the per-source-node label coordinates captured from the
+	// operator graph at lowering time, in columnar form; TaskLabel composes
+	// them on demand. Unlike the labelOf closure they are plain data, so a
+	// lowered graph (labels included) can round-trip through the on-disk
+	// artifact store — and because the columns match the on-disk layout,
+	// a loaded graph aliases them out of the read buffer with zero copies.
+	// Disk-loaded graphs start label-less (labels are over half a graph's
+	// bytes and sweeps never render one): labels stays nil, nLabels records
+	// how many records the label artifact holds, and labelSrc — installed
+	// via SetLabelSource — fetches them once, on the first TaskLabel call.
+	labels   *opgraph.LabelTable
+	nLabels  int
+	labelSrc func() *opgraph.LabelTable
+	// labelOnce makes the lazy fetch single-flight and publishes labels
+	// safely to concurrent TaskLabel callers.
+	labelOnce sync.Once
+	// labelOf lazily resolves a task's base label from its Source node;
+	// hand-built graphs may install one via SetLabeler. Lowered graphs use
+	// labels instead. Only trace capture calls it.
 	labelOf func(source int) string
 }
 
@@ -159,20 +193,93 @@ type Graph struct {
 // therefore needs a Bind-produced DurationTable to replay.
 func (g *Graph) Structural() bool { return g.descs != nil }
 
+// NumTasks returns the number of tasks in the graph. Unlike len(Tasks) it
+// is meaningful for structural graphs, which keep no eager task arena.
+func (g *Graph) NumTasks() int { return len(g.slotOf) }
+
+// source returns the operator-graph node task id lowered from.
+func (g *Graph) source(id int) int {
+	if g.sources == nil {
+		return id
+	}
+	return int(g.sources[id])
+}
+
+// TaskAt materializes the task value for id. For hand-built graphs this is
+// Tasks[id]; for structural graphs the value is assembled from the slabs
+// (durations, FLOPs, and kernel names stay zero — they are per-plan
+// quantities a structural task does not carry).
+func (g *Graph) TaskAt(id int) Task {
+	if g.Tasks != nil {
+		return g.Tasks[id]
+	}
+	slot := g.slotOf[id]
+	return Task{
+		ID:     id,
+		Device: int(slot / 2),
+		Stream: Stream(slot % 2),
+		Source: g.source(id),
+		Class:  g.classes[g.classOf[id]],
+	}
+}
+
 // Children returns the dependent task IDs of task id.
 func (g *Graph) Children(id int) []int32 {
 	return g.children[g.childStart[id]:g.childStart[id+1]]
 }
 
+// SetLabelSource installs a lazy fetcher for a disk-loaded graph's label
+// table. The artifact tier stores labels separately from structure, so a
+// loaded graph defers their cost until a trace actually composes a label;
+// the source runs at most once, and its result is shared by all callers.
+// Call before the graph is published to other goroutines.
+func (g *Graph) SetLabelSource(f func() *opgraph.LabelTable) { g.labelSrc = f }
+
+// LabelCount returns the number of label records the graph's label table
+// holds (or, for a disk-loaded graph whose labels are not yet resident,
+// will hold). Source indices are always below this bound.
+func (g *Graph) LabelCount() int {
+	if g.labels != nil {
+		return g.labels.Len()
+	}
+	return g.nLabels
+}
+
+// Labels returns the graph's label table, fetching it through the lazy
+// source on first use. Nil when the graph carries no labels and no source.
+func (g *Graph) Labels() *opgraph.LabelTable {
+	if g.labelSrc != nil {
+		g.labelOnce.Do(func() { g.labels = g.labelSrc() })
+	}
+	return g.labels
+}
+
 // TaskLabel composes the human-readable trace tag of task id: the source
 // operator's (lazily rendered) label, qualified by the kernel name at task
 // granularity. Labels are formatted only when this is called — plain
-// Simulate replays never pay for them.
+// Simulate replays never pay for them, and a disk-loaded graph does not
+// even load its label bytes until the first call.
 func (g *Graph) TaskLabel(id int) string {
+	if g.Tasks == nil {
+		// Structural graphs carry no eager labels or kernel names; the
+		// base label composes from the source node's coordinates.
+		src := g.source(id)
+		if labels := g.Labels(); labels != nil {
+			return labels.At(src).Compose()
+		}
+		if g.labelOf != nil {
+			return g.labelOf(src)
+		}
+		return ""
+	}
 	t := &g.Tasks[id]
 	base := t.Label
-	if base == "" && g.labelOf != nil {
-		base = g.labelOf(t.Source)
+	if base == "" {
+		if labels := g.Labels(); labels != nil {
+			base = labels.At(t.Source).Compose()
+		} else if g.labelOf != nil {
+			base = g.labelOf(t.Source)
+		}
 	}
 	if t.Kernel == "" {
 		return base
@@ -188,6 +295,7 @@ type Builder struct {
 	edges   [][2]int32
 	classID map[string]int32
 	descID  map[durDesc]int32
+	reserve int
 }
 
 // NewBuilder starts a graph over the given number of logical devices.
@@ -201,20 +309,38 @@ func NewBuilder(devices int) *Builder {
 // Reserve pre-allocates capacity for the given task and edge counts,
 // avoiding append-doubling waste when the caller knows the graph size.
 func (b *Builder) Reserve(tasks, edges int) {
-	b.g.Tasks = make([]Task, 0, tasks)
+	b.reserve = tasks
 	b.g.classOf = make([]int32, 0, tasks)
 	b.edges = make([][2]int32, 0, edges)
 }
 
+// intern returns the class index for name, adding it on first use.
+func (b *Builder) intern(name string) int32 {
+	cid, ok := b.classID[name]
+	if !ok {
+		cid = int32(len(b.g.classes))
+		b.g.classes = append(b.g.classes, name)
+		b.classID[name] = cid
+	}
+	return cid
+}
+
 // addTaskDesc appends a task together with its interned duration
-// descriptor — the structural-lowering path. A builder must use either
+// descriptor — the structural-lowering path. Structural tasks live only in
+// the flat slabs (no Task arena; see Graph). A builder must use either
 // AddTask (eager durations) or addTaskDesc (descriptors) exclusively.
 func (b *Builder) addTaskDesc(t Task, d durDesc) int {
-	id := b.AddTask(t)
+	id := len(b.g.classOf)
 	if b.descID == nil {
 		b.descID = make(map[durDesc]int32)
-		b.g.durIdx = make([]int32, 0, cap(b.g.Tasks))
+		n := cap(b.g.classOf)
+		b.g.durIdx = make([]int32, 0, n)
+		b.g.slotOf = make([]int32, 0, n)
+		b.g.sources = make([]int32, 0, n)
 	}
+	b.g.classOf = append(b.g.classOf, b.intern(t.Class))
+	b.g.slotOf = append(b.g.slotOf, int32(2*t.Device)+int32(t.Stream))
+	b.g.sources = append(b.g.sources, int32(t.Source))
 	di, ok := b.descID[d]
 	if !ok {
 		di = int32(len(b.g.descs))
@@ -227,15 +353,12 @@ func (b *Builder) addTaskDesc(t Task, d durDesc) int {
 
 // AddTask appends a task to the arena, assigning and returning its ID.
 func (b *Builder) AddTask(t Task) int {
-	t.ID = len(b.g.Tasks)
-	cid, ok := b.classID[t.Class]
-	if !ok {
-		cid = int32(len(b.g.classes))
-		b.g.classes = append(b.g.classes, t.Class)
-		b.classID[t.Class] = cid
+	if b.g.Tasks == nil && b.reserve > 0 {
+		b.g.Tasks = make([]Task, 0, b.reserve)
 	}
+	t.ID = len(b.g.Tasks)
 	b.g.Tasks = append(b.g.Tasks, t)
-	b.g.classOf = append(b.g.classOf, cid)
+	b.g.classOf = append(b.g.classOf, b.intern(t.Class))
 	return t.ID
 }
 
@@ -245,18 +368,29 @@ func (b *Builder) AddEdge(from, to int) {
 }
 
 // SetLabeler installs a lazy label resolver mapping a task's Source ID to
-// its base label; Lower points it at the operator graph. Tasks with a
-// non-empty Label keep their eager label.
+// its base label. Tasks with a non-empty Label keep their eager label.
 func (b *Builder) SetLabeler(f func(source int) string) {
 	b.g.labelOf = f
+}
+
+// SetLabels installs the per-source label coordinates lowered graphs
+// resolve TaskLabel through; Lower copies them out of the operator graph.
+// Unlike SetLabeler's closure, the label table is serializable, which is
+// what lets a lowered graph round-trip through the artifact store.
+func (b *Builder) SetLabels(t *opgraph.LabelTable) {
+	b.g.labels = t
 }
 
 // Build finalizes the accumulated tasks and edges into CSR form. The
 // builder must not be reused afterwards.
 func (b *Builder) Build() *Graph {
 	g := &b.g
-	n := len(g.Tasks)
-	if g.descs != nil && len(g.durIdx) != n {
+	n := len(g.classOf)
+	if g.descs != nil {
+		if len(g.durIdx) != n || len(g.Tasks) != 0 {
+			panic("taskgraph: builder mixed eager tasks with duration descriptors")
+		}
+	} else if len(g.Tasks) != n {
 		panic("taskgraph: builder mixed eager tasks with duration descriptors")
 	}
 	g.childStart = make([]int32, n+1)
@@ -275,9 +409,28 @@ func (b *Builder) Build() *Graph {
 		g.children[cursor[e[0]]] = e[1]
 		cursor[e[0]]++
 	}
-	g.slotOf = make([]int32, n)
+	if g.Tasks != nil {
+		// Hand-built path: derive the slabs from the eager arena.
+		g.slotOf = make([]int32, n)
+		for i := 0; i < n; i++ {
+			g.slotOf[i] = int32(2*g.Tasks[i].Device) + int32(g.Tasks[i].Stream)
+		}
+	} else {
+		// Structural path: normalize an identity source mapping to nil so
+		// operator-level graphs — isomorphic to their operator graph —
+		// don't carry (or persist) a slab that encodes nothing.
+		ident := true
+		for i, s := range g.sources {
+			if int(s) != i {
+				ident = false
+				break
+			}
+		}
+		if ident {
+			g.sources = nil
+		}
+	}
 	for i := 0; i < n; i++ {
-		g.slotOf[i] = int32(2*g.Tasks[i].Device) + int32(g.Tasks[i].Stream)
 		if g.indeg[i] == 0 {
 			g.roots = append(g.roots, int32(i))
 		}
@@ -334,11 +487,11 @@ func Lower(g *opgraph.Graph, prof *profiler.Profiler, fid Fidelity) *Graph {
 // reference implementation the operator-level fast path is tested against.
 func lowerBuilder(g *opgraph.Graph, prof *profiler.Profiler, fid Fidelity) *Graph {
 	b := NewBuilder(g.Stages)
-	// Lowered tasks resolve labels lazily through a snapshot of the
-	// operator graph's label coordinates: no label string exists until a
-	// trace is rendered, and the (cacheable, long-lived) task graph does
-	// not pin the operator graph's storage.
-	b.SetLabeler(g.LabelSnapshot())
+	// Lowered tasks resolve labels lazily through a copy of the operator
+	// graph's label coordinates: no label string exists until a trace is
+	// rendered, and the (cacheable, long-lived) task graph does not pin
+	// the operator graph's storage.
+	b.SetLabels(g.LabelTable())
 	b.g.Model = g.Model
 	nNodes := g.NumNodes()
 	// Pre-count tasks and edges so the arena and edge list are allocated

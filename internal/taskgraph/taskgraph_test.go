@@ -213,8 +213,8 @@ func TestAllTasksExecuted(t *testing.T) {
 	plan := parallel.Plan{Tensor: 1, Data: 2, Pipeline: 4, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2, Recompute: true}
 	g := lower(t, plan, TaskLevel)
 	res := simulate(t, g)
-	if res.Executed != len(g.g.Tasks) {
-		t.Fatalf("executed %d of %d tasks", res.Executed, len(g.g.Tasks))
+	if res.Executed != g.g.NumTasks() {
+		t.Fatalf("executed %d of %d tasks", res.Executed, g.g.NumTasks())
 	}
 }
 

@@ -2,6 +2,7 @@ package vtrain_bench
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 
 	"vtrain/internal/clusterdse"
@@ -141,5 +142,77 @@ func BenchmarkClusterSweepResilient(b *testing.B) {
 		if p.Resilience.GoodputFraction <= 0 || p.Resilience.GoodputFraction >= 1 {
 			b.Fatalf("point %v: goodput %v outside (0,1)", p.Candidate, p.Resilience.GoodputFraction)
 		}
+	}
+}
+
+// BenchmarkClusterSweepContention is BenchmarkClusterSweep with the
+// topology-aware congestion fidelity level enabled. Contention binds at
+// replay time, never into the lowered structure, so the contended sweep
+// must hit the identical structural-cache profile as the ideal one — the
+// same 38 lowerings over the full hardware grid and the same >= 90% bar.
+// After the timed passes it re-runs the sweep with the knob off and holds
+// it byte-identical to a sweep that never saw the knob: the equivalence
+// lock, enforced on every commit at full sweep scale.
+func BenchmarkClusterSweepContention(b *testing.B) {
+	m := model.Megatron18_4B()
+	space := clusterSweepSpace()
+	space.Contention = true
+	var (
+		points []clusterdse.Point
+		sim    *core.Simulator
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		sim, err = clusterdse.NewSimulator(space,
+			core.WithFidelity(taskgraph.OperatorLevel), core.WithCacheSize(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		points, err = clusterdse.Explore(sim, m, space)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := sim.CacheStats()
+	hitPct := 100 * float64(st.StructHits) / float64(max(st.StructHits+st.StructMisses, 1))
+	b.ReportMetric(float64(len(points)), "design_points")
+	b.ReportMetric(float64(st.StructMisses), "lowerings")
+	b.ReportMetric(hitPct, "struct_hit_pct")
+	// Structure is contention-invariant: the congestion knob must not cost
+	// a single extra lowering against the ideal sweep's pinned count.
+	if st.StructMisses != 38 {
+		b.Fatalf("contended sweep lowered %d graphs, want the ideal sweep's 38 — contention leaked into the structural key",
+			st.StructMisses)
+	}
+	if hitPct < 90 {
+		b.Fatalf("structural-cache hit rate %.1f%% (%d points, %d lowerings), want >= 90%%",
+			hitPct, len(points), st.StructMisses)
+	}
+
+	// Equivalence guard, untimed: with the knob off the sweep must be
+	// byte-identical — points and cache counters — to one that predates it.
+	sweep := func(s clusterdse.Space) ([]clusterdse.Point, core.CacheStats) {
+		sim, err := clusterdse.NewSimulator(s,
+			core.WithFidelity(taskgraph.OperatorLevel), core.WithCacheSize(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		pts, err := clusterdse.Explore(sim, m, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pts, sim.CacheStats()
+	}
+	offSpace := clusterSweepSpace()
+	offSpace.Contention = false
+	offPoints, offStats := sweep(offSpace)
+	defPoints, defStats := sweep(clusterSweepSpace())
+	if !reflect.DeepEqual(offPoints, defPoints) {
+		b.Fatal("contention-off sweep is not byte-identical to the default sweep")
+	}
+	if offStats != defStats {
+		b.Fatalf("contention-off cache stats diverge from default: %+v vs %+v", offStats, defStats)
 	}
 }

@@ -54,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 	ckptBW := fs.Float64("ckpt-bw", 0, "checkpoint storage write bandwidth in GB/s (0 = catalog default)")
 	restart := fs.Float64("restart", 0, "failure-recovery latency in seconds (0 = default)")
 	noRes := fs.Bool("no-resilience", false, "schedule against ideal failure-free profiles")
+	contention := fs.Bool("contention", false, "model topology-aware link congestion between concurrent collectives")
 	timing := fs.Bool("timing", true, "report wall-clock progress")
 	cacheDir := fs.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
 	if err := fs.Parse(args); err != nil {
@@ -69,7 +70,7 @@ func run(args []string, stdout io.Writer) error {
 
 	start := time.Now()
 	cl := hw.PaperCluster(*gpus / 8)
-	simOpts := []core.Option{core.WithFidelity(taskgraph.OperatorLevel)}
+	simOpts := []core.Option{core.WithFidelity(taskgraph.OperatorLevel), core.WithContention(*contention)}
 	if *cacheDir != "" {
 		simOpts = append(simOpts, core.WithArtifactDir(*cacheDir))
 	}

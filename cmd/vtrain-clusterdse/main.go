@@ -66,6 +66,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	ckptBW := fs.Float64("ckpt-bw", 0, "checkpoint storage write bandwidth in GB/s (0 = catalog default per offering)")
 	restart := fs.Float64("restart", 0, "failure-recovery latency in seconds (0 = default)")
 	noRes := fs.Bool("no-resilience", false, "rank by ideal failure-free cost (pre-resilience behavior)")
+	contention := fs.Bool("contention", false, "model topology-aware link congestion between concurrent collectives")
 	progress := fs.Bool("progress", true, "report sweep progress on stderr")
 	cacheDir := fs.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
 	if err := fs.Parse(args); err != nil {
@@ -105,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		Offerings:          offNames,
 		CrossInterconnects: *cross,
 		Resilience:         resSection,
+		Contention:         *contention,
 	})
 	if err != nil {
 		return err

@@ -50,6 +50,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	maxGPUs := fs.Int("max-gpus", 0, "optional cap on t*d*p")
 	csvPath := fs.String("csv", "", "write every design point to this CSV file")
 	progress := fs.Bool("progress", true, "report sweep progress on stderr")
+	contention := fs.Bool("contention", false, "model topology-aware link congestion between concurrent collectives")
 	cacheDir := fs.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 		GlobalBatch: *batch,
 		TotalTokens: uint64(*tokens),
 		MaxGPUs:     *maxGPUs,
+		Contention:  *contention,
 	})
 	if err != nil {
 		return err

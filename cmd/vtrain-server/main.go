@@ -42,13 +42,30 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("vtrain-server: ")
 
-	addr := flag.String("addr", ":8080", "listen address")
-	maxSweeps := flag.Int("max-sweeps", 4, "max concurrently executing sweep streams (excess gets 429)")
-	simTimeout := flag.Duration("simulate-timeout", 2*time.Minute, "per-request /v1/simulate timeout")
-	drainTimeout := flag.Duration("drain-timeout", 5*time.Minute, "how long shutdown waits for in-flight requests")
-	maxBody := flag.Int64("max-body-bytes", 1<<20, "request body size limit")
-	cacheDir := flag.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
-	flag.Parse()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	if err := run(os.Args[1:], log.Default(), sig, nil); err != nil {
+		log.Fatal(err)
+	}
+}
+
+// run is the whole command behind a testable seam: tests drive it
+// in-process with a private signal channel and an onReady hook that
+// reports the bound address (so -addr 127.0.0.1:0 smoke tests can find
+// the listener). A value on sig starts the graceful drain; a clean drain
+// returns nil.
+func run(args []string, logger *log.Logger, sig <-chan os.Signal, onReady func(net.Addr)) error {
+	fs := flag.NewFlagSet("vtrain-server", flag.ContinueOnError)
+	fs.SetOutput(logger.Writer())
+	addr := fs.String("addr", ":8080", "listen address")
+	maxSweeps := fs.Int("max-sweeps", 4, "max concurrently executing sweep streams (excess gets 429)")
+	simTimeout := fs.Duration("simulate-timeout", 2*time.Minute, "per-request /v1/simulate timeout")
+	drainTimeout := fs.Duration("drain-timeout", 5*time.Minute, "how long shutdown waits for in-flight requests")
+	maxBody := fs.Int64("max-body-bytes", 1<<20, "request body size limit")
+	cacheDir := fs.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var eng *server.Engine
 	if *cacheDir != "" {
@@ -63,29 +80,30 @@ func main() {
 
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	log.Printf("listening on %s", l.Addr())
+	logger.Printf("listening on %s", l.Addr())
+	if onReady != nil {
+		onReady(l.Addr())
+	}
 
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(l) }()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-
 	select {
 	case err := <-done:
-		log.Fatal(err)
+		return err
 	case s := <-sig:
-		log.Printf("received %v, draining (timeout %v)", s, *drainTimeout)
+		logger.Printf("received %v, draining (timeout %v)", s, *drainTimeout)
 		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Fatalf("shutdown: %v", err)
+			return err
 		}
 		if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			return err
 		}
-		log.Printf("drained cleanly")
+		logger.Printf("drained cleanly")
+		return nil
 	}
 }

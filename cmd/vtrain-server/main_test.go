@@ -1,0 +1,79 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func testLogger(buf io.Writer) *log.Logger {
+	return log.New(buf, "", 0)
+}
+
+// TestBadFlags pins the seam's error path: unknown flags surface as an
+// error from run, not a process exit.
+func TestBadFlags(t *testing.T) {
+	if err := run([]string{"-definitely-not-a-flag"}, testLogger(io.Discard), nil, nil); err == nil {
+		t.Fatal("unknown flag did not error")
+	}
+}
+
+// TestBadListenAddr pins the listener error path: an unusable -addr comes
+// back as an error instead of log.Fatal.
+func TestBadListenAddr(t *testing.T) {
+	if err := run([]string{"-addr", "256.256.256.256:0"}, testLogger(io.Discard), nil, nil); err == nil {
+		t.Fatal("unlistenable address did not error")
+	}
+}
+
+// TestStartupShutdownSmoke boots the real server on an ephemeral port,
+// verifies it serves /healthz, then delivers a SIGTERM through the seam's
+// signal channel and requires a clean (nil-error) graceful drain.
+func TestStartupShutdownSmoke(t *testing.T) {
+	sig := make(chan os.Signal, 1)
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	var logs strings.Builder
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0"}, testLogger(&logs),
+			sig, func(a net.Addr) { ready <- a })
+	}()
+
+	var addr net.Addr
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("server exited before ready: %v\nlogs:\n%s", err, logs.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d, want 200", resp.StatusCode)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful drain returned %v\nlogs:\n%s", err, logs.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain after SIGTERM")
+	}
+	if !strings.Contains(logs.String(), "drained cleanly") {
+		t.Errorf("drain log line missing; logs:\n%s", logs.String())
+	}
+}

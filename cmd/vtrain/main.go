@@ -44,6 +44,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	file := fs.String("f", "", "path to the input description file (JSON)")
 	asJSON := fs.Bool("json", false, "emit the report as JSON")
 	fidelity := fs.String("fidelity", "task", "simulation granularity: task or operator")
+	contention := fs.Bool("contention", false, "model topology-aware link congestion between concurrent collectives")
 	tracePath := fs.String("trace", "", "write the execution timeline as a Chrome trace to this file")
 	cacheDir := fs.String("cache-dir", "", "persistent structural-artifact cache directory (empty = no disk cache)")
 	cacheStats := fs.Bool("cache-stats", false, "print the tiered cache counters on stderr after the run")
@@ -58,7 +59,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	if err != nil {
 		return err
 	}
-	req := server.SimulateRequest{Description: desc, Fidelity: *fidelity}
+	req := server.SimulateRequest{Description: desc, Fidelity: *fidelity, Contention: *contention}
 
 	// One-shot process: nothing repeats, so skip the result cache. A
 	// -cache-dir still pays off across *processes*: the lowered graph is

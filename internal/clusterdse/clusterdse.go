@@ -64,6 +64,14 @@ type Space struct {
 	// carry a zero Resilience and the sweep is byte-identical to the
 	// resilience-free ranking.
 	Resilience *resilience.Options
+	// Contention enables the topology-aware congestion fidelity level on
+	// every candidate's sibling simulator (see core.WithContention):
+	// replays derate communication tasks sharing fat-tree links with
+	// concurrently in-flight ones. Off by default; with it off the sweep is
+	// byte-identical to a build without the knob — same points, same
+	// lowering and batching counters — mirroring the Resilience nil
+	// contract.
+	Contention bool
 }
 
 // DefaultSpace sweeps the full catalog over the given node counts with the
@@ -278,7 +286,7 @@ func ExploreFunc(sim *core.Simulator, m model.Config, s Space, fn func(Point)) e
 					return fmt.Errorf("clusterdse: %s: %w", cand, err)
 				}
 			}
-			sib, err := parent.ForCluster(cl)
+			sib, err := parent.ForCluster(cl, core.WithContention(s.Contention))
 			if err != nil {
 				return fmt.Errorf("clusterdse: %s: %w", cand, err)
 			}

@@ -501,3 +501,86 @@ func TestResilientFrontierAndDeadline(t *testing.T) {
 		}
 	}
 }
+
+// TestContentionOffIsByteIdentical is the contention equivalence lock,
+// mirroring TestResilienceIsPurePostProcessing: with the knob off the
+// sweep must be byte-identical to the default space — same points, same
+// order, same lowering and batching counters — and turning it on must
+// change only comm-side timing: same candidate/plan coverage, identical
+// structural-cache behavior (structure is contention-invariant), compute
+// time untouched, and no point ever gets faster.
+func TestContentionOffIsByteIdentical(t *testing.T) {
+	m := tinyModel()
+
+	def := testSpace()
+	defSim := newTestSim(t, def)
+	defPoints, err := Explore(defSim, m, def)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	off := testSpace()
+	off.Contention = false
+	offSim := newTestSim(t, off)
+	offPoints, err := Explore(offSim, m, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(defPoints, offPoints) {
+		t.Fatal("Contention:false sweep is not byte-identical to the default sweep")
+	}
+	if ds, os := defSim.CacheStats(), offSim.CacheStats(); ds != os {
+		t.Errorf("cache stats differ: default %+v vs contention-off %+v", ds, os)
+	}
+
+	on := testSpace()
+	on.Contention = true
+	onSim := newTestSim(t, on)
+	onPoints, err := Explore(onSim, m, on)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onPoints) != len(defPoints) {
+		t.Fatalf("point counts differ: %d ideal vs %d contended", len(defPoints), len(onPoints))
+	}
+	// Contention binds at replay time, never into the structure: the two
+	// sweeps lower, hit, and batch exactly alike.
+	if ds, cs := defSim.CacheStats(), onSim.CacheStats(); ds != cs {
+		t.Errorf("cache stats differ: ideal %+v vs contended %+v", ds, cs)
+	}
+
+	type key struct {
+		offering string
+		nodes    int
+		plan     parallel.Plan
+	}
+	ideal := make(map[key]Point, len(defPoints))
+	for _, p := range defPoints {
+		ideal[key{p.Offering.Name, p.Nodes, p.Plan}] = p
+	}
+	slowed := 0
+	for _, p := range onPoints {
+		base, ok := ideal[key{p.Offering.Name, p.Nodes, p.Plan}]
+		if !ok {
+			t.Fatalf("contended sweep visited %v %d nodes %s, ideal sweep did not", p.Offering.Name, p.Nodes, p.Plan)
+		}
+		if p.Report.ComputeSeconds != base.Report.ComputeSeconds {
+			t.Errorf("%s/%d/%s: contention changed compute time %v -> %v",
+				p.Offering.Name, p.Nodes, p.Plan, base.Report.ComputeSeconds, p.Report.ComputeSeconds)
+		}
+		if p.Report.CommSeconds < base.Report.CommSeconds {
+			t.Errorf("%s/%d/%s: contention lowered comm time %v -> %v",
+				p.Offering.Name, p.Nodes, p.Plan, base.Report.CommSeconds, p.Report.CommSeconds)
+		}
+		if p.Report.IterTime < base.Report.IterTime {
+			t.Errorf("%s/%d/%s: contention lowered iteration time %v -> %v",
+				p.Offering.Name, p.Nodes, p.Plan, base.Report.IterTime, p.Report.IterTime)
+		}
+		if p.Report.CommSeconds > base.Report.CommSeconds {
+			slowed++
+		}
+	}
+	if slowed == 0 {
+		t.Error("no design point paid any congestion tax — Space.Contention is not wired through ForCluster")
+	}
+}

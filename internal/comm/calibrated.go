@@ -64,3 +64,12 @@ func (c Calibrated) AllReduce(bytes float64, n int, intraNode bool) float64 {
 func (c Calibrated) SendRecv(bytes float64, sameNode bool) float64 {
 	return c.Base.SendRecv(bytes, sameNode) + c.LaunchOverhead
 }
+
+// StatelessComm marks the calibrated model as a pure function of its
+// arguments, like the base model it wraps: every correction factor is a
+// fixed field, never per-call state, so two calls with equal arguments
+// always price equally. Without the marker, duration binding fell back to
+// pricing every communication task individually in task-ID order — the
+// stateful-timer path — instead of once per distinct descriptor
+// (equivalence-locked by taskgraph.TestCalibratedStatelessEquivalence).
+func (c Calibrated) StatelessComm() {}

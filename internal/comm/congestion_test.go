@@ -1,0 +1,95 @@
+package comm
+
+import (
+	"testing"
+
+	"vtrain/internal/hw"
+)
+
+func TestNewCongestionDefaults(t *testing.T) {
+	// A cluster that predates the topology fields (all zero) resolves to
+	// one aggregated link, a single leaf, and a non-blocking spine.
+	var bare hw.Cluster
+	cg := NewCongestion(bare)
+	if cg.Links != 1 || cg.HCAShare != 1 || cg.SpineShare != 0 {
+		t.Errorf("zero-topology defaults: %+v", cg)
+	}
+	if cg.NVShare != DefaultNVShare {
+		t.Errorf("NVShare = %v, want %v", cg.NVShare, DefaultNVShare)
+	}
+
+	paper := hw.PaperCluster(4)
+	cg = NewCongestion(paper)
+	if cg.Links != paper.NetworkLinks {
+		t.Errorf("Links = %d, want %d", cg.Links, paper.NetworkLinks)
+	}
+	if cg.HCAShare != 1/float64(paper.NetworkLinks) {
+		t.Errorf("HCAShare = %v, want 1/%d", cg.HCAShare, paper.NetworkLinks)
+	}
+	// The paper testbed is non-blocking: spine contention is free.
+	if cg.SpineShare != 0 {
+		t.Errorf("SpineShare = %v on a non-blocking tree", cg.SpineShare)
+	}
+
+	over := paper
+	over.Oversubscription = 3
+	cg = NewCongestion(over)
+	if want := (3.0 - 1) / float64(paper.NetworkLinks); cg.SpineShare != want {
+		t.Errorf("3:1 oversubscribed SpineShare = %v, want %v", cg.SpineShare, want)
+	}
+}
+
+func TestCollectivePath(t *testing.T) {
+	cg := NewCongestion(hw.PaperCluster(64)) // NodesPerLeaf = 20
+	if p := cg.CollectivePath(3, 1); p.NVNode != 3 || p.HCANodes[0] != -1 || p.Spine {
+		t.Errorf("single-node collective path: %+v", p)
+	}
+	// Spanning nodes within one leaf: HCAs yes, spine no.
+	if p := cg.CollectivePath(5, 8); p.NVNode != -1 || p.HCANodes != [2]int{5, -1} || p.Spine {
+		t.Errorf("intra-leaf collective path: %+v", p)
+	}
+	// Outgrowing the leaf radix crosses the spine.
+	if p := cg.CollectivePath(5, 21); !p.Spine {
+		t.Errorf("leaf-spanning collective path: %+v", p)
+	}
+	// A single-leaf topology (NodesPerLeaf 0) never reaches the spine.
+	flat := cg
+	flat.NodesPerLeaf = 0
+	if p := flat.CollectivePath(5, 64); p.Spine {
+		t.Errorf("single-leaf topology crossed the spine: %+v", p)
+	}
+}
+
+func TestSendRecvPath(t *testing.T) {
+	cg := NewCongestion(hw.PaperCluster(64))
+	if p := cg.SendRecvPath(7, 7); p.NVNode != 7 || p.HCANodes[0] != -1 || p.Spine {
+		t.Errorf("same-node transfer path: %+v", p)
+	}
+	// Both leaves under one switch: two HCA bundles, no spine.
+	if p := cg.SendRecvPath(2, 9); p.HCANodes != [2]int{2, 9} || p.Spine {
+		t.Errorf("intra-leaf transfer path: %+v", p)
+	}
+	// Crossing leaves (nodes 19 and 20 with radix 20) adds the spine.
+	if p := cg.SendRecvPath(19, 20); p.HCANodes != [2]int{19, 20} || !p.Spine {
+		t.Errorf("cross-leaf transfer path: %+v", p)
+	}
+}
+
+func TestDerateMonotone(t *testing.T) {
+	cg := NewCongestion(hw.PaperCluster(4))
+	cg.SpineShare = 0.1
+	if d := cg.Derate(0, 0, 0); d != 1 {
+		t.Fatalf("Derate(0,0,0) = %v, want exactly 1", d)
+	}
+	prev := 1.0
+	for i := 1; i <= 8; i++ {
+		d := cg.Derate(i, i, i)
+		if d <= prev {
+			t.Fatalf("Derate not strictly increasing at %d: %v <= %v", i, d, prev)
+		}
+		prev = d
+	}
+	if got, want := cg.Derate(2, 4, 8), 1+2*cg.NVShare+4*cg.HCAShare+8*cg.SpineShare; got != want {
+		t.Errorf("Derate(2,4,8) = %v, want %v", got, want)
+	}
+}

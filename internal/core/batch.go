@@ -120,7 +120,7 @@ func simulateBatchAcross(m model.Config, sims []*Simulator, single *Simulator, p
 			pending = append(pending, i)
 			continue
 		}
-		key := seenKey{sim: si, key: cacheKey{model: m, plan: plan, fidelity: si.fidelity}}
+		key := seenKey{sim: si, key: cacheKey{model: m, plan: plan, fidelity: si.fidelity, contention: si.contention}}
 		if seen[key] {
 			dups = append(dups, i)
 			continue
@@ -172,11 +172,22 @@ func simulateBatchAcross(m model.Config, sims []*Simulator, single *Simulator, p
 			hi := min(lo+maxBatchWidth, len(gr.idx))
 			chunk := gr.idx[lo:hi]
 			tables := make([]*taskgraph.DurationTable, len(chunk))
+			// Contention tables are per lane, like duration tables: siblings
+			// in one chunk may differ in contention level, and a fully ideal
+			// chunk passes cts == nil so the batch replay stays on the
+			// contention-free code path.
+			var cts []*taskgraph.ContentionTable
 			for j, i := range chunk {
 				si := simOf(i)
 				tables[j] = gr.tg.Bind(si.profiler, si.comm, plans[i], si.cluster)
+				if si.contention {
+					if cts == nil {
+						cts = make([]*taskgraph.ContentionTable, len(chunk))
+					}
+					cts[j] = gr.tg.BindContention(plans[i], si.cluster)
+				}
 			}
-			results, err := gr.tg.ReplayBatch(tables)
+			results, err := gr.tg.ReplayBatchContended(tables, cts)
 			// ForCluster siblings share one batchStats, so counting the
 			// chunk against its first lane's simulator records the whole
 			// sweep's batching in one place.
@@ -199,7 +210,7 @@ func simulateBatchAcross(m model.Config, sims []*Simulator, single *Simulator, p
 				rep := si.assembleReport(m, plans[i], results[j])
 				reports[i] = rep
 				if si.cache != nil {
-					si.cache.put(cacheKey{model: m, plan: plans[i], fidelity: si.fidelity}, rep)
+					si.cache.put(cacheKey{model: m, plan: plans[i], fidelity: si.fidelity, contention: si.contention}, rep)
 				}
 				tables[j].Release()
 			}

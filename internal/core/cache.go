@@ -23,12 +23,14 @@ const DefaultStructCacheSize = 128
 
 // cacheKey identifies one simulated configuration. Both model.Config and
 // parallel.Plan are flat comparable structs, so the tuple is a valid map
-// key; the fidelity completes the configuration (one Simulator only ever
-// uses one, but keying on it keeps the invariant explicit).
+// key; the fidelity and contention level complete the configuration (one
+// Simulator only ever uses one of each, but keying on them keeps the
+// invariant explicit).
 type cacheKey struct {
-	model    model.Config
-	plan     parallel.Plan
-	fidelity taskgraph.Fidelity
+	model      model.Config
+	plan       parallel.Plan
+	fidelity   taskgraph.Fidelity
+	contention bool
 }
 
 // reportCache is a concurrency-safe, bounded (model, plan, fidelity) →

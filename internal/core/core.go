@@ -37,6 +37,12 @@ type Simulator struct {
 	profiler   *profiler.Profiler
 	comm       taskgraph.CommTimer
 	fidelity   taskgraph.Fidelity
+	// contention enables the topology-aware congestion fidelity level:
+	// replays derate communication tasks that share fat-tree links with
+	// concurrently in-flight ones (see taskgraph.BindContention). Off by
+	// default; with it off, reports are byte-identical to a build that
+	// predates the knob.
+	contention bool
 	cacheSize  int
 	cache      *reportCache
 	structSize int
@@ -70,6 +76,19 @@ func WithFidelity(f taskgraph.Fidelity) Option {
 // contention-aware one here).
 func WithCommTimer(ct taskgraph.CommTimer) Option {
 	return func(s *Simulator) { s.comm = ct }
+}
+
+// WithContention toggles the topology-aware congestion fidelity level:
+// when on, every replay tracks which communication tasks are simultaneously
+// in flight on shared fat-tree links (node NVSwitches, HCA bundles, the
+// leaf-spine uplinks) and derates their durations accordingly. When off —
+// the default — the replay performs bit-identical float operations to a
+// build without the knob, so the fast analytic path is untouched.
+// Contention binds at replay time and never changes graph structure, so
+// ForCluster siblings may differ in it while still sharing one structural
+// cache.
+func WithContention(on bool) Option {
+	return func(s *Simulator) { s.contention = on }
 }
 
 // WithDevice overrides the GPU timing model.
@@ -170,10 +189,11 @@ func New(c hw.Cluster, opts ...Option) (*Simulator, error) {
 // cheap: all hardware variants of one plan shape replay a single lowered
 // graph (see internal/clusterdse).
 //
-// Options may tune the sibling's report cache, communication model, or
-// device, but must not change the fidelity or the structural cache size:
-// both are properties of the shared cache, so a mismatch is an error.
-// CacheStats on any sibling reports the shared structural counters.
+// Options may tune the sibling's report cache, communication model, device,
+// or contention level (contention binds at replay time, never into the
+// shared structure), but must not change the fidelity or the structural
+// cache size: both are properties of the shared cache, so a mismatch is an
+// error. CacheStats on any sibling reports the shared structural counters.
 func (s *Simulator) ForCluster(c hw.Cluster, opts ...Option) (*Simulator, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
@@ -194,6 +214,7 @@ func (s *Simulator) ForCluster(c hw.Cluster, opts ...Option) (*Simulator, error)
 		profiler:    prof,
 		comm:        comm.NewModel(c),
 		fidelity:    s.fidelity,
+		contention:  s.contention,
 		cacheSize:   s.cacheSize,
 		structSize:  s.structSize,
 		artifactDir: s.artifactDir,
@@ -346,7 +367,7 @@ type Report struct {
 func (s *Simulator) Simulate(m model.Config, plan parallel.Plan) (Report, error) {
 	var key cacheKey
 	if s.cache != nil {
-		key = cacheKey{model: m, plan: plan, fidelity: s.fidelity}
+		key = cacheKey{model: m, plan: plan, fidelity: s.fidelity, contention: s.contention}
 		if rep, ok := s.cache.get(key); ok {
 			return rep, nil
 		}
@@ -375,14 +396,18 @@ func (s *Simulator) simulate(m model.Config, plan parallel.Plan, capture bool) (
 	// pooled table; the structure itself is reused untouched.
 	tbl := tg.Bind(s.profiler, s.comm, plan, s.cluster)
 	defer tbl.Release()
+	var ct *taskgraph.ContentionTable
+	if s.contention {
+		ct = tg.BindContention(plan, s.cluster)
+	}
 	var (
 		res   taskgraph.Result
 		spans []taskgraph.Span
 	)
 	if capture {
-		res, spans, err = tg.ReplayTrace(tbl)
+		res, spans, err = tg.ReplayTraceContended(tbl, ct)
 	} else {
-		res, err = tg.Replay(tbl)
+		res, err = tg.ReplayContended(tbl, ct)
 	}
 	if err != nil {
 		return Report{}, nil, fmt.Errorf("core: simulating %s under %s: %w", m.Name, plan, err)

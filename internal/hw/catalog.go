@@ -233,7 +233,11 @@ func (o Offering) WithInterconnect(ic Interconnect) Offering {
 	return o
 }
 
-// Cluster materializes the offering at a node count.
+// Cluster materializes the offering at a node count. The interconnect's
+// per-node link count carries into the cluster's fat-tree topology fields,
+// so the contention fidelity level can resolve which HCAs a collective
+// occupies; the catalog assumes the reference non-blocking two-level tree
+// (DefaultNodesPerLeaf nodes per leaf switch).
 func (o Offering) Cluster(nodes int) Cluster {
 	return Cluster{
 		Node:                o.Node,
@@ -243,6 +247,9 @@ func (o Offering) Cluster(nodes int) Cluster {
 		Alpha:               1.0,
 		DollarsPerGPUHour:   o.DollarsPerGPUHour,
 		CheckpointBandwidth: o.CheckpointBandwidth,
+		NetworkLinks:        o.Interconnect.Links,
+		NodesPerLeaf:        DefaultNodesPerLeaf,
+		Oversubscription:    1.0,
 	}
 }
 

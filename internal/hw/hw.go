@@ -107,7 +107,34 @@ type Cluster struct {
 	// Young–Daly checkpoint interval from it. Zero means "unknown" —
 	// resilience modeling then needs an explicit override.
 	CheckpointBandwidth float64
+
+	// The three fields below describe the cluster's network as a two-level
+	// fat tree — node-local NVSwitch fabrics under leaf switches under a
+	// spine layer — which the contention fidelity level (see internal/comm
+	// and taskgraph.BindContention) derates concurrent collectives on.
+	// All three are plain comparable scalars whose zero value means
+	// "unknown, use defaults", so existing cluster literals (and the
+	// struct-equality map keys the serving layer builds from Cluster)
+	// keep working unchanged.
+
+	// NetworkLinks is the number of inter-node links (HCAs) per node that
+	// make up InterNodeBandwidth — the paper's testbed has 4 x 200 Gbps
+	// HDR HCAs per node. Zero is treated as one aggregated link.
+	NetworkLinks int
+	// NodesPerLeaf is the number of nodes attached to one leaf switch of
+	// the fat tree. Zero means the whole cluster hangs off a single leaf
+	// and no transfer crosses the spine.
+	NodesPerLeaf int
+	// Oversubscription is the leaf-to-spine oversubscription ratio:
+	// 1 is non-blocking (the paper's testbed), 2 means leaf uplink
+	// bandwidth is half the downlink. Zero is treated as 1 (non-blocking).
+	Oversubscription float64
 }
+
+// DefaultNodesPerLeaf is the leaf-switch radix the catalog assumes: a
+// 40-port switch split half down, half up — 20 nodes per leaf, the DGX
+// reference fat-tree building block.
+const DefaultNodesPerLeaf = 20
 
 // TotalGPUs returns the number of GPUs in the cluster.
 func (c Cluster) TotalGPUs() int { return c.NodeCount * c.Node.GPUsPerNode }
@@ -140,6 +167,15 @@ func (c Cluster) Validate() error {
 	}
 	if c.CheckpointBandwidth < 0 {
 		return fmt.Errorf("hw: negative checkpoint write bandwidth %v", c.CheckpointBandwidth)
+	}
+	if c.NetworkLinks < 0 {
+		return fmt.Errorf("hw: negative per-node network link count %d", c.NetworkLinks)
+	}
+	if c.NodesPerLeaf < 0 {
+		return fmt.Errorf("hw: negative nodes-per-leaf count %d", c.NodesPerLeaf)
+	}
+	if c.Oversubscription < 0 {
+		return fmt.Errorf("hw: negative fat-tree oversubscription ratio %v", c.Oversubscription)
 	}
 	return nil
 }
@@ -182,5 +218,8 @@ func PaperCluster(nodes int) Cluster {
 		Alpha:               1.0,
 		DollarsPerGPUHour:   5.0,
 		CheckpointBandwidth: AmpereCheckpointBandwidth,
+		NetworkLinks:        4, // 4 x 200 Gbps HDR HCAs per node
+		NodesPerLeaf:        DefaultNodesPerLeaf,
+		Oversubscription:    1.0, // non-blocking fat tree
 	}
 }

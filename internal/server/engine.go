@@ -53,8 +53,9 @@ type Engine struct {
 }
 
 type simKey struct {
-	cluster  hw.Cluster
-	fidelity taskgraph.Fidelity
+	cluster    hw.Cluster
+	fidelity   taskgraph.Fidelity
+	contention bool
 }
 
 // EngineOption configures an Engine.
@@ -112,18 +113,19 @@ func NewEngine(opts ...EngineOption) *Engine {
 	return e
 }
 
-// simulator returns the pooled simulator for (c, fid), creating it on
-// first use. When the pool is full the oldest entry is dropped: its caches
-// are garbage-collected once in-flight requests release it (simulators are
-// safe to use after eviction; new requests just build a fresh one).
-func (e *Engine) simulator(c hw.Cluster, fid taskgraph.Fidelity) (*core.Simulator, error) {
-	key := simKey{cluster: c, fidelity: fid}
+// simulator returns the pooled simulator for (c, fid, contention), creating
+// it on first use. When the pool is full the oldest entry is dropped: its
+// caches are garbage-collected once in-flight requests release it
+// (simulators are safe to use after eviction; new requests just build a
+// fresh one).
+func (e *Engine) simulator(c hw.Cluster, fid taskgraph.Fidelity, contention bool) (*core.Simulator, error) {
+	key := simKey{cluster: c, fidelity: fid, contention: contention}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if s, ok := e.sims[key]; ok {
 		return s, nil
 	}
-	opts, err := e.coreOptions(fid)
+	opts, err := e.coreOptions(fid, contention)
 	if err != nil {
 		return nil, err
 	}
@@ -155,7 +157,11 @@ func (e *Engine) clusterRoot(fid taskgraph.Fidelity) (*core.Simulator, error) {
 	if s, ok := e.roots[fid]; ok {
 		return s, nil
 	}
-	opts, err := e.coreOptions(fid)
+	// The root stays contention-off: contention is per-request and flows
+	// through clusterdse.Space.Contention to the per-candidate siblings,
+	// which may differ from their root (contention binds at replay time,
+	// never into the shared structure).
+	opts, err := e.coreOptions(fid, false)
 	if err != nil {
 		return nil, err
 	}
@@ -168,10 +174,10 @@ func (e *Engine) clusterRoot(fid taskgraph.Fidelity) (*core.Simulator, error) {
 }
 
 // coreOptions assembles the option list for a new pooled simulator:
-// fidelity, the engine-wide simulator options, and the shared artifact
-// store when one is configured.
-func (e *Engine) coreOptions(fid taskgraph.Fidelity) ([]core.Option, error) {
-	opts := append([]core.Option{core.WithFidelity(fid)}, e.simOpts...)
+// fidelity, contention level, the engine-wide simulator options, and the
+// shared artifact store when one is configured.
+func (e *Engine) coreOptions(fid taskgraph.Fidelity, contention bool) ([]core.Option, error) {
+	opts := append([]core.Option{core.WithFidelity(fid), core.WithContention(contention)}, e.simOpts...)
 	st, err := e.artifactStore()
 	if err != nil {
 		return nil, err
@@ -252,7 +258,7 @@ func (e *Engine) prepareSimulate(req SimulateRequest) (SimulateOutcome, *core.Si
 	if err != nil {
 		return SimulateOutcome{}, nil, badRequest(err)
 	}
-	sim, err := e.simulator(cluster, fid)
+	sim, err := e.simulator(cluster, fid, req.Contention)
 	if err != nil {
 		return SimulateOutcome{}, nil, err
 	}
@@ -311,7 +317,7 @@ func (e *Engine) PrepareSweep(req SweepRequest) (*SweepRun, error) {
 	if err != nil {
 		return nil, badRequest(err)
 	}
-	sim, err := e.simulator(cluster, fid)
+	sim, err := e.simulator(cluster, fid, req.Contention)
 	if err != nil {
 		return nil, err
 	}
@@ -411,6 +417,7 @@ func (e *Engine) PrepareClusterDSE(req ClusterDSERequest) (*ClusterRun, error) {
 	}
 	space := clusterdse.DefaultSpace(m, req.GlobalBatch, req.TotalTokens, req.NodeCounts)
 	space.Offerings = offs
+	space.Contention = req.Contention
 	opts, enabled := req.Resilience.Options()
 	if enabled {
 		space.Resilience = &opts

@@ -38,6 +38,10 @@ type SimulateRequest struct {
 	// Fidelity selects the lowering granularity: "task" (default) or
 	// "operator".
 	Fidelity string `json:"fidelity,omitempty"`
+	// Contention enables the topology-aware congestion fidelity level:
+	// comm tasks sharing fat-tree links with concurrently in-flight ones
+	// are derated (see core.WithContention). Off by default.
+	Contention bool `json:"contention,omitempty"`
 }
 
 // SweepRequest is the /v1/sweep body: the descfile model and cluster
@@ -53,6 +57,9 @@ type SweepRequest struct {
 	// Fidelity defaults to "operator", the sweep-speed granularity the
 	// CLIs use.
 	Fidelity string `json:"fidelity,omitempty"`
+	// Contention enables topology-aware congestion modeling on every
+	// swept point. Off by default.
+	Contention bool `json:"contention,omitempty"`
 	// TensorWidths .. MicroBatches override the swept plan axes.
 	TensorWidths   []int `json:"tensor_widths,omitempty"`
 	DataWidths     []int `json:"data_widths,omitempty"`
@@ -85,6 +92,10 @@ type ClusterDSERequest struct {
 	Resilience *descfile.ResilienceSection `json:"resilience,omitempty"`
 	// Fidelity defaults to "operator".
 	Fidelity string `json:"fidelity,omitempty"`
+	// Contention enables topology-aware congestion modeling on every
+	// candidate's sibling simulator (clusterdse.Space.Contention). Off by
+	// default.
+	Contention bool `json:"contention,omitempty"`
 	// TensorWidths .. MicroBatches override the swept plan axes.
 	TensorWidths   []int `json:"tensor_widths,omitempty"`
 	DataWidths     []int `json:"data_widths,omitempty"`

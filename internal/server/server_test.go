@@ -399,3 +399,69 @@ func TestShutdownDrainsInflightSweep(t *testing.T) {
 		t.Fatalf("Serve = %v, want http.ErrServerClosed", err)
 	}
 }
+
+// contendedBody is simulateBody on two nodes with a plan whose data-parallel
+// groups stride across them plus an explicit contention knob — the smallest
+// request where link congestion has something to derate.
+const contendedBody = `{
+  "model": {"preset": "megatron-3.6b"},
+  "cluster": {"nodes": 2},
+  "plan": {"tensor": 2, "data": 4, "pipeline": 2, "micro_batch": 1, "global_batch": 64},
+  "total_tokens": 20000000000,
+  "contention": true
+}`
+
+// TestSimulateContentionKnob pins the serving-layer contract of the
+// contention fidelity level: an explicit "contention": false body is
+// byte-identical to omitting the field, "contention": true routes to a
+// separately pooled simulator whose report is comm-monotone against the
+// ideal one, and the two pool entries coexist (the knob is part of the
+// simulator key, not mutable state on a shared engine).
+func TestSimulateContentionKnob(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	idealBody := strings.Replace(contendedBody, `"contention": true`, `"contention": false`, 1)
+	omittedBody := strings.Replace(contendedBody, `,
+  "contention": true`, "", 1)
+
+	code, ideal, _ := post(t, ts, "/v1/simulate", idealBody)
+	if code != http.StatusOK {
+		t.Fatalf("contention=false: status %d, body %s", code, ideal)
+	}
+	code, omitted, _ := post(t, ts, "/v1/simulate", omittedBody)
+	if code != http.StatusOK {
+		t.Fatalf("knob omitted: status %d, body %s", code, omitted)
+	}
+	if ideal != omitted {
+		t.Fatalf("explicit contention=false differs from omitting the knob:\n false: %s\n  none: %s", ideal, omitted)
+	}
+
+	code, contended, _ := post(t, ts, "/v1/simulate", contendedBody)
+	if code != http.StatusOK {
+		t.Fatalf("contention=true: status %d, body %s", code, contended)
+	}
+	var base, cont SimulateResult
+	if err := json.Unmarshal([]byte(ideal), &base); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(contended), &cont); err != nil {
+		t.Fatal(err)
+	}
+	if cont.Tasks != base.Tasks || cont.GPUs != base.GPUs || cont.Plan != base.Plan {
+		t.Errorf("contention changed the configuration, not just timing: %+v vs %+v", cont, base)
+	}
+	if cont.IterTime < base.IterTime {
+		t.Errorf("contention lowered iteration time %v -> %v", base.IterTime, cont.IterTime)
+	}
+	if cont.IterTime == base.IterTime {
+		t.Errorf("contention=true priced identically to ideal (%v s) — the knob is not reaching replay", base.IterTime)
+	}
+
+	// Both contention levels stay warm side by side: same cluster, same
+	// fidelity, two pool entries.
+	srv.engine.mu.Lock()
+	entries := len(srv.engine.sims)
+	srv.engine.mu.Unlock()
+	if entries != 2 {
+		t.Errorf("pool holds %d simulators, want 2 (ideal + contended for one cluster)", entries)
+	}
+}

@@ -128,6 +128,23 @@ func (sc *batchScratch) reset(n, devices, classes, k int) {
 // An empty batch returns nil. For hand-built graphs each table must still
 // be produced by Bind, which copies the tasks' eager durations.
 func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
+	return g.replayBatch(tables, nil)
+}
+
+// ReplayBatchContended is ReplayBatch under the contention fidelity level:
+// cts[i] derates lane i's communication tasks (see ReplayContended). Each
+// lane carries its own occupancy ledger — lanes are independent simulated
+// clusters and never contend with each other. cts may be nil, and any
+// cts[i] may be nil; such lanes replay exactly like ReplayBatch, bit for
+// bit, so mixed ideal/contended batches stay well-defined.
+func (g *Graph) ReplayBatchContended(tables []*DurationTable, cts []*ContentionTable) ([]Result, error) {
+	if cts != nil && len(cts) != len(tables) {
+		return nil, fmt.Errorf("taskgraph: batch has %d tables but %d contention tables", len(tables), len(cts))
+	}
+	return g.replayBatch(tables, cts)
+}
+
+func (g *Graph) replayBatch(tables []*DurationTable, cts []*ContentionTable) ([]Result, error) {
 	k := len(tables)
 	if k == 0 {
 		return nil, nil
@@ -147,6 +164,22 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 
 	sc := batchScratchPool.Get().(*batchScratch)
 	sc.reset(n, g.Devices, len(g.classes), k)
+
+	// Occupancy ledgers are per lane: each lane is an independent simulated
+	// cluster, so flows contend only within their own lane. states stays nil
+	// for fully ideal batches, keeping the hot loops branch-predictable.
+	var states []*contState
+	if cts != nil {
+		for l, ct := range cts {
+			if ct == nil {
+				continue
+			}
+			if states == nil {
+				states = make([]*contState, k)
+			}
+			states[l] = newContState(ct)
+		}
+	}
 
 	for l, tbl := range tables {
 		if tbl.byDesc {
@@ -186,6 +219,9 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 			start := sc.ready[id]
 			if f := sc.free[slot]; f > start {
 				start = f
+			}
+			if states != nil && states[0] != nil && int(slot)&1 == int(CommStream) {
+				d = cts[0].contend(states[0], int32(slot), g.durIdx[id], start, d)
 			}
 			finish := start + d
 			sc.free[slot] = finish
@@ -233,6 +269,9 @@ func (g *Graph) ReplayBatch(tables []*DurationTable) ([]Result, error) {
 			start := ready[l]
 			if f := free[l]; f > start {
 				start = f
+			}
+			if states != nil && states[l] != nil && slot&1 == int(CommStream) {
+				dur = cts[l].contend(states[l], int32(slot), g.durIdx[id], start, dur)
 			}
 			free[l] = start + dur // proceed lane l's timeline
 			busy[l] += dur

@@ -140,6 +140,33 @@ func (t *DurationTable) Release() {
 	tablePool.Put(t)
 }
 
+// ceilDiv is ceiling integer division for positive operands.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+// allReduceTPArgs returns the (participants, intraNode) a tensor-parallel
+// activation All-Reduce presents to the communication model. A group wider
+// than one node reduces hierarchically: ranks sharing a node combine over
+// NVSwitch first, so the Eq. 1 inter-node phase rings over the
+// participating *nodes* at per-node bandwidth, not over every rank.
+func allReduceTPArgs(plan parallel.Plan, gpn int) (int, bool) {
+	if plan.Tensor <= gpn {
+		return plan.Tensor, true
+	}
+	return ceilDiv(plan.Tensor, gpn), false
+}
+
+// allReduceDPArgs is allReduceTPArgs for a data-parallel gradient
+// All-Reduce. Under Megatron placement consecutive group members sit t
+// ranks apart, so the d-member group spans ceil(d*t/gpn) nodes — but never
+// more nodes than members (with t > gpn each member owns a distinct node).
+func allReduceDPArgs(plan parallel.Plan, gpn int) (int, bool) {
+	stride := plan.Tensor * plan.Data
+	if stride <= gpn {
+		return plan.Data, true
+	}
+	return min(plan.Data, ceilDiv(plan.Data*plan.Tensor, gpn)), false
+}
+
 // operatorFor composes the profiler operator of a compute descriptor for
 // one concrete plan, reproducing exactly the parameter arithmetic the
 // per-plan graph builder uses (integer shard division, minimum 1).
@@ -218,12 +245,14 @@ func (g *Graph) Bind(prof *profiler.Profiler, cm CommTimer, plan parallel.Plan, 
 			vals[i] = descVal{k.Duration, k.Kernel.FLOPs}
 		case descAllReduceTP:
 			if stateless {
-				vals[i] = descVal{dur: cm.AllReduce(actBytes, plan.Tensor, plan.Tensor <= gpn)}
+				n, intra := allReduceTPArgs(plan, gpn)
+				vals[i] = descVal{dur: cm.AllReduce(actBytes, n, intra)}
 			}
 		case descAllReduceDP:
 			if stateless {
 				bucketParams := d.stageParams / uint64(plan.Tensor) / uint64(d.buckets)
-				vals[i] = descVal{dur: cm.AllReduce(2*float64(bucketParams), plan.Data, stride <= gpn)}
+				n, intra := allReduceDPArgs(plan, gpn)
+				vals[i] = descVal{dur: cm.AllReduce(2*float64(bucketParams), n, intra)}
 			}
 		case descP2P:
 			if stateless {
@@ -254,11 +283,13 @@ func (g *Graph) Bind(prof *profiler.Profiler, cm CommTimer, plan parallel.Plan, 
 			tbl.dur[i] = v.dur
 			tbl.flops[i] = v.flops
 		case descAllReduceTP:
-			tbl.dur[i] = cm.AllReduce(actBytes, plan.Tensor, plan.Tensor <= gpn)
+			n, intra := allReduceTPArgs(plan, gpn)
+			tbl.dur[i] = cm.AllReduce(actBytes, n, intra)
 			tbl.flops[i] = 0
 		case descAllReduceDP:
 			bucketParams := d.stageParams / uint64(plan.Tensor) / uint64(d.buckets)
-			tbl.dur[i] = cm.AllReduce(2*float64(bucketParams), plan.Data, stride <= gpn)
+			n, intra := allReduceDPArgs(plan, gpn)
+			tbl.dur[i] = cm.AllReduce(2*float64(bucketParams), n, intra)
 			tbl.flops[i] = 0
 		case descP2P:
 			same := (int(d.from)*stride)/gpn == (int(d.to)*stride)/gpn

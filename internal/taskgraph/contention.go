@@ -1,0 +1,205 @@
+package taskgraph
+
+import (
+	"vtrain/internal/comm"
+	"vtrain/internal/hw"
+	"vtrain/internal/parallel"
+)
+
+// This file implements the contention fidelity level: instead of pricing
+// every collective on an ideal uncontended link, the replay tracks which
+// communication tasks are simultaneously in flight on shared fat-tree links
+// (node NVSwitches, per-node HCA bundles, the spine) and derates their
+// durations by comm.Congestion's per-class weights.
+//
+// The split mirrors the structure/timing split. BindContention resolves the
+// plan- and cluster-dependent classification once per (graph, plan,
+// cluster) — which descriptor is a collective, how many nodes it spans,
+// which nodes a P2P transfer connects — into an immutable ContentionTable.
+// The replay-time part (contention.go's occupancy state, owned per replay
+// call and per batch lane) then needs only O(1) arithmetic per comm task to
+// find its link classes, plus an interval-overlap count against the flows
+// already recorded on those classes. Contention never changes the graph's
+// structure, so structural caching, artifact round-trips, and cross-plan
+// sharing are untouched; with a nil table every replay entry point performs
+// bit-identical float operations to the contention-free path.
+
+// contKind classifies a descriptor's contention behavior.
+type contKind uint8
+
+const (
+	// contNone marks compute descriptors: no link occupancy.
+	contNone contKind = iota
+	// contColl marks collectives; the representative node derives from the
+	// task's stage at replay time.
+	contColl
+	// contP2P marks pipeline transfers between two bind-time-known nodes.
+	contP2P
+)
+
+// ContentionTable is the per-(plan, cluster) contention binding of one
+// structural graph: for every duration descriptor, which fat-tree links its
+// tasks occupy. Like a DurationTable it is immutable after binding, so one
+// table can back any number of concurrent replays — the mutable occupancy
+// state lives in a per-replay contState.
+type ContentionTable struct {
+	cg comm.Congestion
+	// kind, span, fromNode, toNode are per-descriptor, parallel to
+	// Graph.descs. span is a collective's node span (1 = node-local);
+	// fromNode/toNode are a P2P transfer's endpoints.
+	kind     []contKind
+	span     []int32
+	fromNode []int32
+	toNode   []int32
+	// stride and gpn map a task's stage to its representative node.
+	stride, gpn int
+	// classes is the link-class count: spine, then (nv, hca) per node.
+	classes int
+}
+
+// Link-class layout: class 0 is the spine; node k's NVSwitch is 1+2k and
+// its HCA bundle 2+2k.
+func nvClass(node int) int  { return 1 + 2*node }
+func hcaClass(node int) int { return 2 + 2*node }
+
+// BindContention resolves the graph's communication descriptors against the
+// cluster's fat-tree topology for one concrete plan. It returns nil for
+// hand-built eager graphs (no descriptors): their durations were priced by
+// an arbitrary external process the topology knows nothing about, and a nil
+// table makes every contended entry point equivalent to its ideal twin.
+func (g *Graph) BindContention(plan parallel.Plan, c hw.Cluster) *ContentionTable {
+	if g.descs == nil {
+		return nil
+	}
+	gpn := c.Node.GPUsPerNode
+	stride := plan.Tensor * plan.Data
+	ct := &ContentionTable{
+		cg:       comm.NewCongestion(c),
+		kind:     make([]contKind, len(g.descs)),
+		span:     make([]int32, len(g.descs)),
+		fromNode: make([]int32, len(g.descs)),
+		toNode:   make([]int32, len(g.descs)),
+		stride:   stride,
+		gpn:      gpn,
+	}
+	maxNode := ((g.Devices-1)*stride + stride - 1) / gpn
+	for i := range g.descs {
+		d := &g.descs[i]
+		switch d.kind {
+		case descAllReduceTP:
+			n, intra := allReduceTPArgs(plan, gpn)
+			ct.kind[i] = contColl
+			if intra {
+				n = 1
+			}
+			ct.span[i] = int32(n)
+		case descAllReduceDP:
+			n, intra := allReduceDPArgs(plan, gpn)
+			ct.kind[i] = contColl
+			if intra {
+				n = 1
+			}
+			ct.span[i] = int32(n)
+		case descP2P:
+			ct.kind[i] = contP2P
+			ct.fromNode[i] = int32(int(d.from) * stride / gpn)
+			ct.toNode[i] = int32(int(d.to) * stride / gpn)
+		}
+	}
+	ct.classes = hcaClass(maxNode) + 1
+	return ct
+}
+
+// interval is one recorded occupancy of a link class.
+type interval struct{ start, end float64 }
+
+// contState is the mutable occupancy ledger of one replay (or one batch
+// lane): per link class, the time intervals of the flows recorded so far.
+// Replay visits tasks in topological (not time) order, so a flow only
+// contends with flows recorded before it — a deterministic, conservative
+// under-count that keeps the replay single-pass.
+type contState struct {
+	occ [][]interval
+}
+
+func newContState(ct *ContentionTable) *contState {
+	return &contState{occ: make([][]interval, ct.classes)}
+}
+
+// overlaps counts recorded flows on class whose interval intersects
+// [start, end).
+func (st *contState) overlaps(class int, start, end float64) int {
+	n := 0
+	for _, iv := range st.occ[class] {
+		if iv.start < end && iv.end > start {
+			n++
+		}
+	}
+	return n
+}
+
+// contend derates the base duration of the comm task in slot with
+// descriptor di, given its dependency-and-stream start time, and records
+// the derated flow on its link classes. Tasks whose path occupies no shared
+// link (and zero-duration tasks, e.g. width-1 collectives) pass through
+// unchanged. The returned duration is always >= dur: every weight is
+// non-negative and the overlap counts only grow with concurrency.
+func (ct *ContentionTable) contend(st *contState, slot int32, di int32, start, dur float64) float64 {
+	if ct.kind[di] == contNone || dur <= 0 {
+		return dur
+	}
+	var path comm.Path
+	if ct.kind[di] == contColl {
+		node := int(slot>>1) * ct.stride / ct.gpn
+		path = ct.cg.CollectivePath(node, int(ct.span[di]))
+	} else {
+		path = ct.cg.SendRecvPath(int(ct.fromNode[di]), int(ct.toNode[di]))
+	}
+	if path.None() {
+		return dur
+	}
+	end := start + dur
+	nv, hca, spine := 0, 0, 0
+	if path.NVNode >= 0 {
+		nv = st.overlaps(nvClass(path.NVNode), start, end)
+	}
+	for _, n := range path.HCANodes {
+		if n >= 0 {
+			hca += st.overlaps(hcaClass(n), start, end)
+		}
+	}
+	if path.Spine {
+		spine = st.overlaps(0, start, end)
+	}
+	dur *= ct.cg.Derate(nv, hca, spine)
+	iv := interval{start: start, end: start + dur}
+	if path.NVNode >= 0 {
+		c := nvClass(path.NVNode)
+		st.occ[c] = append(st.occ[c], iv)
+	}
+	for _, n := range path.HCANodes {
+		if n >= 0 {
+			c := hcaClass(n)
+			st.occ[c] = append(st.occ[c], iv)
+		}
+	}
+	if path.Spine {
+		st.occ[0] = append(st.occ[0], iv)
+	}
+	return dur
+}
+
+// ReplayContended is Replay under the contention fidelity level: comm tasks
+// sharing fat-tree links with concurrently in-flight comm tasks run slower
+// by the congestion model's derate factors. A nil table reproduces Replay
+// bit for bit.
+func (g *Graph) ReplayContended(tbl *DurationTable, ct *ContentionTable) (Result, error) {
+	res, _, err := g.replay(tbl, ct, false)
+	return res, err
+}
+
+// ReplayTraceContended is ReplayContended plus the full execution timeline;
+// span durations reflect the derated comm tasks.
+func (g *Graph) ReplayTraceContended(tbl *DurationTable, ct *ContentionTable) (Result, []Span, error) {
+	return g.replay(tbl, ct, true)
+}

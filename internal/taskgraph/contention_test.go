@@ -1,0 +1,327 @@
+package taskgraph
+
+import (
+	"testing"
+
+	"vtrain/internal/comm"
+	"vtrain/internal/gpu"
+	"vtrain/internal/hw"
+	"vtrain/internal/parallel"
+	"vtrain/internal/profiler"
+)
+
+// TestReplayContendedNilMatchesReplay pins the equivalence lock of the
+// contention fidelity level: with a nil ContentionTable, every contended
+// entry point — sequential, trace, and batch — performs bit-identical float
+// operations to its ideal twin, so the contention-off path is exactly the
+// pre-knob simulator.
+func TestReplayContendedNilMatchesReplay(t *testing.T) {
+	plans := []parallel.Plan{
+		{Tensor: 1, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 4, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2},
+	}
+	g, tables := batchFixture(t, plans)
+
+	for i, tbl := range tables {
+		want, err := g.Replay(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := g.ReplayContended(tbl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, i, got, want)
+
+		wantRes, wantSpans, err := g.ReplayTrace(tbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotRes, gotSpans, err := g.ReplayTraceContended(tbl, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireIdentical(t, i, gotRes, wantRes)
+		if len(gotSpans) != len(wantSpans) {
+			t.Fatalf("table %d: %d contended spans != %d ideal", i, len(gotSpans), len(wantSpans))
+		}
+		for s := range wantSpans {
+			if gotSpans[s] != wantSpans[s] {
+				t.Fatalf("table %d span %d: %+v != %+v", i, s, gotSpans[s], wantSpans[s])
+			}
+		}
+	}
+
+	want, err := g.ReplayBatch(tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.ReplayBatchContended(tables, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane := range want {
+		requireIdentical(t, lane, got[lane], want[lane])
+	}
+	// A non-nil cts slice whose entries are all nil is the same contract
+	// per lane.
+	got, err = g.ReplayBatchContended(tables, make([]*ContentionTable, len(tables)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lane := range want {
+		requireIdentical(t, lane, got[lane], want[lane])
+	}
+	if _, err := g.ReplayBatchContended(tables, make([]*ContentionTable, 1)); err == nil {
+		t.Fatal("mismatched cts length: expected an error")
+	}
+}
+
+// TestContendedBatchMatchesSequential pins the batch contract under
+// contention: each lane of ReplayBatchContended is bit-identical to a
+// sequential ReplayContended of the same (table, contention table) pair —
+// occupancy ledgers are per lane and never leak across lanes.
+func TestContendedBatchMatchesSequential(t *testing.T) {
+	c := hw.PaperCluster(8)
+	plans := []parallel.Plan{
+		{Tensor: 1, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 4, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2},
+		{Tensor: 8, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2},
+	}
+	g, tables := batchFixture(t, plans)
+	cts := make([]*ContentionTable, len(plans))
+	for i, plan := range plans {
+		cts[i] = g.BindContention(plan, c)
+		if cts[i] == nil {
+			t.Fatalf("plan %d: BindContention returned nil for a structural graph", i)
+		}
+	}
+	// Leave one lane ideal: mixed batches must stay well-defined.
+	cts[1] = nil
+
+	want := make([]Result, len(tables))
+	for i, tbl := range tables {
+		res, err := g.ReplayContended(tbl, cts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	for _, k := range []int{1, len(tables)} {
+		got, err := g.ReplayBatchContended(tables[:k], cts[:k])
+		if err != nil {
+			t.Fatalf("width %d: %v", k, err)
+		}
+		for lane := 0; lane < k; lane++ {
+			requireIdentical(t, lane, got[lane], want[lane])
+		}
+	}
+}
+
+// TestContentionMonotone is the tentpole's property test: adding
+// link-sharing concurrent collectives never decreases any comm task's
+// duration. A hand-built graph of independent data-parallel All-Reduces on
+// one node's NVSwitch pops them in ID order, so task i overlaps exactly the
+// i flows recorded before it and its derate factor is 1 + NVShare*i —
+// nondecreasing in concurrency, and never below the ideal duration.
+func TestContentionMonotone(t *testing.T) {
+	c := hw.PaperCluster(8)
+	const stages = 4
+	b := NewBuilder(stages)
+	desc := durDesc{kind: descAllReduceDP, stageParams: 1 << 20, buckets: 1}
+	for dev := 0; dev < stages; dev++ {
+		b.addTaskDesc(Task{Device: dev, Stream: CommStream, Class: "AllReduceDP"}, desc)
+	}
+	g := b.Build()
+
+	// Data width 2 at stride 2 on 8-GPU nodes: the group is node-local, so
+	// every stage's collective shares node 0's NVSwitch.
+	plan := parallel.Plan{Tensor: 1, Data: 2, Pipeline: stages, MicroBatch: 1, GlobalBatch: 2 * stages}
+	cm := comm.NewModel(c)
+	tbl := g.Bind(nil, cm, plan, c)
+	defer tbl.Release()
+	ct := g.BindContention(plan, c)
+	if ct == nil {
+		t.Fatal("BindContention returned nil for a descriptor graph")
+	}
+
+	base := tbl.Duration(0)
+	if base <= 0 {
+		t.Fatalf("ideal All-Reduce duration %v, want > 0", base)
+	}
+	_, spans, err := g.ReplayTraceContended(tbl, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != stages {
+		t.Fatalf("got %d spans, want %d", len(spans), stages)
+	}
+	cg := comm.NewCongestion(c)
+	prev := 0.0
+	for i, sp := range spans {
+		dur := sp.End - sp.Start
+		if dur < base {
+			t.Fatalf("span %d: contended duration %v < ideal %v", i, dur, base)
+		}
+		if dur < prev {
+			t.Fatalf("span %d: duration %v decreased below span %d's %v under growing concurrency", i, dur, i-1, prev)
+		}
+		if want := base * cg.Derate(i, 0, 0); dur != want {
+			t.Fatalf("span %d: duration %v, want base*(1+NVShare*%d) = %v", i, dur, i, want)
+		}
+		prev = dur
+	}
+
+	// The same property must hold on a real lowered graph: every comm span
+	// is at least its ideal twin, compute spans are untouched, and the
+	// iteration time never shrinks.
+	plan = parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2}
+	bg := lower(t, plan, OperatorLevel)
+	ideal, idealSpans, err := bg.g.ReplayTrace(bg.tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lct := bg.g.BindContention(plan, c)
+	cont, contSpans, err := bg.g.ReplayTraceContended(bg.tbl, lct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cont.IterTime < ideal.IterTime {
+		t.Fatalf("contended IterTime %v < ideal %v", cont.IterTime, ideal.IterTime)
+	}
+	// Busy seconds accumulate the replayed durations directly, so the
+	// comparison is exact: compute streams are untouched, comm streams only
+	// ever grow.
+	for d := range ideal.ComputeBusy {
+		if cont.ComputeBusy[d] != ideal.ComputeBusy[d] {
+			t.Fatalf("device %d: compute busy changed %v -> %v", d, ideal.ComputeBusy[d], cont.ComputeBusy[d])
+		}
+		if cont.CommBusy[d] < ideal.CommBusy[d] {
+			t.Fatalf("device %d: comm busy %v < ideal %v", d, cont.CommBusy[d], ideal.CommBusy[d])
+		}
+	}
+	if len(contSpans) != len(idealSpans) {
+		t.Fatalf("%d contended spans != %d ideal", len(contSpans), len(idealSpans))
+	}
+	// Span durations are reconstructed as End-Start, so shifted start times
+	// cost up to an ulp; compare with a relative tolerance.
+	const tol = 1e-12
+	for i := range idealSpans {
+		id, cd := idealSpans[i].End-idealSpans[i].Start, contSpans[i].End-contSpans[i].Start
+		if cd < id*(1-tol) {
+			t.Fatalf("span %d (%v stream): contended duration %v < ideal %v", i, contSpans[i].Stream, cd, id)
+		}
+	}
+}
+
+// TestHierarchicalAllReduceParticipants pins the inter-node participant
+// count of hierarchical collectives (the Eq. 1 fix): a data-parallel group
+// of 8 ranks spread 4-per-node over 2 nodes reduces node-local first, so
+// the inter-node ring phase sees 2 participants — the nodes — not 8.
+func TestHierarchicalAllReduceParticipants(t *testing.T) {
+	c := hw.PaperCluster(2)
+	c.Node.GPUsPerNode = 4
+
+	const stageParams = 1 << 22
+	b := NewBuilder(1)
+	b.addTaskDesc(Task{Device: 0, Stream: CommStream, Class: "AllReduceDP"},
+		durDesc{kind: descAllReduceDP, stageParams: stageParams, buckets: 1})
+	g := b.Build()
+
+	plan := parallel.Plan{Tensor: 1, Data: 8, Pipeline: 1, MicroBatch: 1, GlobalBatch: 8}
+	m := comm.NewModel(c)
+	tbl := g.Bind(nil, m, plan, c)
+	defer tbl.Release()
+
+	want := m.AllReduceInter(2*float64(stageParams), 2)
+	if got := tbl.Duration(0); got != want {
+		t.Fatalf("2-node x 4-rank gradient All-Reduce priced %v, want the 2-participant inter-node ring %v (got n=ranks? %v)",
+			got, want, m.AllReduceInter(2*float64(stageParams), 8))
+	}
+	if want >= m.AllReduceInter(2*float64(stageParams), 8) {
+		t.Fatal("sanity: the 2-participant ring should be cheaper than the 8-participant one")
+	}
+
+	// The node-count arithmetic itself, over the corner cases: intra-node
+	// groups, exact node multiples, and t > gpn (each member on its own
+	// node, capped at the member count).
+	cases := []struct {
+		t, d, gpn string
+		plan      parallel.Plan
+		gpnVal    int
+		wantN     int
+		wantIntra bool
+		dp        bool
+	}{
+		{plan: parallel.Plan{Tensor: 4, Data: 1}, gpnVal: 8, wantN: 4, wantIntra: true},
+		{plan: parallel.Plan{Tensor: 16, Data: 1}, gpnVal: 8, wantN: 2, wantIntra: false},
+		{plan: parallel.Plan{Tensor: 1, Data: 8}, gpnVal: 8, wantN: 8, wantIntra: true, dp: true},
+		{plan: parallel.Plan{Tensor: 4, Data: 8}, gpnVal: 8, wantN: 4, wantIntra: false, dp: true},
+		{plan: parallel.Plan{Tensor: 16, Data: 4}, gpnVal: 8, wantN: 4, wantIntra: false, dp: true},
+	}
+	for _, tc := range cases {
+		var n int
+		var intra bool
+		if tc.dp {
+			n, intra = allReduceDPArgs(tc.plan, tc.gpnVal)
+		} else {
+			n, intra = allReduceTPArgs(tc.plan, tc.gpnVal)
+		}
+		if n != tc.wantN || intra != tc.wantIntra {
+			t.Errorf("t=%d d=%d gpn=%d (dp=%v): got (%d, %v), want (%d, %v)",
+				tc.plan.Tensor, tc.plan.Data, tc.gpnVal, tc.dp, n, intra, tc.wantN, tc.wantIntra)
+		}
+	}
+}
+
+// noMarkerTimer wraps comm.Calibrated while hiding its StatelessComm
+// marker, reproducing the pre-fix binding behavior: without the marker,
+// Bind prices every communication task individually in task-ID order.
+type noMarkerTimer struct{ c comm.Calibrated }
+
+func (w noMarkerTimer) AllReduce(bytes float64, n int, intraNode bool) float64 {
+	return w.c.AllReduce(bytes, n, intraNode)
+}
+func (w noMarkerTimer) SendRecv(bytes float64, sameNode bool) float64 {
+	return w.c.SendRecv(bytes, sameNode)
+}
+
+// TestCalibratedStatelessEquivalence pins the comm.Calibrated marker fix:
+// the calibrated timer is a pure function of its fixed correction factors,
+// so descriptor-granularity binding (the marker path) must price every task
+// exactly like the per-task fallback — and therefore replay identically.
+func TestCalibratedStatelessEquivalence(t *testing.T) {
+	c := hw.PaperCluster(8)
+	plan := parallel.Plan{Tensor: 4, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 16, GradientBuckets: 2}
+	bg := lower(t, plan, OperatorLevel)
+	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
+	cal := comm.DefaultCalibration(comm.NewModel(c), plan.Tensor)
+
+	fast := bg.g.Bind(prof, cal, plan, c)
+	defer fast.Release()
+	slow := bg.g.Bind(prof, noMarkerTimer{c: cal}, plan, c)
+	defer slow.Release()
+
+	if !fast.byDesc {
+		t.Fatal("Calibrated must bind at descriptor granularity (StatelessComm marker missing?)")
+	}
+	if slow.byDesc {
+		t.Fatal("the marker-less wrapper must take the per-task fallback")
+	}
+	for id := 0; id < bg.g.NumTasks(); id++ {
+		if fast.Duration(id) != slow.Duration(id) {
+			t.Fatalf("task %d: descriptor binding %v != per-task binding %v", id, fast.Duration(id), slow.Duration(id))
+		}
+	}
+	a, err := bg.g.Replay(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bg.g.Replay(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireIdentical(t, 0, a, b)
+}

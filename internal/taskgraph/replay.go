@@ -44,10 +44,15 @@ func (sc *scratch) reset(n, devices, classes int) {
 }
 
 // replay runs Algorithm 1 over the immutable graph using pooled scratch
-// state. It never writes to g (or tbl), so concurrent replays of one graph
-// are safe. tbl supplies the per-plan durations of a structural graph; for
-// hand-built graphs it may be nil, falling back to the tasks' eager values.
-func (g *Graph) replay(tbl *DurationTable, capture bool) (Result, []Span, error) {
+// state. It never writes to g (or tbl, or ct), so concurrent replays of one
+// graph are safe. tbl supplies the per-plan durations of a structural
+// graph; for hand-built graphs it may be nil, falling back to the tasks'
+// eager values. ct, when non-nil, derates communication tasks by their
+// link-sharing concurrency (the contention fidelity level); the occupancy
+// ledger is allocated per call, so contended replays of one graph are as
+// concurrency-safe as ideal ones. With ct nil the loop performs exactly
+// the float operations it always has.
+func (g *Graph) replay(tbl *DurationTable, ct *ContentionTable, capture bool) (Result, []Span, error) {
 	n := g.NumTasks()
 	if n == 0 {
 		return Result{}, nil, fmt.Errorf("taskgraph: graph has no tasks")
@@ -70,6 +75,10 @@ func (g *Graph) replay(tbl *DurationTable, capture bool) (Result, []Span, error)
 	}
 	sc := scratchPool.Get().(*scratch)
 	sc.reset(n, g.Devices, len(g.classes))
+	var cst *contState
+	if ct != nil {
+		cst = newContState(ct)
+	}
 
 	res := Result{
 		ComputeBusy: make([]float64, g.Devices),
@@ -105,6 +114,9 @@ func (g *Graph) replay(tbl *DurationTable, capture bool) (Result, []Span, error)
 		start := sc.ready[id]
 		if f := sc.free[slot]; f > start {
 			start = f
+		}
+		if cst != nil && slot&1 == int(CommStream) {
+			dur = ct.contend(cst, int32(slot), g.durIdx[id], start, dur)
 		}
 		finish := start + dur
 		sc.free[slot] = finish // proceed the timeline

@@ -460,7 +460,13 @@ type StatelessCommTimer interface {
 	StatelessComm()
 }
 
-var _ StatelessCommTimer = (*comm.Model)(nil)
+var (
+	_ StatelessCommTimer = (*comm.Model)(nil)
+	// comm.Calibrated is a pure function of its fixed correction factors;
+	// without the marker, binding silently priced its collectives once per
+	// task instead of once per descriptor (the validate.RunCalibrated path).
+	_ StatelessCommTimer = comm.Calibrated{}
+)
 
 // Lower translates the operator graph into a structural task graph: tasks,
 // dependency edges, and one duration descriptor per task — no durations.
@@ -598,7 +604,7 @@ type Result struct {
 // hand-built graphs; a structural graph (produced by Lower) must be bound
 // to a plan first and replayed with Replay.
 func (g *Graph) Simulate() (Result, error) {
-	res, _, err := g.replay(nil, false)
+	res, _, err := g.replay(nil, nil, false)
 	return res, err
 }
 
@@ -606,6 +612,6 @@ func (g *Graph) Simulate() (Result, error) {
 // The graph and table are both read-only during replay, so one shared
 // structural graph may be replayed under many tables concurrently.
 func (g *Graph) Replay(tbl *DurationTable) (Result, error) {
-	res, _, err := g.replay(tbl, false)
+	res, _, err := g.replay(tbl, nil, false)
 	return res, err
 }

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"testing"
 
+	"vtrain/internal/comm"
 	"vtrain/internal/gpu"
 	"vtrain/internal/hw"
 	"vtrain/internal/model"
@@ -28,6 +29,53 @@ func testGraph(t testing.TB) *taskgraph.Graph {
 		t.Fatal(err)
 	}
 	return taskgraph.Lower(og, profiler.New(gpu.NewDevice(c.Node.GPU)), taskgraph.OperatorLevel)
+}
+
+// TestStoreContentionEquivalence locks the contention fidelity level over
+// the disk tier end to end: a graph saved to and reloaded from a Store
+// must replay byte-identically to the original under contention — the
+// store path adds framing, checksums, and zero-copy aliasing on top of the
+// codec, and none of it may perturb the contended schedule.
+func TestStoreContentionEquivalence(t *testing.T) {
+	c := hw.PaperCluster(8)
+	m := model.Config{Name: "tiny", Hidden: 256, Layers: 4, SeqLen: 128, Heads: 4, Vocab: 1024}
+	plan := parallel.Plan{Tensor: 2, Data: 2, Pipeline: 2, MicroBatch: 1, GlobalBatch: 8, GradientBuckets: 2}
+	og, err := opgraph.Build(m, plan, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
+	g := taskgraph.Lower(og, prof, taskgraph.OperatorLevel)
+
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := Key("contention-equivalence")
+	if !st.SaveGraph(key, g) {
+		t.Fatal("SaveGraph failed")
+	}
+	got, ok := st.LoadGraph(key)
+	if !ok {
+		t.Fatal("LoadGraph failed")
+	}
+
+	cm := comm.NewModel(c)
+	tbl := g.Bind(prof, cm, plan, c)
+	defer tbl.Release()
+	gtbl := got.Bind(prof, cm, plan, c)
+	defer gtbl.Release()
+	ref, err := g.ReplayContended(tbl, g.BindContention(plan, c, tbl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := got.ReplayContended(gtbl, got.BindContention(plan, c, gtbl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, ref) {
+		t.Fatalf("contended replay of store-loaded graph = %+v, want %+v", res, ref)
+	}
 }
 
 func TestKeyIsLengthPrefixed(t *testing.T) {

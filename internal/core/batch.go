@@ -184,7 +184,7 @@ func simulateBatchAcross(m model.Config, sims []*Simulator, single *Simulator, p
 					if cts == nil {
 						cts = make([]*taskgraph.ContentionTable, len(chunk))
 					}
-					cts[j] = gr.tg.BindContention(plans[i], si.cluster)
+					cts[j] = gr.tg.BindContention(plans[i], si.cluster, tables[j])
 				}
 			}
 			results, err := gr.tg.ReplayBatchContended(tables, cts)

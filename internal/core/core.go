@@ -398,7 +398,7 @@ func (s *Simulator) simulate(m model.Config, plan parallel.Plan, capture bool) (
 	defer tbl.Release()
 	var ct *taskgraph.ContentionTable
 	if s.contention {
-		ct = tg.BindContention(plan, s.cluster)
+		ct = tg.BindContention(plan, s.cluster, tbl)
 	}
 	var (
 		res   taskgraph.Result

@@ -101,6 +101,73 @@ func TestArtifactRoundTrip(t *testing.T) {
 	}
 }
 
+// TestArtifactContentionEquivalence locks the contention fidelity level
+// over the persistent artifact tier: a disk-decoded structural graph must
+// produce a BindContention table and a contended replay byte-identical to
+// the freshly lowered graph's. The table comparison covers every
+// topology-derived field (kind/span/fromNode/toNode, stride/gpn/classes,
+// epoch width) — any descriptor field the codec failed to round-trip would
+// surface here as a diverging classification or a diverging report.
+func TestArtifactContentionEquivalence(t *testing.T) {
+	c := hw.PaperCluster(8)
+	prof := profiler.New(gpu.NewDevice(c.Node.GPU))
+	cm := comm.NewModel(c)
+	for _, fid := range []Fidelity{TaskLevel, OperatorLevel} {
+		for _, plan := range artifactPlans() {
+			og, err := opgraph.Build(tinyModel(), plan, c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := Lower(og, prof, fid)
+			data, err := g.MarshalArtifact()
+			if err != nil {
+				t.Fatalf("fid %v plan %s: marshal: %v", fid, plan, err)
+			}
+			dec, err := UnmarshalArtifact(data)
+			if err != nil {
+				t.Fatalf("fid %v plan %s: unmarshal: %v", fid, plan, err)
+			}
+
+			tbl := g.Bind(prof, cm, plan, c)
+			dtbl := dec.Bind(prof, cm, plan, c)
+			ct := g.BindContention(plan, c, tbl)
+			dct := dec.BindContention(plan, c, dtbl)
+			if ct == nil || dct == nil {
+				t.Fatalf("fid %v plan %s: BindContention returned nil (fresh %v, decoded %v)",
+					fid, plan, ct == nil, dct == nil)
+			}
+			if !reflect.DeepEqual(ct, dct) {
+				t.Fatalf("fid %v plan %s: decoded contention table differs from fresh:\n%+v\nvs\n%+v",
+					fid, plan, dct, ct)
+			}
+
+			ref, refSpans, err := g.ReplayTraceContended(tbl, ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotSpans, err := dec.ReplayTraceContended(dtbl, dct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got, ref) {
+				t.Fatalf("fid %v plan %s: contended replay of decoded graph = %+v, want %+v",
+					fid, plan, got, ref)
+			}
+			for s := range refSpans {
+				if gotSpans[s].Device != refSpans[s].Device ||
+					gotSpans[s].Stream != refSpans[s].Stream ||
+					gotSpans[s].Start != refSpans[s].Start ||
+					gotSpans[s].End != refSpans[s].End {
+					t.Fatalf("fid %v plan %s span %d: decoded %+v, fresh %+v",
+						fid, plan, s, gotSpans[s], refSpans[s])
+				}
+			}
+			tbl.Release()
+			dtbl.Release()
+		}
+	}
+}
+
 // TestLazyLabelSource pins the deferred label path a disk-loaded graph
 // takes: TaskLabel must fetch the table through the installed source
 // exactly once, labels must match the lowered graph's, and a source that

@@ -81,6 +81,9 @@ type batchScratch struct {
 	classSec []float64
 	// flopsSum[lane] accumulates lane's executed FLOPs.
 	flopsSum []float64
+	// states[lane] is lane's pooled occupancy ledger under contention
+	// (nil for ideal lanes and fully ideal batches).
+	states []*contState
 	// oversized counts consecutive resets whose pooled capacity exceeded 4x
 	// the request (see wantShrink).
 	oversized int8
@@ -167,7 +170,9 @@ func (g *Graph) replayBatch(tables []*DurationTable, cts []*ContentionTable) ([]
 
 	// Occupancy ledgers are per lane: each lane is an independent simulated
 	// cluster, so flows contend only within their own lane. states stays nil
-	// for fully ideal batches, keeping the hot loops branch-predictable.
+	// for fully ideal batches, keeping the hot loops branch-predictable; the
+	// ledgers themselves come from the contState pool, like every other
+	// piece of replay scratch.
 	var states []*contState
 	if cts != nil {
 		for l, ct := range cts {
@@ -175,9 +180,12 @@ func (g *Graph) replayBatch(tables []*DurationTable, cts []*ContentionTable) ([]
 				continue
 			}
 			if states == nil {
-				states = make([]*contState, k)
+				if cap(sc.states) < k {
+					sc.states = make([]*contState, k)
+				}
+				states = sc.states[:k]
 			}
-			states[l] = newContState(ct)
+			states[l] = getContState(ct)
 		}
 	}
 
@@ -333,6 +341,10 @@ func (g *Graph) replayBatch(tables []*DurationTable, cts []*ContentionTable) ([]
 	for l := range sc.dur {
 		sc.dur[l], sc.flops[l] = nil, nil // don't pin released tables
 		sc.vals[l], sc.durIdx[l] = nil, nil
+	}
+	for l := range states {
+		putContState(states[l])
+		states[l] = nil
 	}
 	batchScratchPool.Put(sc)
 

@@ -1,6 +1,10 @@
 package taskgraph
 
 import (
+	"math"
+	"sort"
+	"sync"
+
 	"vtrain/internal/comm"
 	"vtrain/internal/hw"
 	"vtrain/internal/parallel"
@@ -16,13 +20,31 @@ import (
 // plan- and cluster-dependent classification once per (graph, plan,
 // cluster) — which descriptor is a collective, how many nodes it spans,
 // which nodes a P2P transfer connects — into an immutable ContentionTable.
-// The replay-time part (contention.go's occupancy state, owned per replay
-// call and per batch lane) then needs only O(1) arithmetic per comm task to
-// find its link classes, plus an interval-overlap count against the flows
-// already recorded on those classes. Contention never changes the graph's
-// structure, so structural caching, artifact round-trips, and cross-plan
-// sharing are untouched; with a nil table every replay entry point performs
-// bit-identical float operations to the contention-free path.
+// The replay-time part (this file's occupancy ledger, pooled and owned per
+// replay call and per batch lane) then needs only O(1) arithmetic per comm
+// task to find its link classes, plus an interval-overlap count against the
+// flows already recorded on those classes. Contention never changes the
+// graph's structure, so structural caching, artifact round-trips, and
+// cross-plan sharing are untouched; with a nil table every replay entry
+// point performs bit-identical float operations to the contention-free path.
+//
+// The overlap count is sub-linear in recorded flows. Each link class keeps
+// an epoch-bucketed ledger: time is cut into fixed-width epochs (width =
+// the bound table's median comm-task duration), and per class the ledger
+// histograms the *start* values and *end* values of recorded flows over
+// epochs — a Fenwick tree per histogram for O(log epochs) prefix counts,
+// plus an exact per-epoch spill chain of the raw values. Because every
+// recorded interval and every query has end > start, "overlaps [s, e)"
+// decomposes exactly into
+//
+//	n  -  #(recorded end <= s)  -  #(recorded start >= e)
+//
+// (the two exclusion sets cannot intersect), and each exclusion count is a
+// Fenwick prefix sum over whole epochs plus an exact scan of the one
+// boundary epoch's spill chain. The count — and therefore the derate
+// arithmetic — is bit-identical to the flat append-and-scan it replaces;
+// only the cost changes, from O(flows) per query to O(log epochs +
+// boundary-epoch occupancy).
 
 // contKind classifies a descriptor's contention behavior.
 type contKind uint8
@@ -36,6 +58,24 @@ const (
 	// contP2P marks pipeline transfers between two bind-time-known nodes.
 	contP2P
 )
+
+// contEpochTarget is the epoch count the replay horizon estimate is spread
+// over: the ledger widens its epochs beyond the median comm duration when
+// the horizon would otherwise shatter into so many epochs that the per-class
+// arrays outgrow the cache (their cost is O(max epoch touched), not
+// O(flows)).
+const contEpochTarget = 1024
+
+// contEpochCap bounds the epoch index (4x the target, headroom for horizon
+// underestimates). Times at or beyond the cap share the last epoch: the
+// clamp is monotone, so counts stay exact — the final epoch merely degrades
+// toward a linear scan for pathological widths.
+const contEpochCap = 1 << 12
+
+// defaultContEpochWidth (seconds) prices epochs when the bound table offers
+// no positive comm duration to derive a width from. The width only steers
+// bucketing granularity — never results.
+const defaultContEpochWidth = 1e-3
 
 // ContentionTable is the per-(plan, cluster) contention binding of one
 // structural graph: for every duration descriptor, which fat-tree links its
@@ -55,6 +95,9 @@ type ContentionTable struct {
 	stride, gpn int
 	// classes is the link-class count: spine, then (nv, hca) per node.
 	classes int
+	// invW is the reciprocal epoch width of the occupancy ledgers, derived
+	// from the bound table's median comm duration.
+	invW float64
 }
 
 // Link-class layout: class 0 is the spine; node k's NVSwitch is 1+2k and
@@ -63,11 +106,14 @@ func nvClass(node int) int  { return 1 + 2*node }
 func hcaClass(node int) int { return 2 + 2*node }
 
 // BindContention resolves the graph's communication descriptors against the
-// cluster's fat-tree topology for one concrete plan. It returns nil for
+// cluster's fat-tree topology for one concrete plan. tbl, the plan's bound
+// DurationTable, sizes the occupancy ledgers' epoch width from the median
+// comm-task duration; it may be nil (a default width is used — width is a
+// performance knob, never a results one). BindContention returns nil for
 // hand-built eager graphs (no descriptors): their durations were priced by
 // an arbitrary external process the topology knows nothing about, and a nil
 // table makes every contended entry point equivalent to its ideal twin.
-func (g *Graph) BindContention(plan parallel.Plan, c hw.Cluster) *ContentionTable {
+func (g *Graph) BindContention(plan parallel.Plan, c hw.Cluster, tbl *DurationTable) *ContentionTable {
 	if g.descs == nil {
 		return nil
 	}
@@ -107,35 +153,354 @@ func (g *Graph) BindContention(plan parallel.Plan, c hw.Cluster) *ContentionTabl
 		}
 	}
 	ct.classes = hcaClass(maxNode) + 1
+	w := g.commEpochWidth(ct, tbl)
+	if w <= 0 {
+		w = defaultContEpochWidth
+	}
+	ct.invW = 1 / w
 	return ct
 }
 
-// interval is one recorded occupancy of a link class.
-type interval struct{ start, end float64 }
-
-// contState is the mutable occupancy ledger of one replay (or one batch
-// lane): per link class, the time intervals of the flows recorded so far.
-// Replay visits tasks in topological (not time) order, so a flow only
-// contends with flows recorded before it — a deterministic, conservative
-// under-count that keeps the replay single-pass.
-type contState struct {
-	occ [][]interval
+// commEpochWidth derives the ledgers' epoch width from tbl: the
+// task-count-weighted median duration of the graph's contending comm tasks,
+// widened if needed so an estimate of the replay horizon (total bound work
+// per device, doubled for bubbles and derating) spans at most
+// contEpochTarget epochs. It returns 0 when the table offers no width (nil,
+// mismatched, or no positive comm durations).
+func (g *Graph) commEpochWidth(ct *ContentionTable, tbl *DurationTable) float64 {
+	if tbl == nil || tbl.Len() != g.NumTasks() {
+		return 0
+	}
+	var median, total float64
+	if tbl.byDesc {
+		// Descriptor-gather tables price per descriptor; weight each priced
+		// duration by its task population (descCnt), so the whole derivation
+		// is O(descriptors) — no per-task pass.
+		type weighted struct {
+			d float64
+			w int64
+		}
+		var ws []weighted
+		var commTasks int64
+		for i := range g.descs {
+			w := int64(g.descCnt[i])
+			if w == 0 {
+				continue
+			}
+			d := tbl.vals[i].dur
+			total += float64(w) * d
+			if ct.kind[i] != contNone && d > 0 {
+				ws = append(ws, weighted{d, w})
+				commTasks += w
+			}
+		}
+		if commTasks == 0 {
+			return 0
+		}
+		sort.Slice(ws, func(a, b int) bool { return ws[a].d < ws[b].d })
+		half := (commTasks + 1) / 2
+		var acc int64
+		for _, w := range ws {
+			if acc += w.w; acc >= half {
+				median = w.d
+				break
+			}
+		}
+	} else {
+		// Stateful timers fan out to per-task columns; gather and sort those.
+		var durs []float64
+		for id, di := range g.durIdx {
+			d := tbl.dur[id]
+			total += d
+			if ct.kind[di] != contNone && d > 0 {
+				durs = append(durs, d)
+			}
+		}
+		if len(durs) == 0 {
+			return 0
+		}
+		sort.Float64s(durs)
+		median = durs[(len(durs)-1)/2]
+	}
+	if horizon := 2 * total / float64(g.Devices); horizon/contEpochTarget > median {
+		return horizon / contEpochTarget
+	}
+	return median
 }
 
-func newContState(ct *ContentionTable) *contState {
-	return &contState{occ: make([][]interval, ct.classes)}
+// epochOf maps a time to its ledger epoch: monotone (a < b never maps a
+// after b), clamped to [0, contEpochCap), and NaN-safe.
+func epochOf(t, invW float64) int32 {
+	e := t * invW
+	if !(e > 0) {
+		return 0
+	}
+	if e >= contEpochCap-1 {
+		return contEpochCap - 1
+	}
+	return int32(e)
+}
+
+// epochHist is one epoch-bucketed histogram of float64 values (the starts,
+// or the ends, of one link class's recorded flows):
+//
+//   - cnt[e] is the number of values in epoch e;
+//   - fen is a Fenwick tree over cnt, for O(log epochs) prefix counts
+//     (fen[j] aggregates classic 1-based Fenwick index j+1 — node coverage
+//     is length-independent, so growing rebuilds from cnt);
+//   - head[e] chains epoch e's exact values through the contState node
+//     pool (head stores node index + 1; 0 is the empty chain).
+//
+// All three arrays share one length and grow together by doubling; the
+// epoch cap keeps them small enough that plain slices with a clear-on-reuse
+// reset beat any generation-tagging scheme in the hot loops.
+type epochHist struct {
+	cnt  []uint32
+	fen  []uint32
+	head []uint32
+}
+
+func (h *epochHist) clear() {
+	clear(h.cnt)
+	clear(h.fen)
+	clear(h.head)
+}
+
+func (h *epochHist) drop() {
+	*h = epochHist{}
+}
+
+// insert records value v (in epoch e) into the histogram, chaining its
+// exact value through cs's node pool.
+func (h *epochHist) insert(cs *contState, e int32, v float64) {
+	if int(e) >= len(h.cnt) {
+		h.grow(e)
+	}
+	h.cnt[e]++
+	f := h.fen
+	for i := int(e) + 1; i <= len(f); i += i & (-i) {
+		f[i-1]++
+	}
+	idx := cs.pushNode(v, h.head[e])
+	h.head[e] = idx + 1
+}
+
+// grow widens the arrays to the next power of two above e, preserving the
+// recorded counts and chains; the Fenwick tree is rebuilt from cnt — seed
+// each node with its own epoch's count, then fold each node into its
+// parent. O(length), amortized by doubling.
+func (h *epochHist) grow(e int32) {
+	n := 64
+	for n <= int(e) {
+		n *= 2
+	}
+	cnt := make([]uint32, n)
+	copy(cnt, h.cnt)
+	h.cnt = cnt
+	head := make([]uint32, n)
+	copy(head, h.head)
+	h.head = head
+	f := make([]uint32, n)
+	copy(f, cnt)
+	for i := 1; i <= n; i++ {
+		if j := i + i&(-i); j <= n {
+			f[j-1] += f[i-1]
+		}
+	}
+	h.fen = f
+}
+
+// prefix returns the number of recorded values in epochs [0, e]. Epochs the
+// arrays never grew to hold are empty, so e clamps to the allocated range.
+func (h *epochHist) prefix(e int32) int32 {
+	f := h.fen
+	ei := int(e)
+	if ei >= len(f) {
+		ei = len(f) - 1
+	}
+	s := uint32(0)
+	for i := ei + 1; i > 0; i -= i & (-i) {
+		s += f[i-1]
+	}
+	return int32(s)
+}
+
+// chainCountLE counts epoch e's exact values <= v; chainCountGE counts
+// those >= v. Both scan only the one boundary epoch's spill chain.
+func (h *epochHist) chainCountLE(cs *contState, e int32, v float64) int32 {
+	if int(e) >= len(h.head) {
+		return 0
+	}
+	c := int32(0)
+	for p := h.head[e]; p != 0; p = uint32(cs.nodeNext[p-1]) {
+		if cs.nodeVal[p-1] <= v {
+			c++
+		}
+	}
+	return c
+}
+
+func (h *epochHist) chainCountGE(cs *contState, e int32, v float64) int32 {
+	if int(e) >= len(h.head) {
+		return 0
+	}
+	c := int32(0)
+	for p := h.head[e]; p != 0; p = uint32(cs.nodeNext[p-1]) {
+		if cs.nodeVal[p-1] >= v {
+			c++
+		}
+	}
+	return c
+}
+
+// classLedger is one link class's occupancy ledger: the start and end
+// histograms of the flows recorded on that class this replay, plus the
+// high-water epoch driving the hysteretic shrink of its epoch arrays.
+// minStart/maxEnd bound the recorded intervals: a query outside them
+// overlaps nothing and skips the histograms entirely — the common case on
+// classes whose flows are serialized by a dependency chain (one comm
+// stream feeding one NVSwitch), where each flow starts at or after the
+// previous one's end.
+type classLedger struct {
+	starts   epochHist
+	ends     epochHist
+	n        int32
+	hi       int32
+	minStart float64
+	maxEnd   float64
+	// oversized counts consecutive resets whose epoch capacity exceeded 4x
+	// the previous replay's high-water epoch (see wantShrink).
+	oversized int8
+}
+
+func (led *classLedger) reset() {
+	epochLen := len(led.starts.cnt)
+	if l := len(led.ends.cnt); l > epochLen {
+		epochLen = l
+	}
+	if wantShrink(epochLen, int(led.hi)+1, &led.oversized) {
+		led.starts.drop()
+		led.ends.drop()
+	} else if led.n > 0 {
+		// Classes untouched since the last reset are already zero; only
+		// dirty ledgers pay the clear, and the epoch cap bounds it.
+		led.starts.clear()
+		led.ends.clear()
+	}
+	led.n = 0
+	led.hi = -1
+	led.minStart = math.Inf(1)
+	led.maxEnd = math.Inf(-1)
+}
+
+// contState is the mutable occupancy ledger of one replay (or one batch
+// lane): per link class, the epoch-bucketed start/end histograms of the
+// flows recorded so far. Replay visits tasks in topological (not time)
+// order, so a flow only contends with flows recorded before it — a
+// deterministic, conservative under-count that keeps the replay
+// single-pass. States are pooled (getContState / putContState): resets are
+// O(classes) generation bumps, and storage follows the same wantShrink
+// hysteresis as the rest of the replay scratch.
+type contState struct {
+	led []classLedger
+	// nodeVal/nodeNext form the shared spill-chain node pool of every
+	// histogram: nodeVal holds the exact recorded values, nodeNext the
+	// chain links (index + 1; 0 terminates).
+	nodeVal  []float64
+	nodeNext []int32
+	nNodes   int32
+	invW     float64
+	// oversizedLed / oversizedNodes are the wantShrink counters of the
+	// ledger slice and the node pool.
+	oversizedLed   int8
+	oversizedNodes int8
+}
+
+var contStatePool = sync.Pool{New: func() any { return new(contState) }}
+
+// getContState returns a pooled occupancy ledger reset for ct. Must be
+// released with putContState when the replay completes.
+func getContState(ct *ContentionTable) *contState {
+	cs := contStatePool.Get().(*contState)
+	cs.reset(ct)
+	return cs
+}
+
+func putContState(cs *contState) {
+	if cs != nil {
+		contStatePool.Put(cs)
+	}
+}
+
+func (cs *contState) reset(ct *ContentionTable) {
+	if wantShrink(cap(cs.led), ct.classes, &cs.oversizedLed) {
+		cs.led = make([]classLedger, ct.classes)
+	} else if len(cs.led) < ct.classes {
+		cs.led = append(cs.led[:cap(cs.led)], make([]classLedger, ct.classes-cap(cs.led))...)
+	}
+	for c := 0; c < ct.classes; c++ {
+		cs.led[c].reset()
+	}
+	if wantShrink(cap(cs.nodeVal), int(cs.nNodes), &cs.oversizedNodes) {
+		cs.nodeVal, cs.nodeNext = nil, nil
+	}
+	cs.nNodes = 0
+	cs.invW = ct.invW
+}
+
+// pushNode appends value v to the node pool with next as its chain link,
+// returning its index.
+func (cs *contState) pushNode(v float64, next uint32) uint32 {
+	idx := cs.nNodes
+	if int(idx) < len(cs.nodeVal) {
+		cs.nodeVal[idx] = v
+		cs.nodeNext[idx] = int32(next)
+	} else {
+		cs.nodeVal = append(cs.nodeVal, v)
+		cs.nodeNext = append(cs.nodeNext, int32(next))
+	}
+	cs.nNodes = idx + 1
+	return uint32(idx)
 }
 
 // overlaps counts recorded flows on class whose interval intersects
-// [start, end).
-func (st *contState) overlaps(class int, start, end float64) int {
-	n := 0
-	for _, iv := range st.occ[class] {
-		if iv.start < end && iv.end > start {
-			n++
-		}
+// [start, end) — exactly the flows with iv.start < end && iv.end > start.
+// Every recorded interval and every query has end > start, so the
+// complement decomposes into the two disjoint exclusion counts below.
+func (cs *contState) overlaps(class int, start, end float64) int {
+	led := &cs.led[class]
+	// Overlap needs iv.end > start and iv.start < end; outside the recorded
+	// bounds (or on an empty ledger) the count is zero, no lookup needed.
+	if led.n == 0 || start >= led.maxEnd || end <= led.minStart {
+		return 0
 	}
-	return n
+	es := epochOf(start, cs.invW)
+	endsLE := led.ends.prefix(es-1) + led.ends.chainCountLE(cs, es, start)
+	ee := epochOf(end, cs.invW)
+	startsGE := led.n - led.starts.prefix(ee) + led.starts.chainCountGE(cs, ee, end)
+	return int(led.n - endsLE - startsGE)
+}
+
+// record adds [start, end) to class's ledger.
+func (cs *contState) record(class int, start, end float64) {
+	led := &cs.led[class]
+	led.n++
+	if start < led.minStart {
+		led.minStart = start
+	}
+	if end > led.maxEnd {
+		led.maxEnd = end
+	}
+	es := epochOf(start, cs.invW)
+	ee := epochOf(end, cs.invW)
+	if es > led.hi {
+		led.hi = es
+	}
+	if ee > led.hi {
+		led.hi = ee
+	}
+	led.starts.insert(cs, es, start)
+	led.ends.insert(cs, ee, end)
 }
 
 // contend derates the base duration of the comm task in slot with
@@ -172,19 +537,17 @@ func (ct *ContentionTable) contend(st *contState, slot int32, di int32, start, d
 		spine = st.overlaps(0, start, end)
 	}
 	dur *= ct.cg.Derate(nv, hca, spine)
-	iv := interval{start: start, end: start + dur}
+	fend := start + dur
 	if path.NVNode >= 0 {
-		c := nvClass(path.NVNode)
-		st.occ[c] = append(st.occ[c], iv)
+		st.record(nvClass(path.NVNode), start, fend)
 	}
 	for _, n := range path.HCANodes {
 		if n >= 0 {
-			c := hcaClass(n)
-			st.occ[c] = append(st.occ[c], iv)
+			st.record(hcaClass(n), start, fend)
 		}
 	}
 	if path.Spine {
-		st.occ[0] = append(st.occ[0], iv)
+		st.record(0, start, fend)
 	}
 	return dur
 }

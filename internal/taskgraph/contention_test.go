@@ -1,6 +1,7 @@
 package taskgraph
 
 import (
+	"math/rand"
 	"testing"
 
 	"vtrain/internal/comm"
@@ -93,7 +94,7 @@ func TestContendedBatchMatchesSequential(t *testing.T) {
 	g, tables := batchFixture(t, plans)
 	cts := make([]*ContentionTable, len(plans))
 	for i, plan := range plans {
-		cts[i] = g.BindContention(plan, c)
+		cts[i] = g.BindContention(plan, c, tables[i])
 		if cts[i] == nil {
 			t.Fatalf("plan %d: BindContention returned nil for a structural graph", i)
 		}
@@ -109,14 +110,88 @@ func TestContendedBatchMatchesSequential(t *testing.T) {
 		}
 		want[i] = res
 	}
-	for _, k := range []int{1, len(tables)} {
-		got, err := g.ReplayBatchContended(tables[:k], cts[:k])
+	// Width 16 cycles the four (table, contention table) pairs: lanes are
+	// independent, so duplicated lanes must reproduce the same sequential
+	// result — and a full-width batch exercises the per-lane ledger pool at
+	// the widest fan-out the core batching layer emits.
+	for _, k := range []int{1, 4, 16} {
+		wideTables := make([]*DurationTable, k)
+		wideCts := make([]*ContentionTable, k)
+		for i := range wideTables {
+			wideTables[i] = tables[i%len(tables)]
+			wideCts[i] = cts[i%len(cts)]
+		}
+		got, err := g.ReplayBatchContended(wideTables, wideCts)
 		if err != nil {
 			t.Fatalf("width %d: %v", k, err)
 		}
 		for lane := 0; lane < k; lane++ {
-			requireIdentical(t, lane, got[lane], want[lane])
+			requireIdentical(t, lane, got[lane], want[lane%len(want)])
 		}
+	}
+}
+
+// TestContentionLedgerExactCounts pins the tentpole's exactness contract:
+// the epoch-bucketed occupancy ledger returns the same overlap count as a
+// flat scan over every recorded interval, for any interleaving of inserts
+// and queries — including boundary-touching intervals (end == query start),
+// times beyond the epoch cap, zero times, and pooled reuse across resets
+// with different epoch widths.
+func TestContentionLedgerExactCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	type iv struct{ start, end float64 }
+	for round := 0; round < 6; round++ {
+		// Vary the width across rounds: fine widths force deep epochs (and
+		// the clamp at contEpochCap), coarse widths force long spill chains.
+		invW := []float64{1e-4, 1, 64, 1e9, 1e12, 0.25}[round]
+		ct := &ContentionTable{classes: 3, invW: invW}
+		cs := getContState(ct)
+		ref := make([][]iv, ct.classes)
+		for op := 0; op < 4000; op++ {
+			class := rng.Intn(ct.classes)
+			start := rng.Float64() * 100
+			var end float64
+			switch rng.Intn(4) {
+			case 0:
+				end = start + rng.Float64()*0.01 // short flow
+			case 1:
+				end = start + rng.Float64()*50 // long flow
+			case 2:
+				end = start + 1e-12 // near-degenerate
+			default:
+				// Reuse a recorded boundary so equal-endpoint comparisons
+				// (overlap is half-open: [s, e) vs [s2, e2)) are exercised.
+				if r := ref[class]; len(r) > 0 {
+					prev := r[rng.Intn(len(r))]
+					start, end = prev.end, prev.end+rng.Float64()*5
+				} else {
+					end = start + 1
+				}
+			}
+			want := 0
+			for _, p := range ref[class] {
+				if p.start < end && p.end > start {
+					want++
+				}
+			}
+			if got := cs.overlaps(class, start, end); got != want {
+				t.Fatalf("round %d (invW=%g) op %d: overlaps(%d, %g, %g) = %d, want %d (n=%d)",
+					round, invW, op, class, start, end, got, want, len(ref[class]))
+			}
+			if rng.Intn(3) > 0 {
+				cs.record(class, start, end)
+				ref[class] = append(ref[class], iv{start, end})
+			}
+		}
+		// Release and reacquire: the pooled state must come back clean.
+		putContState(cs)
+		cs = getContState(ct)
+		for class := 0; class < ct.classes; class++ {
+			if got := cs.overlaps(class, 0, 1e18); got != 0 {
+				t.Fatalf("round %d: pooled ledger not reset, class %d reports %d overlaps", round, class, got)
+			}
+		}
+		putContState(cs)
 	}
 }
 
@@ -142,7 +217,7 @@ func TestContentionMonotone(t *testing.T) {
 	cm := comm.NewModel(c)
 	tbl := g.Bind(nil, cm, plan, c)
 	defer tbl.Release()
-	ct := g.BindContention(plan, c)
+	ct := g.BindContention(plan, c, tbl)
 	if ct == nil {
 		t.Fatal("BindContention returned nil for a descriptor graph")
 	}
@@ -183,7 +258,7 @@ func TestContentionMonotone(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lct := bg.g.BindContention(plan, c)
+	lct := bg.g.BindContention(plan, c, bg.tbl)
 	cont, contSpans, err := bg.g.ReplayTraceContended(bg.tbl, lct)
 	if err != nil {
 		t.Fatal(err)

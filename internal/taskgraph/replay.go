@@ -49,9 +49,9 @@ func (sc *scratch) reset(n, devices, classes int) {
 // graph; for hand-built graphs it may be nil, falling back to the tasks'
 // eager values. ct, when non-nil, derates communication tasks by their
 // link-sharing concurrency (the contention fidelity level); the occupancy
-// ledger is allocated per call, so contended replays of one graph are as
-// concurrency-safe as ideal ones. With ct nil the loop performs exactly
-// the float operations it always has.
+// ledger is pooled and owned per call, so contended replays of one graph
+// are as concurrency-safe as ideal ones. With ct nil the loop performs
+// exactly the float operations it always has.
 func (g *Graph) replay(tbl *DurationTable, ct *ContentionTable, capture bool) (Result, []Span, error) {
 	n := g.NumTasks()
 	if n == 0 {
@@ -77,7 +77,7 @@ func (g *Graph) replay(tbl *DurationTable, ct *ContentionTable, capture bool) (R
 	sc.reset(n, g.Devices, len(g.classes))
 	var cst *contState
 	if ct != nil {
-		cst = newContState(ct)
+		cst = getContState(ct)
 	}
 
 	res := Result{
@@ -160,6 +160,7 @@ func (g *Graph) replay(tbl *DurationTable, ct *ContentionTable, capture bool) (R
 
 	sc.queue = queue[:0]
 	scratchPool.Put(sc)
+	putContState(cst)
 
 	if executed != n {
 		return res, spans, fmt.Errorf("taskgraph: deadlock, executed %d of %d tasks", executed, n)

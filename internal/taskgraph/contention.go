@@ -436,7 +436,14 @@ func (cs *contState) reset(ct *ContentionTable) {
 	if wantShrink(cap(cs.led), ct.classes, &cs.oversizedLed) {
 		cs.led = make([]classLedger, ct.classes)
 	} else if len(cs.led) < ct.classes {
-		cs.led = append(cs.led[:cap(cs.led)], make([]classLedger, ct.classes-cap(cs.led))...)
+		// Append growth can leave cap > len, so a later intermediate class
+		// count must reslice within capacity rather than append from cap
+		// (which would make a negative-length tail).
+		if cap(cs.led) < ct.classes {
+			cs.led = append(cs.led, make([]classLedger, ct.classes-len(cs.led))...)
+		} else {
+			cs.led = cs.led[:ct.classes]
+		}
 	}
 	for c := 0; c < ct.classes; c++ {
 		cs.led[c].reset()

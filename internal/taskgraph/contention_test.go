@@ -195,6 +195,32 @@ func TestContentionLedgerExactCounts(t *testing.T) {
 	}
 }
 
+// TestContStateResetAcrossClassCounts pins pooled-state reuse across
+// clusters of different sizes (cluster sweeps, the warm server pool share
+// one contStatePool). Growing the ledger by append can leave cap > len, so
+// a later reset with len < classes <= cap must reslice within capacity —
+// the 10 -> 13 -> 15 sequence used to compute a negative make length and
+// panic with "makeslice: len out of range".
+func TestContStateResetAcrossClassCounts(t *testing.T) {
+	cs := new(contState)
+	for _, classes := range []int{10, 13, 15, 4, 11, 64, 20} {
+		ct := &ContentionTable{classes: classes, invW: 1}
+		cs.reset(ct)
+		if len(cs.led) < classes {
+			t.Fatalf("classes=%d: ledger len %d after reset", classes, len(cs.led))
+		}
+		for class := 0; class < classes; class++ {
+			if got := cs.overlaps(class, 0, 1e18); got != 0 {
+				t.Fatalf("classes=%d: class %d not reset, reports %d overlaps", classes, class, got)
+			}
+			cs.record(class, float64(class), float64(class)+2)
+			if got := cs.overlaps(class, float64(class)+1, float64(class)+3); got != 1 {
+				t.Fatalf("classes=%d: class %d overlaps = %d, want 1", classes, class, got)
+			}
+		}
+	}
+}
+
 // TestContentionMonotone is the tentpole's property test: adding
 // link-sharing concurrent collectives never decreases any comm task's
 // duration. A hand-built graph of independent data-parallel All-Reduces on
